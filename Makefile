@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test test-short bench reproduce examples vet
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+bench:
+	go test -bench=. -benchmem .
+
+# Regenerate every paper table/figure at the repro tier (paper data sizes).
+reproduce:
+	go run ./cmd/reproduce -tier repro all
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/stencil
+	go run ./examples/multibarrier
+	go run ./examples/hierarchical

@@ -1,0 +1,118 @@
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestAblationSCSMA(t *testing.T) {
+	tab, err := AblationSCSMA(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", tab.String())
+	}
+	parse := func(line string) float64 {
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	scsma := parse(lines[2])
+	serial := parse(lines[3])
+	if scsma != 13.0 {
+		t.Errorf("S-CSMA latency %.1f, want 13.0", scsma)
+	}
+	// On 7x7 the serialized receiver queues 6 slaves per row and 6 rows
+	// vertically: roughly +10 cycles.
+	if serial < scsma+8 {
+		t.Errorf("serialized latency %.1f, want >= %.1f+8", serial, scsma)
+	}
+}
+
+func TestAblationRouterDepth(t *testing.T) {
+	tab, err := AblationRouterDepth(16, []uint64{1, 4}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", tab.String())
+	}
+	row := func(line string) (dsw, gl float64) {
+		fields := strings.Fields(line)
+		d, err1 := strconv.ParseFloat(fields[1], 64)
+		g, err2 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("parse %q", line)
+		}
+		return d, g
+	}
+	d1, g1 := row(lines[2])
+	d4, g4 := row(lines[3])
+	if g1 != g4 {
+		t.Errorf("GL latency changed with router depth: %.1f vs %.1f", g1, g4)
+	}
+	if d4 <= d1 {
+		t.Errorf("DSW latency did not grow with router depth: %.1f vs %.1f", d1, d4)
+	}
+}
+
+func TestEnergyStudyScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite energy study")
+	}
+	rows, err := EnergyStudy(TierScaled, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.DSWPJ <= 0 || r.GLPJ <= 0 {
+			t.Errorf("%s: non-positive energy %f/%f", r.Name, r.DSWPJ, r.GLPJ)
+		}
+		if r.GLPJ > r.DSWPJ {
+			t.Errorf("%s: GL interconnect energy (%.0f pJ) above DSW (%.0f pJ)", r.Name, r.GLPJ, r.DSWPJ)
+		}
+		// The G-line wires themselves are a small share even when (as in
+		// KERN3) they carry nearly all the synchronization.
+		if r.GLofWhichLines > 0.10*r.GLPJ {
+			t.Errorf("%s: G-line share %.1f pJ of %.1f pJ too large", r.Name, r.GLofWhichLines, r.GLPJ)
+		}
+	}
+	out := RenderEnergy(rows).String()
+	if !strings.Contains(out, "Reduction") {
+		t.Error("render missing header")
+	}
+}
+
+func TestAblationProtocol(t *testing.T) {
+	tab, err := AblationProtocol(16, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table:\n%s", tab.String())
+	}
+	parse := func(line string) float64 {
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", line, err)
+		}
+		return v
+	}
+	fourHop := parse(lines[2])
+	threeHop := parse(lines[3])
+	if threeHop >= fourHop {
+		t.Errorf("3-hop DSW (%.1f) not faster than 4-hop (%.1f)", threeHop, fourHop)
+	}
+}

@@ -1,0 +1,250 @@
+package repro
+
+// One benchmark per table and figure of the paper (see EXPERIMENTS.md).
+// Each Fig/Table benchmark executes a full (scaled-tier) simulation per
+// iteration and reports the paper's metric via b.ReportMetric, so
+// `go test -bench=. -benchmem` regenerates every evaluation number in
+// miniature. The repro-tier numbers quoted in EXPERIMENTS.md come from
+// `cmd/reproduce -tier repro all`.
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchCores is the paper's CMP size.
+const benchCores = 32
+
+// mustRun executes one benchmark run for a testing.B iteration.
+func mustRun(b *testing.B, w Workload, kind BarrierKind, cores int) *Report {
+	b.Helper()
+	rep, err := runFresh(cores, w, kind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rep
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := config.Default(benchCores)
+		if err := cfg.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		_ = Table1(cfg)
+	}
+}
+
+// --- Table 2: #barriers and barrier period per benchmark --------------------
+
+func benchTable2(b *testing.B, w Workload) {
+	var period float64
+	for i := 0; i < b.N; i++ {
+		rep := mustRun(b, w, DSW, benchCores)
+		period = rep.BarrierPeriod
+	}
+	b.ReportMetric(period, "cycles/barrier-period")
+	b.ReportMetric(float64(w.Barriers(benchCores)), "barriers")
+}
+
+func BenchmarkTable2_SYNTH(b *testing.B) { benchTable2(b, workload.ScaledSynthetic()) }
+func BenchmarkTable2_KERN2(b *testing.B) { benchTable2(b, workload.ScaledKernel2()) }
+func BenchmarkTable2_KERN3(b *testing.B) { benchTable2(b, workload.ScaledKernel3()) }
+func BenchmarkTable2_KERN6(b *testing.B) { benchTable2(b, workload.ScaledKernel6()) }
+func BenchmarkTable2_UNSTR(b *testing.B) { benchTable2(b, workload.ScaledUnstructured()) }
+func BenchmarkTable2_OCEAN(b *testing.B) { benchTable2(b, workload.ScaledOcean()) }
+func BenchmarkTable2_EM3D(b *testing.B)  { benchTable2(b, workload.ScaledEM3D()) }
+
+// --- Figure 5: average barrier latency vs cores ------------------------------
+
+func benchFig5(b *testing.B, kind BarrierKind, cores int) {
+	synth := &workload.Synthetic{Iters: 25}
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		rep := mustRun(b, synth, kind, cores)
+		lat = float64(rep.Cycles) / float64(synth.Barriers(cores))
+	}
+	b.ReportMetric(lat, "cycles/barrier")
+}
+
+func BenchmarkFig5_CSW_2(b *testing.B)  { benchFig5(b, CSW, 2) }
+func BenchmarkFig5_CSW_8(b *testing.B)  { benchFig5(b, CSW, 8) }
+func BenchmarkFig5_CSW_32(b *testing.B) { benchFig5(b, CSW, 32) }
+func BenchmarkFig5_DSW_2(b *testing.B)  { benchFig5(b, DSW, 2) }
+func BenchmarkFig5_DSW_8(b *testing.B)  { benchFig5(b, DSW, 8) }
+func BenchmarkFig5_DSW_32(b *testing.B) { benchFig5(b, DSW, 32) }
+func BenchmarkFig5_GL_2(b *testing.B)   { benchFig5(b, GL, 2) }
+func BenchmarkFig5_GL_8(b *testing.B)   { benchFig5(b, GL, 8) }
+func BenchmarkFig5_GL_32(b *testing.B)  { benchFig5(b, GL, 32) }
+
+// --- Figure 6: normalized execution time, DSW vs GL --------------------------
+
+func benchFig6(b *testing.B, w Workload) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		dsw := mustRun(b, w, DSW, benchCores)
+		gl := mustRun(b, w, GL, benchCores)
+		reduction = stats.Reduction(float64(dsw.Cycles), float64(gl.Cycles))
+	}
+	b.ReportMetric(100*reduction, "%time-reduction")
+}
+
+func BenchmarkFig6_KERN2(b *testing.B) { benchFig6(b, workload.ScaledKernel2()) }
+func BenchmarkFig6_KERN3(b *testing.B) { benchFig6(b, workload.ScaledKernel3()) }
+func BenchmarkFig6_KERN6(b *testing.B) { benchFig6(b, workload.ScaledKernel6()) }
+func BenchmarkFig6_UNSTR(b *testing.B) { benchFig6(b, workload.ScaledUnstructured()) }
+func BenchmarkFig6_OCEAN(b *testing.B) { benchFig6(b, workload.ScaledOcean()) }
+func BenchmarkFig6_EM3D(b *testing.B)  { benchFig6(b, workload.ScaledEM3D()) }
+
+// --- Figure 7: normalized network traffic, DSW vs GL -------------------------
+
+func benchFig7(b *testing.B, w Workload) {
+	var reduction float64
+	for i := 0; i < b.N; i++ {
+		dsw := mustRun(b, w, DSW, benchCores)
+		gl := mustRun(b, w, GL, benchCores)
+		reduction = stats.Reduction(float64(dsw.Traffic.TotalMessages()), float64(gl.Traffic.TotalMessages()))
+	}
+	b.ReportMetric(100*reduction, "%traffic-reduction")
+}
+
+func BenchmarkFig7_KERN2(b *testing.B) { benchFig7(b, workload.ScaledKernel2()) }
+func BenchmarkFig7_KERN3(b *testing.B) { benchFig7(b, workload.ScaledKernel3()) }
+func BenchmarkFig7_KERN6(b *testing.B) { benchFig7(b, workload.ScaledKernel6()) }
+func BenchmarkFig7_UNSTR(b *testing.B) { benchFig7(b, workload.ScaledUnstructured()) }
+func BenchmarkFig7_OCEAN(b *testing.B) { benchFig7(b, workload.ScaledOcean()) }
+func BenchmarkFig7_EM3D(b *testing.B)  { benchFig7(b, workload.ScaledEM3D()) }
+
+// --- Ablations ---------------------------------------------------------------
+
+// BenchmarkAblation_GLOverhead isolates the ideal 4-cycle hardware latency
+// from the software call overhead (paper Section 4.3.1: 13 vs 4 cycles).
+func BenchmarkAblation_GLOverhead(b *testing.B) {
+	synth := &workload.Synthetic{Iters: 50}
+	var ideal, measured float64
+	for i := 0; i < b.N; i++ {
+		for _, ov := range []uint64{0, 9} {
+			cfg := config.Default(16)
+			cfg.GLCallOverhead = ov
+			sys, err := sim.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := workload.Run(sys, synth, GL, 16, 1_000_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat := float64(rep.Cycles) / float64(synth.Barriers(16))
+			if ov == 0 {
+				ideal = lat
+			} else {
+				measured = lat
+			}
+		}
+	}
+	b.ReportMetric(ideal, "ideal-cycles/barrier")
+	b.ReportMetric(measured, "measured-cycles/barrier")
+}
+
+// BenchmarkAblation_FlatVsHierarchical quantifies the clustering cost on a
+// mesh both designs can serve (36 cores).
+func BenchmarkAblation_FlatVsHierarchical(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		t, err := AblationHierarchy(50)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t.String()
+	}
+	_ = out
+}
+
+// BenchmarkAblation_TDMContexts measures the latency growth of time-shared
+// barrier contexts.
+func BenchmarkAblation_TDMContexts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AblationTDM(16, []int{1, 4}, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_DSWLockVsLLSC compares the paper's lock-based combining
+// tree against a lock-free LL/SC variant.
+func BenchmarkAblation_DSWLockVsLLSC(b *testing.B) {
+	var lock, llsc float64
+	synth := &workload.Synthetic{Iters: 50}
+	for i := 0; i < b.N; i++ {
+		for _, useLLSC := range []bool{false, true} {
+			sys, err := sim.New(config.Default(benchCores))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bar, err := sys.NewBarrier(DSW, benchCores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if useLLSC {
+				bar.(interface{ UseLLSC(bool) }).UseLLSC(true)
+			}
+			rep, err := workload.RunWith(sys, synth, bar, benchCores, 1_000_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lat := float64(rep.Cycles) / float64(synth.Barriers(benchCores))
+			if useLLSC {
+				llsc = lat
+			} else {
+				lock = lat
+			}
+		}
+	}
+	b.ReportMetric(lock, "lock-cycles/barrier")
+	b.ReportMetric(llsc, "llsc-cycles/barrier")
+}
+
+// --- Microbenchmarks of the substrates ---------------------------------------
+
+// BenchmarkSimThroughput measures host performance: simulated cycles per
+// wall-clock second on the EM3D workload.
+func BenchmarkSimThroughput(b *testing.B) {
+	var simCycles uint64
+	for i := 0; i < b.N; i++ {
+		rep := mustRun(b, workload.ScaledEM3D(), DSW, benchCores)
+		simCycles += rep.Cycles
+	}
+	b.ReportMetric(float64(simCycles)/b.Elapsed().Seconds(), "sim-cycles/s")
+}
+
+// BenchmarkGLineBarrierStep measures the raw cost of one hardware barrier
+// episode in the G-line network model.
+func BenchmarkGLineBarrierStep(b *testing.B) {
+	sys, err := sim.New(config.Default(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := sys.GL
+	released := 0
+	net.OnRelease(nil, func(int) { released++ })
+	cycle := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < 16; c++ {
+			net.Arrive(c, 0)
+		}
+		for j := 0; j < 4; j++ {
+			net.Tick(cycle)
+			cycle++
+		}
+	}
+	if released == 0 {
+		b.Fatal("no releases")
+	}
+}

@@ -1,0 +1,82 @@
+// Command glsim runs one benchmark on the simulated CMP and prints the full
+// statistics report:
+//
+//	glsim -bench SYNTH -barrier GL -cores 32 -tier scaled
+//
+// Benchmarks: SYNTH, KERN2, KERN3, KERN6, UNSTR, OCEAN, EM3D.
+// Barriers:   GL (the paper's G-line hardware barrier), DSW (combining
+// tree), CSW (centralized lock-based).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	repro "repro"
+	"repro/internal/barrier"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	benchName := flag.String("bench", "SYNTH", "benchmark name")
+	barrierName := flag.String("barrier", "GL", "barrier implementation: GL, DSW or CSW")
+	cores := flag.Int("cores", 32, "number of cores")
+	threads := flag.Int("threads", 0, "threads (default: all cores)")
+	tierName := flag.String("tier", "scaled", "input scale: scaled, repro or paper")
+	maxCycles := flag.Uint64("max-cycles", 4_000_000_000, "simulation cycle budget")
+	traceN := flag.Int("trace", 0, "dump the last N coherence-protocol events after the run")
+	heatmap := flag.Bool("heatmap", false, "print the per-tile link-utilization heatmap")
+	flag.Parse()
+
+	kind, err := barrier.ParseKind(*barrierName)
+	if err != nil {
+		fatal(err)
+	}
+	tier, err := workload.ParseTier(*tierName)
+	if err != nil {
+		fatal(err)
+	}
+	bench, err := workload.ByName(*benchName, tier)
+	if err != nil {
+		fatal(err)
+	}
+	if *threads == 0 {
+		*threads = *cores
+	}
+	cfg := repro.DefaultConfig(*cores)
+	if bench.Name() == "PIPE" {
+		cfg.GLContexts = 2 // the pipeline runs two concurrent barrier groups
+	}
+	sys, err := repro.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	var ring *trace.Ring
+	if *traceN > 0 {
+		ring = trace.NewRing(*traceN)
+		sys.Prot.SetTracer(ring)
+	}
+	rep, err := workload.Run(sys, bench, kind, *threads, *maxCycles)
+	if ring != nil {
+		fmt.Fprintf(os.Stderr, "--- last %d protocol events ---\n", ring.Len())
+		if derr := ring.Dump(os.Stderr); derr != nil {
+			fatal(derr)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s / %s / %d cores (%s tier)\n\n", bench.Name(), kind, *cores, tier)
+	fmt.Print(rep)
+	if *heatmap {
+		fmt.Println("\nlink-utilization heatmap:")
+		fmt.Print(sys.Prot.Mesh().Heatmap())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,191 @@
+// Command reproduce regenerates every table and figure of the paper's
+// evaluation:
+//
+//	reproduce [-tier repro] [-cores 32] table1|table2|fig5|fig6|fig7|ablation|all
+//
+// Tiers: "scaled" (seconds), "repro" (paper data sizes, fewer iterations;
+// the default), "paper" (exact Table 2 inputs; slow). Results and the
+// paper's reference numbers are discussed in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	repro "repro"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	tierFlag := flag.String("tier", "repro", "input scale: scaled, repro or paper")
+	cores := flag.Int("cores", 32, "number of cores (Table 1 baseline: 32)")
+	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tier, err := workload.ParseTier(*tierFlag)
+	if err != nil {
+		fatal(err)
+	}
+	what := flag.Arg(0)
+	emit := func(name string, t stats.Table) {
+		fmt.Println(t)
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	run := func(name string, fn func() error) {
+		if what == name || what == "all" {
+			if err := fn(); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+		}
+	}
+	ran := false
+	for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "ablation", "energy"} {
+		if what == name || what == "all" {
+			ran = true
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	run("table1", func() error {
+		fmt.Println("== Table 1: CMP baseline configuration ==")
+		emit("table1", repro.Table1(repro.DefaultConfig(*cores)))
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Printf("== Table 2: benchmark configuration (tier=%s, %d cores, DSW baseline) ==\n", tier, *cores)
+		rows, err := repro.Table2(tier, *cores)
+		if err != nil {
+			return err
+		}
+		emit("table2", repro.RenderTable2(rows))
+		return nil
+	})
+	run("fig5", func() error {
+		fmt.Printf("== Figure 5: average barrier latency (cycles) vs cores (tier=%s) ==\n", tier)
+		points, err := repro.Fig5(tier, coreSweep(*cores))
+		if err != nil {
+			return err
+		}
+		emit("fig5", repro.RenderFig5(points))
+		return nil
+	})
+	var cmps []repro.Comparison
+	fig67 := func() error {
+		if cmps != nil {
+			return nil
+		}
+		var err error
+		cmps, err = repro.Fig6And7(tier, *cores)
+		return err
+	}
+	run("fig6", func() error {
+		if err := fig67(); err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 6: normalized execution time, DSW vs GL (tier=%s, %d cores) ==\n", tier, *cores)
+		emit("fig6", repro.RenderFig6(cmps))
+		tk, ta, _, _ := repro.Averages(cmps)
+		fmt.Printf("AVG_K time reduction: %s (paper: 68%%)\nAVG_A time reduction: %s (paper: 21%%)\n\n",
+			stats.Pct(tk), stats.Pct(ta))
+		return nil
+	})
+	run("fig7", func() error {
+		if err := fig67(); err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 7: normalized network traffic, DSW vs GL (tier=%s, %d cores) ==\n", tier, *cores)
+		emit("fig7", repro.RenderFig7(cmps))
+		_, _, fk, fa := repro.Averages(cmps)
+		fmt.Printf("AVG_K traffic reduction: %s (paper: 74%%)\nAVG_A traffic reduction: %s (paper: 18%%)\n\n",
+			stats.Pct(fk), stats.Pct(fa))
+		return nil
+	})
+	run("energy", func() error {
+		fmt.Printf("== Interconnect energy, DSW vs GL (tier=%s, %d cores) ==\n", tier, *cores)
+		rows, err := repro.EnergyStudy(tier, *cores)
+		if err != nil {
+			return err
+		}
+		emit("energy", repro.RenderEnergy(rows))
+		return nil
+	})
+	run("ablation", func() error {
+		iters := 200
+		// Fixed 16-core (4x4, flat) geometry for the network-local
+		// ablations: the paper's ideal 4-cycle dance needs a flat
+		// network, and TDM shares one physical line set.
+		const flatCores = 16
+		fmt.Println("== Ablation: GL software call overhead (flat 4x4; ideal hardware = 4 cycles) ==")
+		t, err := repro.AblationOverhead(flatCores, []uint64{0, 3, 6, 9, 18}, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		fmt.Println("== Ablation: flat vs hierarchical G-line network (36 cores) ==")
+		t, err = repro.AblationHierarchy(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		fmt.Println("== Ablation: time-multiplexed barrier contexts (flat 4x4) ==")
+		t, err = repro.AblationTDM(flatCores, []int{1, 2, 4, 8}, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		fmt.Println("== Ablation: S-CSMA counting vs serialized signaling (7x7) ==")
+		t, err = repro.AblationSCSMA(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		fmt.Println("== Ablation: router pipeline depth (cycles/barrier) ==")
+		t, err = repro.AblationRouterDepth(*cores, []uint64{1, 2, 3, 4}, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		fmt.Println("== Ablation: coherence ownership transfer, 4-hop vs 3-hop ==")
+		t, err = repro.AblationProtocol(*cores, iters)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+}
+
+// coreSweep returns the Figure 5 x-axis: powers of two up to max.
+func coreSweep(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

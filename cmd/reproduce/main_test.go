@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestCoreSweep(t *testing.T) {
+	cases := []struct {
+		max  int
+		want []int
+	}{
+		{32, []int{1, 2, 4, 8, 16, 32}},
+		{20, []int{1, 2, 4, 8, 16, 20}},
+		{1, []int{1}},
+	}
+	for _, tc := range cases {
+		got := coreSweep(tc.max)
+		if len(got) != len(tc.want) {
+			t.Errorf("coreSweep(%d) = %v, want %v", tc.max, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("coreSweep(%d) = %v, want %v", tc.max, got, tc.want)
+				break
+			}
+		}
+	}
+}

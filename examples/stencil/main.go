@@ -1,0 +1,81 @@
+// Stencil: a user-written workload on the public API. A heat-diffusion
+// kernel sweeps a 2D grid; every time step ends in a barrier. The example
+// shows how barrier choice changes both runtime and the execution-time
+// breakdown as the grid shrinks (finer-grained steps -> bigger barrier
+// share), the crossover the paper's Figure 6 explores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+	"repro/internal/barrier"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// heatDiffusion builds one program per thread: row-partitioned Jacobi
+// sweeps with halo exchange at band boundaries and a barrier per step.
+func heatDiffusion(sys *repro.System, b barrier.Barrier, threads, grid, steps int) []cpu.Program {
+	sys.Alloc.AlignLine()
+	cells := sys.Alloc.Words(grid * grid)
+	at := func(r, c int) uint64 { return cells + uint64(r*grid+c)*mem.WordSize }
+
+	progs := make([]cpu.Program, threads)
+	rows := grid - 2
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		lo := tid*rows/threads + 1
+		hi := (tid+1)*rows/threads + 1
+		progs[tid] = func(c *cpu.Ctx) {
+			for s := 0; s < steps; s++ {
+				for r := lo; r < hi; r++ {
+					c.LoadRange(at(r-1, 1), grid-2, mem.WordSize)
+					c.LoadRange(at(r+1, 1), grid-2, mem.WordSize)
+					c.Work(6 * (grid - 2))
+					c.StoreRange(at(r, 1), grid-2, mem.WordSize)
+				}
+				b.Wait(c, tid)
+			}
+		}
+	}
+	return progs
+}
+
+func main() {
+	const cores = 16
+	const steps = 20
+	fmt.Println("Heat diffusion: runtime (cycles) and barrier share vs grid size")
+	fmt.Printf("%8s  %12s  %12s  %10s\n", "grid", "DSW", "GL", "speedup")
+	for _, grid := range []int{130, 66, 34, 18} {
+		var cycles [2]uint64
+		var barFrac [2]float64
+		for i, kind := range []repro.BarrierKind{repro.DSW, repro.GL} {
+			sys, err := repro.NewSystem(repro.DefaultConfig(cores))
+			if err != nil {
+				log.Fatal(err)
+			}
+			b, err := sys.NewBarrier(kind, cores)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sys.Launch(heatDiffusion(sys, b, cores, grid, steps)); err != nil {
+				log.Fatal(err)
+			}
+			rep, err := sys.Run(1_000_000_000)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[i] = rep.Cycles
+			barFrac[i] = rep.Breakdown.Fractions()[stats.RegionBarrier]
+		}
+		fmt.Printf("%5dx%-3d  %8d (%4.1f%% bar)  %8d (%4.1f%% bar)  %9.2fx\n",
+			grid, grid,
+			cycles[0], 100*barFrac[0], cycles[1], 100*barFrac[1],
+			float64(cycles[0])/float64(cycles[1]))
+	}
+	fmt.Println("\nFiner grids synchronize more often: the hardware barrier's")
+	fmt.Println("advantage grows as the barrier share of DSW time explodes.")
+}

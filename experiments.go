@@ -1,0 +1,521 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — CMP baseline configuration.
+
+// Table1 renders the simulated CMP's baseline configuration, matching the
+// paper's Table 1.
+func Table1(cfg Config) stats.Table {
+	t := stats.Table{Header: []string{"Parameter", "Value"}}
+	t.AddRow("Number of cores", fmt.Sprintf("%d", cfg.Cores))
+	t.AddRow("Core", fmt.Sprintf("%.0fGHz, in-order %d-way model", cfg.ClockGHz, cfg.IssueWidth))
+	t.AddRow("Cache line size", fmt.Sprintf("%d Bytes", cfg.LineSize))
+	t.AddRow("L1 I/D-Cache", fmt.Sprintf("%dKB, %d-way, %d cycle", cfg.L1Size/1024, cfg.L1Ways, cfg.L1HitLatency))
+	t.AddRow("L2 Cache (per core)", fmt.Sprintf("%dKB, %d-way, %d+%d cycles", cfg.L2SizePerCore/1024, cfg.L2Ways, cfg.L2TagLatency, cfg.L2DataLatency))
+	t.AddRow("Memory access time", fmt.Sprintf("%d cycles", cfg.MemLatency))
+	t.AddRow("Network configuration", fmt.Sprintf("2D-mesh (%dx%d)", cfg.MeshCols, cfg.MeshRows))
+	t.AddRow("G-lines per barrier", fmt.Sprintf("%d", cfg.GLLinesPerBarrier()))
+	t.AddRow("G-line transmitters/line", fmt.Sprintf("%d", cfg.GLMaxTransmitters))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — benchmark configuration: #barriers and barrier period.
+
+// Table2Row is one benchmark's Table 2 entry, measured under the given
+// baseline barrier.
+type Table2Row struct {
+	Name     string
+	Input    string
+	Barriers uint64
+	Period   float64
+	Cycles   uint64
+}
+
+// Table2 measures every benchmark's barrier count and period under the DSW
+// baseline (the paper's best software barrier), at the given tier.
+func Table2(tier Tier, cores int) ([]Table2Row, error) {
+	benches := append([]Workload{workload.SyntheticFor(tier)}, workload.Suite(tier)...)
+	rows := make([]Table2Row, 0, len(benches))
+	for _, w := range benches {
+		rep, err := runFresh(cores, w, DSW)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{
+			Name:     w.Name(),
+			Input:    w.Input(),
+			Barriers: rep.BarrierEpisodes,
+			Period:   rep.BarrierPeriod,
+			Cycles:   rep.Cycles,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable2 formats Table 2 rows like the paper.
+func RenderTable2(rows []Table2Row) stats.Table {
+	t := stats.Table{Header: []string{"Benchmark", "Input Size", "#Barriers", "Barrier Period"}}
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Input, fmt.Sprintf("%d", r.Barriers), fmt.Sprintf("%.0f", r.Period))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5 — average barrier latency vs core count.
+
+// Fig5Point is the measured per-barrier latency of the three barrier
+// implementations at one core count.
+type Fig5Point struct {
+	Cores   int
+	Latency map[BarrierKind]float64
+}
+
+// Fig5 sweeps core counts with the synthetic benchmark, reproducing the
+// paper's Figure 5 series for CSW, DSW and GL.
+func Fig5(tier Tier, coreCounts []int) ([]Fig5Point, error) {
+	synth := workload.SyntheticFor(tier)
+	var points []Fig5Point
+	for _, n := range coreCounts {
+		p := Fig5Point{Cores: n, Latency: map[BarrierKind]float64{}}
+		for _, kind := range []BarrierKind{CSW, DSW, GL} {
+			rep, err := runFresh(n, synth, kind)
+			if err != nil {
+				return nil, err
+			}
+			p.Latency[kind] = float64(rep.Cycles) / float64(synth.Barriers(n))
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+// RenderFig5 formats the Figure 5 series.
+func RenderFig5(points []Fig5Point) stats.Table {
+	t := stats.Table{Header: []string{"Cores", "CSW", "DSW", "GL"}}
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%d", p.Cores),
+			fmt.Sprintf("%.1f", p.Latency[CSW]),
+			fmt.Sprintf("%.1f", p.Latency[DSW]),
+			fmt.Sprintf("%.1f", p.Latency[GL]))
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6 and 7 — normalized execution time and network traffic, DSW vs GL.
+
+// Comparison holds one benchmark's DSW-vs-GL pair and the derived
+// normalized metrics of Figures 6 and 7.
+type Comparison struct {
+	Name string
+	DSW  *Report
+	GL   *Report
+
+	// NormTime[kind][region]: execution-time share, normalized so the DSW
+	// total is 1.0 (Figure 6's stacked bars).
+	NormTime map[BarrierKind][stats.NumRegions]float64
+	// NormTraffic[kind][class]: message share, normalized so the DSW
+	// total is 1.0 (Figure 7's stacked bars).
+	NormTraffic map[BarrierKind][stats.NumMsgClasses]float64
+
+	// TimeReduction and TrafficReduction are GL's relative savings.
+	TimeReduction    float64
+	TrafficReduction float64
+}
+
+// Compare runs one benchmark under DSW and GL on fresh systems and derives
+// the Figure 6/7 normalized metrics.
+func Compare(w Workload, cores int) (Comparison, error) {
+	cmp := Comparison{Name: w.Name()}
+	dsw, err := runFresh(cores, w, DSW)
+	if err != nil {
+		return cmp, err
+	}
+	gl, err := runFresh(cores, w, GL)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.DSW, cmp.GL = dsw, gl
+
+	cmp.NormTime = map[BarrierKind][stats.NumRegions]float64{}
+	base := float64(dsw.Breakdown.Total())
+	for kind, rep := range map[BarrierKind]*Report{DSW: dsw, GL: gl} {
+		var norm [stats.NumRegions]float64
+		for r := range rep.Breakdown {
+			norm[r] = float64(rep.Breakdown[r]) / base
+		}
+		cmp.NormTime[kind] = norm
+	}
+	cmp.NormTraffic = map[BarrierKind][stats.NumMsgClasses]float64{}
+	tbase := float64(dsw.Traffic.TotalMessages())
+	for kind, rep := range map[BarrierKind]*Report{DSW: dsw, GL: gl} {
+		var norm [stats.NumMsgClasses]float64
+		for c := range rep.Traffic.Messages {
+			norm[c] = float64(rep.Traffic.Messages[c]) / tbase
+		}
+		cmp.NormTraffic[kind] = norm
+	}
+	cmp.TimeReduction = stats.Reduction(float64(dsw.Cycles), float64(gl.Cycles))
+	cmp.TrafficReduction = stats.Reduction(float64(dsw.Traffic.TotalMessages()), float64(gl.Traffic.TotalMessages()))
+	return cmp, nil
+}
+
+// Fig6And7 runs the full DSW-vs-GL comparison over the tier's suite at the
+// given core count (the paper uses 32), producing both figures' data.
+func Fig6And7(tier Tier, cores int) ([]Comparison, error) {
+	var cmps []Comparison
+	for _, w := range workload.Suite(tier) {
+		cmp, err := Compare(w, cores)
+		if err != nil {
+			return nil, err
+		}
+		cmps = append(cmps, cmp)
+	}
+	return cmps, nil
+}
+
+// kernelNames identifies the Livermore kernels for the AVG_K/AVG_A split.
+var kernelNames = map[string]bool{"KERN2": true, "KERN3": true, "KERN6": true}
+
+// Averages returns the mean time and traffic reductions for the kernels
+// (the paper's AVG_K) and the applications (AVG_A).
+func Averages(cmps []Comparison) (timeK, timeA, trafK, trafA float64) {
+	var nk, na int
+	for _, c := range cmps {
+		if kernelNames[c.Name] {
+			timeK += c.TimeReduction
+			trafK += c.TrafficReduction
+			nk++
+		} else {
+			timeA += c.TimeReduction
+			trafA += c.TrafficReduction
+			na++
+		}
+	}
+	if nk > 0 {
+		timeK /= float64(nk)
+		trafK /= float64(nk)
+	}
+	if na > 0 {
+		timeA /= float64(na)
+		trafA /= float64(na)
+	}
+	return timeK, timeA, trafK, trafA
+}
+
+// RenderFig6 formats the normalized execution-time breakdown.
+func RenderFig6(cmps []Comparison) stats.Table {
+	t := stats.Table{Header: []string{"Benchmark", "Barrier", "Busy", "Read", "Write", "Lock", "Total", "Reduction"}}
+	for _, c := range cmps {
+		for _, kind := range []BarrierKind{DSW, GL} {
+			n := c.NormTime[kind]
+			total := 0.0
+			for _, v := range n {
+				total += v
+			}
+			red := ""
+			if kind == GL {
+				red = stats.Pct(c.TimeReduction)
+			}
+			t.AddRow(fmt.Sprintf("%s/%s", c.Name, kind),
+				fmt.Sprintf("%.3f", n[stats.RegionBarrier]),
+				fmt.Sprintf("%.3f", n[stats.RegionBusy]),
+				fmt.Sprintf("%.3f", n[stats.RegionRead]),
+				fmt.Sprintf("%.3f", n[stats.RegionWrite]),
+				fmt.Sprintf("%.3f", n[stats.RegionLock]),
+				fmt.Sprintf("%.3f", total), red)
+		}
+	}
+	return t
+}
+
+// RenderFig7 formats the normalized traffic breakdown.
+func RenderFig7(cmps []Comparison) stats.Table {
+	t := stats.Table{Header: []string{"Benchmark", "Request", "Reply", "Coherence", "Total", "Reduction"}}
+	for _, c := range cmps {
+		for _, kind := range []BarrierKind{DSW, GL} {
+			n := c.NormTraffic[kind]
+			total := n[stats.ClassRequest] + n[stats.ClassReply] + n[stats.ClassCoherence]
+			red := ""
+			if kind == GL {
+				red = stats.Pct(c.TrafficReduction)
+			}
+			t.AddRow(fmt.Sprintf("%s/%s", c.Name, kind),
+				fmt.Sprintf("%.3f", n[stats.ClassRequest]),
+				fmt.Sprintf("%.3f", n[stats.ClassReply]),
+				fmt.Sprintf("%.3f", n[stats.ClassCoherence]),
+				fmt.Sprintf("%.3f", total), red)
+		}
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Ablations — design-choice studies beyond the paper's figures.
+
+// AblationOverhead sweeps the GL software call overhead, isolating the
+// hardware's ideal 4-cycle latency from the library cost (the paper's 13
+// vs 4 discussion in Section 4.3.1).
+func AblationOverhead(cores int, overheads []uint64, iters int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"CallOverhead", "cycles/barrier"}}
+	synth := &workload.Synthetic{Iters: iters}
+	for _, ov := range overheads {
+		cfg := config.Default(cores)
+		cfg.GLCallOverhead = ov
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return t, err
+		}
+		rep, err := workload.Run(sys, synth, GL, cores, defaultCycleBudget)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fmt.Sprintf("%d", ov), fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(cores))))
+	}
+	return t, nil
+}
+
+// AblationHierarchy compares the flat network against forced clustering on
+// a mesh that fits both, quantifying the clustering latency cost (the
+// future-work scaling scheme).
+func AblationHierarchy(iters int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"Network", "cycles/barrier"}}
+	synth := &workload.Synthetic{Iters: iters}
+	// 6x6 fits flat (36 cores, 5 transmitters per line needed <= 6).
+	cfg := config.Default(36)
+	if cfg.MeshCols != 6 || cfg.MeshRows != 6 {
+		return t, fmt.Errorf("expected 6x6 mesh for 36 cores, got %dx%d", cfg.MeshCols, cfg.MeshRows)
+	}
+	flatSys, err := sim.New(cfg)
+	if err != nil {
+		return t, err
+	}
+	rep, err := workload.Run(flatSys, synth, GL, 36, defaultCycleBudget)
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("flat 6x6", fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(36))))
+
+	hier, err := core.NewHierarchical(6, 6, 3, cfg.GLMaxTransmitters, 1)
+	if err != nil {
+		return t, err
+	}
+	hierSys, err := sim.New(cfg)
+	if err != nil {
+		return t, err
+	}
+	swapGL(hierSys, hier)
+	rep, err = workload.Run(hierSys, synth, GL, 36, defaultCycleBudget)
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("2x2 clusters of 3x3", fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(36))))
+	return t, nil
+}
+
+// AblationTDM measures time-multiplexed barrier contexts: one physical set
+// of G-lines shared by k contexts, with the synthetic loop running on
+// context 0. Latency grows with the TDM period. The mesh must fit a flat
+// network (TDM shares one physical line set).
+func AblationTDM(cores int, contexts []int, iters int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"TDM contexts", "cycles/barrier"}}
+	synth := &workload.Synthetic{Iters: iters}
+	cfg := config.Default(cores)
+	if !cfg.GLFitsFlat() {
+		return t, fmt.Errorf("TDM ablation needs a flat-capable mesh; %dx%d exceeds the limit (use <=49 cores)", cfg.MeshCols, cfg.MeshRows)
+	}
+	for _, k := range contexts {
+		net, err := core.NewNetwork(core.NetworkConfig{
+			Cols: cfg.MeshCols, Rows: cfg.MeshRows,
+			MaxTransmitters: cfg.GLMaxTransmitters,
+			Contexts:        k,
+			Mux:             core.MuxTime,
+		})
+		if err != nil {
+			return t, err
+		}
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return t, err
+		}
+		swapGL(sys, net)
+		rep, err := workload.Run(sys, synth, GL, cores, defaultCycleBudget)
+		if err != nil {
+			return t, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(cores))))
+	}
+	return t, nil
+}
+
+// swapGL replaces a system's barrier network before any program launches.
+func swapGL(s *sim.System, gl sim.GLNetwork) {
+	s.ReplaceGL(gl)
+}
+
+// AblationSCSMA quantifies the paper's key sensing technique: with S-CSMA
+// a master counts all simultaneous arrivals in one cycle; without it
+// (serialized receiver) arrivals queue at the masters.
+func AblationSCSMA(iters int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"Signaling", "cycles/barrier"}}
+	synth := &workload.Synthetic{Iters: iters}
+	cfg := config.Default(49) // 7x7: the largest flat mesh, 6 slaves/line
+	for _, serial := range []bool{false, true} {
+		net, err := core.NewNetwork(core.NetworkConfig{
+			Cols: cfg.MeshCols, Rows: cfg.MeshRows,
+			MaxTransmitters: cfg.GLMaxTransmitters,
+			Contexts:        1,
+			SerialSignaling: serial,
+		})
+		if err != nil {
+			return t, err
+		}
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return t, err
+		}
+		sys.ReplaceGL(net)
+		rep, err := workload.Run(sys, synth, GL, 49, defaultCycleBudget)
+		if err != nil {
+			return t, err
+		}
+		label := "S-CSMA (paper)"
+		if serial {
+			label = "serialized receiver"
+		}
+		t.AddRow(label, fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(49))))
+	}
+	return t, nil
+}
+
+// EnergyRow is one benchmark's interconnect-energy comparison (the paper's
+// future-work power study): total NoC + G-line energy under DSW vs GL.
+type EnergyRow struct {
+	Name            string
+	DSWPJ, GLPJ     float64
+	GLofWhichLines  float64
+	EnergyReduction float64
+}
+
+// EnergyStudy measures interconnect energy for every benchmark of the
+// tier's suite under both barrier implementations.
+func EnergyStudy(tier Tier, cores int) ([]EnergyRow, error) {
+	var rows []EnergyRow
+	for _, w := range workload.Suite(tier) {
+		dsw, err := runFresh(cores, w, DSW)
+		if err != nil {
+			return nil, err
+		}
+		gl, err := runFresh(cores, w, GL)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, EnergyRow{
+			Name:            w.Name(),
+			DSWPJ:           dsw.Energy.Total(),
+			GLPJ:            gl.Energy.Total(),
+			GLofWhichLines:  gl.Energy.GLinePJ,
+			EnergyReduction: stats.Reduction(dsw.Energy.Total(), gl.Energy.Total()),
+		})
+	}
+	return rows, nil
+}
+
+// RenderEnergy formats the energy study.
+func RenderEnergy(rows []EnergyRow) stats.Table {
+	t := stats.Table{Header: []string{"Benchmark", "DSW (nJ)", "GL (nJ)", "G-line part (nJ)", "Reduction"}}
+	for _, r := range rows {
+		t.AddRow(r.Name,
+			fmt.Sprintf("%.1f", r.DSWPJ/1000),
+			fmt.Sprintf("%.1f", r.GLPJ/1000),
+			fmt.Sprintf("%.4f", r.GLofWhichLines/1000),
+			stats.Pct(r.EnergyReduction))
+	}
+	return t
+}
+
+// AblationRouterDepth sweeps the mesh router pipeline depth: software
+// barriers ride the data NoC and slow down with it, while the dedicated
+// G-line barrier is untouched — the core argument for a dedicated network.
+func AblationRouterDepth(cores int, depths []uint64, iters int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"RouterStages", "DSW", "GL"}}
+	synth := &workload.Synthetic{Iters: iters}
+	for _, d := range depths {
+		var row [2]float64
+		for i, kind := range []BarrierKind{DSW, GL} {
+			cfg := config.Default(cores)
+			cfg.RouterLatency = d
+			sys, err := sim.New(cfg)
+			if err != nil {
+				return t, err
+			}
+			rep, err := workload.Run(sys, synth, kind, cores, defaultCycleBudget)
+			if err != nil {
+				return t, err
+			}
+			row[i] = float64(rep.Cycles) / float64(synth.Barriers(cores))
+		}
+		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.1f", row[0]), fmt.Sprintf("%.1f", row[1]))
+	}
+	return t, nil
+}
+
+// AblationProtocol compares the calibrated 4-hop home-relay ownership
+// transfer against SGI-Origin-style 3-hop direct forwarding on the access
+// pattern it targets: a dirty line migrating between two distant writers
+// (measured at the protocol level, back-to-back transfers with nothing
+// else in flight). Barrier algorithms barely exercise owner-to-owner
+// writes — their hand-offs are read-forwards and upgrades — so this is a
+// substrate ablation, not a barrier result.
+func AblationProtocol(cores int, transfers int) (stats.Table, error) {
+	t := stats.Table{Header: []string{"Ownership transfer", "cycles/transfer"}}
+	for _, threeHop := range []bool{false, true} {
+		cfg := config.Default(cores)
+		cfg.ThreeHopOwnership = threeHop
+		sys, err := sim.New(cfg)
+		if err != nil {
+			return t, err
+		}
+		// Writers at opposite mesh corners, with the line homed midway so
+		// both protocols pay full-distance indirections.
+		a, b := 0, cores-1
+		addr := sys.Alloc.Line()
+		for sys.Prot.HomeOf(addr) != cores/2 {
+			addr = sys.Alloc.Line()
+		}
+		left := transfers
+		var ping func(tile int)
+		ping = func(tile int) {
+			if left == 0 {
+				return
+			}
+			left--
+			next := a + b - tile
+			sys.Prot.L1(tile).Access(coherence.Write, addr, 0, uint64(left), true,
+				func(uint64) { ping(next) })
+		}
+		ping(a)
+		if _, err := sys.Eng.Run(uint64(transfers)*100_000, func() bool { return left == 0 }); err != nil {
+			return t, err
+		}
+		label := "4-hop via home (default)"
+		if threeHop {
+			label = "3-hop direct"
+		}
+		t.AddRow(label, fmt.Sprintf("%.1f", float64(sys.Eng.Now())/float64(transfers)))
+	}
+	return t, nil
+}

@@ -1,0 +1,226 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1(DefaultConfig(32)).String()
+	for _, want := range []string{"32", "3GHz, in-order 2-way model", "64 Bytes",
+		"32KB, 4-way, 1 cycle", "256KB, 4-way, 6+2 cycles", "400 cycles", "2D-mesh"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2ScaledTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scaled suite")
+	}
+	rows, err := Table2(TierScaled, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("%d rows, want 7", len(rows))
+	}
+	for _, r := range rows {
+		if r.Barriers == 0 || r.Period <= 0 {
+			t.Errorf("%s: barriers=%d period=%f", r.Name, r.Barriers, r.Period)
+		}
+	}
+	out := RenderTable2(rows).String()
+	if !strings.Contains(out, "KERN2") || !strings.Contains(out, "EM3D") {
+		t.Error("render missing benchmarks")
+	}
+}
+
+func TestFig5ShapeSmall(t *testing.T) {
+	points, err := Fig5(TierScaled, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		// At 2 cores CSW and DSW degenerate to the same lock+counter
+		// structure, so only require a weak ordering there.
+		ok := p.Latency[GL] < p.Latency[DSW] && p.Latency[DSW] <= p.Latency[CSW]
+		if p.Cores >= 4 {
+			ok = ok && p.Latency[DSW] < p.Latency[CSW]
+		}
+		if !ok {
+			t.Errorf("cores=%d: GL=%.1f DSW=%.1f CSW=%.1f ordering broken",
+				p.Cores, p.Latency[GL], p.Latency[DSW], p.Latency[CSW])
+		}
+	}
+	out := RenderFig5(points).String()
+	if !strings.Contains(out, "Cores") {
+		t.Error("Fig5 render missing header")
+	}
+}
+
+func TestCompareAndAverages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full DSW+GL comparison")
+	}
+	cmp, err := Compare(workload.ScaledKernel3(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.TimeReduction <= 0 {
+		t.Errorf("KERN3 time reduction %.3f, want >0", cmp.TimeReduction)
+	}
+	if cmp.TrafficReduction <= 0.5 {
+		t.Errorf("KERN3 traffic reduction %.3f, want >0.5 (paper: 99.8%%)", cmp.TrafficReduction)
+	}
+	// DSW normalizes to exactly 1.0 total.
+	var dswTotal float64
+	for _, v := range cmp.NormTime[DSW] {
+		dswTotal += v
+	}
+	if dswTotal < 0.999 || dswTotal > 1.001 {
+		t.Errorf("DSW normalized total %.4f, want 1.0", dswTotal)
+	}
+	tk, ta, fk, fa := Averages([]Comparison{cmp})
+	if tk != cmp.TimeReduction || fk != cmp.TrafficReduction {
+		t.Error("kernel averages wrong")
+	}
+	if ta != 0 || fa != 0 {
+		t.Error("app averages should be zero with only a kernel")
+	}
+	// Renders include the reduction column.
+	if !strings.Contains(RenderFig6([]Comparison{cmp}).String(), "%") {
+		t.Error("Fig6 render missing reduction")
+	}
+	if !strings.Contains(RenderFig7([]Comparison{cmp}).String(), "%") {
+		t.Error("Fig7 render missing reduction")
+	}
+}
+
+func TestAblationOverheadShowsIdealFour(t *testing.T) {
+	tab, err := AblationOverhead(16, []uint64{0, 9}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "4.0") {
+		t.Errorf("ideal 4-cycle latency not visible:\n%s", out)
+	}
+	if !strings.Contains(out, "13.0") {
+		t.Errorf("measured 13-cycle latency not visible:\n%s", out)
+	}
+}
+
+func TestAblationHierarchy(t *testing.T) {
+	tab, err := AblationHierarchy(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	// Flat 6x6: 4+9=13; clustered: 6+9=15.
+	if !strings.Contains(out, "13.0") || !strings.Contains(out, "15.0") {
+		t.Errorf("hierarchy ablation:\n%s", out)
+	}
+}
+
+func TestAblationTDM(t *testing.T) {
+	tab, err := AblationTDM(16, []int{1, 2}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("TDM table:\n%s", tab.String())
+	}
+	// Period-2 TDM should be slower than dedicated.
+	if !strings.Contains(lines[2], "13.0") {
+		t.Errorf("1-context TDM should match the dedicated 13 cycles:\n%s", tab.String())
+	}
+}
+
+func TestBenchmarkLookup(t *testing.T) {
+	for _, name := range workload.Names() {
+		for _, tier := range []Tier{TierScaled, TierRepro, TierPaper} {
+			w, err := workload.ByName(name, tier)
+			if err != nil {
+				t.Errorf("ByName(%s,%s): %v", name, tier, err)
+				continue
+			}
+			if w.Name() != name {
+				t.Errorf("ByName(%s) returned %s", name, w.Name())
+			}
+			if w.Barriers(32) == 0 {
+				t.Errorf("%s/%s: zero barriers", name, tier)
+			}
+			if w.Input() == "" {
+				t.Errorf("%s/%s: empty input description", name, tier)
+			}
+		}
+	}
+	if _, err := workload.ByName("NOPE", TierScaled); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	if _, err := workload.ParseTier("huge"); err == nil {
+		t.Error("unknown tier accepted")
+	}
+}
+
+func TestPublicFacade(t *testing.T) {
+	sys, err := NewSystem(DefaultConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunBenchmark(sys, Benchmark("SYNTH", TierScaled), GL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BarrierEpisodes == 0 {
+		t.Error("no episodes")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Benchmark with unknown name should panic")
+		}
+	}()
+	Benchmark("NOPE", TierScaled)
+}
+
+// TestFig6ShapeScaled asserts the qualitative Figure 6 result on the fast
+// tier: every kernel improves substantially; no benchmark regresses badly.
+func TestFig6ShapeScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite comparison")
+	}
+	cmps, err := Fig6And7(TierScaled, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 6 {
+		t.Fatalf("%d comparisons", len(cmps))
+	}
+	for _, c := range cmps {
+		if kernel := map[string]bool{"KERN2": true, "KERN3": true, "KERN6": true}[c.Name]; kernel {
+			if c.TimeReduction < 0.10 {
+				t.Errorf("%s: kernel reduction %.1f%%, want >=10%%", c.Name, 100*c.TimeReduction)
+			}
+		}
+		if c.TimeReduction < -0.10 {
+			t.Errorf("%s: GL regressed by %.1f%%", c.Name, -100*c.TimeReduction)
+		}
+		if c.TrafficReduction < -0.05 {
+			t.Errorf("%s: traffic regressed by %.1f%%", c.Name, -100*c.TrafficReduction)
+		}
+	}
+	tk, _, fk, _ := Averages(cmps)
+	if tk < 0.3 {
+		t.Errorf("AVG_K time reduction %.1f%%, want large (paper: 68%%)", 100*tk)
+	}
+	if fk < 0.3 {
+		t.Errorf("AVG_K traffic reduction %.1f%%, want large (paper: 74%%)", 100*fk)
+	}
+	_ = stats.Pct
+}

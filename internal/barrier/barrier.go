@@ -1,0 +1,288 @@
+// Package barrier provides the three barrier implementations the paper
+// compares:
+//
+//   - CSW: a centralized sense-reversal barrier (atomic counter + global
+//     sense flag each core spins on);
+//   - DSW: a distributed binary combining-tree barrier (the paper's best
+//     software baseline);
+//   - GL: the hardware G-line barrier (an adapter over the core's bar_reg).
+//
+// The software barriers run entirely on the simulated memory system —
+// their traffic and latency emerge from the coherence protocol and the
+// mesh, exactly as the paper's software baselines do.
+package barrier
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Barrier synchronizes n threads. Implementations keep per-thread local
+// state (sense flags) indexed by tid; tids must be in [0,n).
+type Barrier interface {
+	// Name returns the paper's label: "CSW", "DSW" or "GL".
+	Name() string
+	// Wait blocks thread tid at the barrier until all n threads arrive.
+	// All simulated time spent inside is attributed to RegionBarrier.
+	Wait(c *cpu.Ctx, tid int)
+}
+
+// Kind selects a barrier implementation by the paper's label.
+type Kind string
+
+// The three barrier kinds of the paper's evaluation.
+const (
+	KindCSW Kind = "CSW"
+	KindDSW Kind = "DSW"
+	KindGL  Kind = "GL"
+)
+
+// ParseKind validates a barrier label.
+func ParseKind(s string) (Kind, error) {
+	switch Kind(s) {
+	case KindCSW, KindDSW, KindGL:
+		return Kind(s), nil
+	}
+	return "", fmt.Errorf("barrier: unknown kind %q (want CSW, DSW or GL)", s)
+}
+
+// New builds a barrier of the given kind for n threads. alloc provides
+// simulated memory for the software barriers; episodes (may be nil) is
+// incremented once per completed software-barrier episode (the G-line
+// network counts its own). glCtx is the G-line context used by KindGL.
+func New(kind Kind, alloc *mem.Allocator, n int, episodes *uint64, glCtx int) (Barrier, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("barrier: need n>=1 threads, got %d", n)
+	}
+	switch kind {
+	case KindCSW:
+		return NewCentralized(alloc, n, episodes), nil
+	case KindDSW:
+		return NewCombiningTree(alloc, n, episodes), nil
+	case KindGL:
+		return NewGLine(glCtx), nil
+	}
+	return nil, fmt.Errorf("barrier: unknown kind %q", kind)
+}
+
+// Centralized is the CSW baseline, exactly as the paper describes it: "a
+// centralized sense-reversal barrier based on locks, where each core
+// increments a centralized shared counter as it reaches the barrier, and
+// spins until that counter indicates that all cores are present." The
+// lock, the counter and the sense word each live on their own cache line;
+// all contention focuses there — the hot spot the paper describes.
+type Centralized struct {
+	n        int
+	lock     *Lock
+	counter  uint64
+	sense    uint64
+	local    []uint64 // per-thread sense (private, register-resident)
+	episodes *uint64
+}
+
+// NewCentralized allocates the lock, counter and sense flag on separate
+// lines.
+func NewCentralized(alloc *mem.Allocator, n int, episodes *uint64) *Centralized {
+	return &Centralized{
+		n:        n,
+		lock:     NewLock(alloc),
+		counter:  alloc.Line(),
+		sense:    alloc.Line(),
+		local:    make([]uint64, n),
+		episodes: episodes,
+	}
+}
+
+// Name returns "CSW".
+func (b *Centralized) Name() string { return string(KindCSW) }
+
+// Wait implements the lock-based sense-reversal barrier.
+func (b *Centralized) Wait(c *cpu.Ctx, tid int) {
+	c.InRegion(stats.RegionBarrier, func() {
+		sense := 1 - b.local[tid]
+		b.local[tid] = sense
+		// S1: lock-protected increment of the central counter.
+		b.lock.Acquire(c)
+		v := c.Load(b.counter) + 1
+		c.StoreV(b.counter, v)
+		b.lock.Release(c)
+		if v == uint64(b.n) {
+			// Last arriver: reset the counter and flip the sense,
+			// releasing the spinners (S3).
+			c.StoreV(b.counter, 0)
+			if b.episodes != nil {
+				*b.episodes++
+			}
+			c.StoreV(b.sense, sense)
+			return
+		}
+		c.SpinUntilEq(b.sense, sense) // S2: busy-wait
+	})
+}
+
+// treeNode is one combining-tree node; lock, counter and sense sit on
+// separate cache lines so release traffic does not collide with arrival
+// traffic.
+type treeNode struct {
+	lock    *Lock
+	counter uint64
+	sense   uint64
+	arity   int
+	parent  int // index into nodes, -1 for the root
+}
+
+// CombiningTree is the DSW baseline: a binary combining tree. Cores are
+// split in pairs at the leaves; the last arriver of each node climbs, and
+// the release retraces the winners' paths top-down by flipping each node's
+// sense word.
+type CombiningTree struct {
+	n        int
+	leafOf   []int // tid -> leaf node index
+	nodes    []treeNode
+	local    []uint64
+	episodes *uint64
+	// useLLSC switches node increments from lock-protected load/store
+	// (the paper's lock-based software barriers) to a lock-free LL/SC
+	// retry loop — kept as an ablation of the baseline's implementation.
+	useLLSC bool
+}
+
+// NewCombiningTree builds the tree for n threads, allocating two lines per
+// node. Node lines interleave across L2 banks, distributing the counters
+// over the chip (the "distributed" in DSW).
+func NewCombiningTree(alloc *mem.Allocator, n int, episodes *uint64) *CombiningTree {
+	t := &CombiningTree{
+		n:        n,
+		leafOf:   make([]int, n),
+		local:    make([]uint64, n),
+		episodes: episodes,
+	}
+	// Level 0: leaves of arity <=2 over the threads.
+	level := make([]int, 0, (n+1)/2)
+	for i := 0; i < n; i += 2 {
+		arity := 2
+		if i+1 >= n {
+			arity = 1
+		}
+		idx := t.addNode(alloc, arity)
+		t.leafOf[i] = idx
+		if i+1 < n {
+			t.leafOf[i+1] = idx
+		}
+		level = append(level, idx)
+	}
+	// Upper levels: pair the winners.
+	for len(level) > 1 {
+		next := make([]int, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			arity := 2
+			if i+1 >= len(level) {
+				arity = 1
+			}
+			idx := t.addNode(alloc, arity)
+			t.nodes[level[i]].parent = idx
+			if i+1 < len(level) {
+				t.nodes[level[i+1]].parent = idx
+			}
+			next = append(next, idx)
+		}
+		level = next
+	}
+	return t
+}
+
+func (t *CombiningTree) addNode(alloc *mem.Allocator, arity int) int {
+	t.nodes = append(t.nodes, treeNode{
+		lock:    NewLock(alloc),
+		counter: alloc.Line(),
+		sense:   alloc.Line(),
+		arity:   arity,
+		parent:  -1,
+	})
+	return len(t.nodes) - 1
+}
+
+// UseLLSC switches the tree's counter increments to lock-free LL/SC (an
+// ablation; the default matches the paper's lock-based baseline).
+func (b *CombiningTree) UseLLSC(v bool) { b.useLLSC = v }
+
+// inc bumps a node's counter and returns the new value.
+func (b *CombiningTree) inc(c *cpu.Ctx, nd *treeNode) uint64 {
+	if b.useLLSC {
+		return c.FetchAddLLSC(nd.counter, 1) + 1
+	}
+	nd.lock.Acquire(c)
+	v := c.Load(nd.counter) + 1
+	c.StoreV(nd.counter, v)
+	nd.lock.Release(c)
+	return v
+}
+
+// Name returns "DSW".
+func (b *CombiningTree) Name() string { return string(KindDSW) }
+
+// Depth returns the tree height (levels of nodes), for tests.
+func (b *CombiningTree) Depth() int {
+	d := 0
+	for idx := b.leafOf[0]; idx >= 0; idx = b.nodes[idx].parent {
+		d++
+	}
+	return d
+}
+
+// Nodes returns the number of tree nodes.
+func (b *CombiningTree) Nodes() int { return len(b.nodes) }
+
+// Wait implements the combining-tree barrier with sense reversal.
+func (b *CombiningTree) Wait(c *cpu.Ctx, tid int) {
+	c.InRegion(stats.RegionBarrier, func() {
+		sense := 1 - b.local[tid]
+		b.local[tid] = sense
+		// Climb while winning; remember the winners' path.
+		var path []int
+		node := b.leafOf[tid]
+		for {
+			nd := &b.nodes[node]
+			v := b.inc(c, nd)
+			if v < uint64(nd.arity) {
+				// Not the last at this node: spin here (S2).
+				c.SpinUntilEq(nd.sense, sense)
+				break
+			}
+			// Last at this node: reset its counter for the next
+			// episode and continue up (S1 combining).
+			path = append(path, node)
+			c.StoreV(nd.counter, 0)
+			if nd.parent < 0 {
+				if b.episodes != nil {
+					*b.episodes++
+				}
+				break
+			}
+			node = nd.parent
+		}
+		// Release top-down along the path this thread won (S3).
+		for i := len(path) - 1; i >= 0; i-- {
+			c.StoreV(b.nodes[path[i]].sense, sense)
+		}
+	})
+}
+
+// GLine adapts the hardware G-line barrier to the Barrier interface: a
+// single bar_reg write plus busy-wait on the register, as in the paper's
+// Figure 3.
+type GLine struct {
+	ctx int
+}
+
+// NewGLine returns the hardware barrier bound to a G-line context.
+func NewGLine(ctx int) *GLine { return &GLine{ctx: ctx} }
+
+// Name returns "GL".
+func (b *GLine) Name() string { return string(KindGL) }
+
+// Wait executes one hardware barrier.
+func (b *GLine) Wait(c *cpu.Ctx, tid int) { c.GLBarrier(b.ctx) }

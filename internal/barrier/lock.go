@@ -1,0 +1,53 @@
+package barrier
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// Lock is a test-and-test&set spin lock on one simulated cache line, the
+// style of lock the paper's applications (UNSTRUCTURED) use for fine-grain
+// mutual exclusion. All time inside Acquire/Release is attributed to
+// RegionLock.
+type Lock struct {
+	addr uint64
+}
+
+// NewLock allocates the lock word on its own cache line.
+func NewLock(alloc *mem.Allocator) *Lock {
+	return &Lock{addr: alloc.Line()}
+}
+
+// Addr returns the lock word's simulated address, for tests.
+func (l *Lock) Addr() uint64 { return l.addr }
+
+// region attributes lock time to RegionLock, except inside a barrier,
+// whose internal locks count as barrier time (the paper's S1/S3 stages).
+func region(c *cpu.Ctx) stats.Region {
+	if c.Region() == stats.RegionBarrier {
+		return stats.RegionBarrier
+	}
+	return stats.RegionLock
+}
+
+// Acquire spins until it owns the lock: read the cached word until it looks
+// free, then attempt the test&set; repeat on failure.
+func (l *Lock) Acquire(c *cpu.Ctx) {
+	c.InRegion(region(c), func() {
+		for {
+			c.SpinUntilEq(l.addr, 0)
+			if c.TestAndSet(l.addr, 1) == 0 {
+				return
+			}
+		}
+	})
+}
+
+// Release frees the lock; the store invalidates the spinners' cached
+// copies, waking them.
+func (l *Lock) Release(c *cpu.Ctx) {
+	c.InRegion(region(c), func() {
+		c.StoreV(l.addr, 0)
+	})
+}

@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	c := New(32*1024, 4, 64) // the Table 1 L1
+	if c.Sets() != 128 || c.Ways() != 4 {
+		t.Errorf("geometry %d sets x %d ways, want 128x4", c.Sets(), c.Ways())
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []struct{ size, ways, line int }{
+		{0, 4, 64}, {1024, 0, 64}, {1024, 4, 48}, {96 * 64, 4, 64} /* 24 sets */, {64, 4, 64},
+	}
+	for _, tc := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%d) did not panic", tc.size, tc.ways, tc.line)
+				}
+			}()
+			New(tc.size, tc.ways, tc.line)
+		}()
+	}
+}
+
+func TestHitMissAndStates(t *testing.T) {
+	c := New(1024, 2, 64) // 8 sets, 2 ways
+	if st := c.Lookup(0x40); st != StateInvalid {
+		t.Fatalf("cold lookup state %v", st)
+	}
+	c.Insert(0x40, StateShared)
+	if st := c.Lookup(0x40); st != StateShared {
+		t.Fatalf("state %v, want S", st)
+	}
+	if st := c.Lookup(0x7f); st != StateShared { // same line, different offset
+		t.Fatalf("same-line offset missed: %v", st)
+	}
+	c.SetState(0x40, StateModified)
+	if st := c.Peek(0x40); st != StateModified {
+		t.Fatalf("SetState not applied: %v", st)
+	}
+	if c.Hits() != 2 || c.Misses() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", c.Hits(), c.Misses())
+	}
+}
+
+func TestSetStateOnAbsentLine(t *testing.T) {
+	c := New(1024, 2, 64)
+	c.SetState(0x40, StateInvalid) // no-op allowed
+	defer func() {
+		if recover() == nil {
+			t.Error("SetState to valid on absent line did not panic")
+		}
+	}()
+	c.SetState(0x40, StateShared)
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2*64, 2, 64) // 1 set, 2 ways: lines at multiples of 64
+	c.Insert(0*64, StateShared)
+	c.Insert(1*64, StateShared)
+	c.Lookup(0 * 64) // refresh line 0: line 64 is now LRU
+	victim, vstate, evicted := c.Insert(2*64, StateModified)
+	if !evicted || victim != 64 || vstate != StateShared {
+		t.Errorf("evicted=%v victim=%#x state=%v; want line 0x40 S", evicted, victim, vstate)
+	}
+	if c.Peek(0) == StateInvalid || c.Peek(2*64) == StateInvalid {
+		t.Error("wrong resident lines after eviction")
+	}
+}
+
+func TestVictimPreview(t *testing.T) {
+	c := New(2*64, 2, 64)
+	if _, evict := c.Victim(0); evict {
+		t.Error("empty set should not need eviction")
+	}
+	c.Insert(0, StateShared)
+	c.Insert(64, StateModified)
+	if _, evict := c.Victim(0); evict {
+		t.Error("already-resident line should not evict")
+	}
+	victim, evict := c.Victim(128)
+	if !evict || victim != 0 {
+		t.Errorf("victim %#x evict=%v, want 0x0 true", victim, evict)
+	}
+	// Victim must not modify the cache.
+	if c.Peek(0) != StateShared || c.ResidentLines() != 2 {
+		t.Error("Victim mutated the cache")
+	}
+}
+
+func TestInvalidPreferredOverEviction(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Insert(0, StateShared)
+	c.Insert(64, StateShared)
+	c.SetState(0, StateInvalid)
+	_, _, evicted := c.Insert(128, StateShared)
+	if evicted {
+		t.Error("insert evicted despite an invalid way")
+	}
+}
+
+// Property: the cache agrees with a reference model (LRU per set, same
+// geometry) over random access sequences.
+func TestPropMatchesReferenceLRU(t *testing.T) {
+	type ref struct {
+		order []uint64 // line addrs, most recent last
+	}
+	f := func(seed int64) bool {
+		const ways = 4
+		const sets = 8
+		const line = 64
+		c := New(sets*ways*line, ways, line)
+		r := rand.New(rand.NewSource(seed))
+		model := make([]ref, sets)
+		for op := 0; op < 500; op++ {
+			addr := uint64(r.Intn(64)) * line // 64 distinct lines over 8 sets
+			set := int(addr/line) % sets
+			m := &model[set]
+			// Reference result.
+			found := -1
+			for i, a := range m.order {
+				if a == addr {
+					found = i
+					break
+				}
+			}
+			got := c.Lookup(addr)
+			if (found >= 0) != (got != StateInvalid) {
+				return false
+			}
+			if found >= 0 {
+				m.order = append(append(m.order[:found:found], m.order[found+1:]...), addr)
+				continue
+			}
+			c.Insert(addr, StateShared)
+			if len(m.order) == ways {
+				m.order = m.order[1:]
+			}
+			m.order = append(m.order, addr)
+		}
+		// Final residency must match exactly.
+		for set := range model {
+			for _, a := range model[set].order {
+				if c.Peek(a) == StateInvalid {
+					return false
+				}
+			}
+		}
+		total := 0
+		for _, m := range model {
+			total += len(m.order)
+		}
+		return c.ResidentLines() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateStringAndWritable(t *testing.T) {
+	if StateModified.String() != "M" || StateShared.String() != "S" ||
+		StateExclusive.String() != "E" || StateInvalid.String() != "I" {
+		t.Error("state names wrong")
+	}
+	if StateShared.Writable() || StateInvalid.Writable() {
+		t.Error("S/I must not be writable")
+	}
+	if !StateModified.Writable() || !StateExclusive.Writable() {
+		t.Error("M/E must be writable")
+	}
+}

@@ -1,0 +1,44 @@
+package cache
+
+import "testing"
+
+// FuzzCacheOperations drives arbitrary operation sequences against a small
+// cache and checks structural invariants: residency never exceeds capacity,
+// a just-inserted line is resident, and eviction reports a line that was
+// resident. Run with `go test -fuzz FuzzCacheOperations ./internal/cache`.
+func FuzzCacheOperations(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := New(4*2*64, 2, 64) // 4 sets x 2 ways
+		capacity := c.Sets() * c.Ways()
+		resident := map[uint64]bool{}
+		for i := 0; i+1 < len(data); i += 2 {
+			addr := uint64(data[i]) * 64
+			switch data[i+1] % 3 {
+			case 0:
+				st := c.Lookup(addr)
+				if (st != StateInvalid) != resident[addr] {
+					t.Fatalf("lookup(%#x)=%v but model resident=%v", addr, st, resident[addr])
+				}
+			case 1:
+				victim, _, evicted := c.Insert(addr, StateShared)
+				if evicted {
+					if !resident[victim] {
+						t.Fatalf("evicted non-resident line %#x", victim)
+					}
+					delete(resident, victim)
+				}
+				resident[addr] = true
+			case 2:
+				if resident[addr] {
+					c.SetState(addr, StateInvalid)
+					delete(resident, addr)
+				}
+			}
+			if got := c.ResidentLines(); got > capacity || got != len(resident) {
+				t.Fatalf("resident=%d model=%d capacity=%d", got, len(resident), capacity)
+			}
+		}
+	})
+}

@@ -1,0 +1,414 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// dirState is the directory's view of a line.
+type dirState byte
+
+const (
+	// dirInvalid: no L1 holds the line.
+	dirInvalid dirState = iota
+	// dirShared: one or more L1s hold read-only copies (sharers bitset).
+	dirShared
+	// dirOwned: exactly one L1 holds the line in E or M.
+	dirOwned
+)
+
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitset over tiles
+	busy    bool
+	waitq   []*msg
+
+	// In-flight transaction bookkeeping.
+	acksLeft     int
+	ackHadData   bool
+	ackXferred   bool
+	cont         func()
+	awaitUnblock bool
+}
+
+// Bank is a tile's slice of the shared distributed L2, including the
+// directory for the lines whose home it is. The bank serializes request
+// starts (one tag access per L2TagLatency), which is the hot-spot queueing
+// that contended software barriers suffer from.
+type Bank struct {
+	p    *Protocol
+	tile int
+	l2   *cache.Cache
+	dir  map[uint64]*dirEntry
+
+	busyUntil uint64
+}
+
+func newBank(p *Protocol, tile int) *Bank {
+	return &Bank{
+		p:    p,
+		tile: tile,
+		l2:   cache.New(p.cfg.L2SizePerCore, p.cfg.L2Ways, p.cfg.LineSize),
+		dir:  make(map[uint64]*dirEntry),
+	}
+}
+
+func bit(tile int) uint64 { return 1 << uint(tile) }
+
+func (b *Bank) entry(addr uint64) *dirEntry {
+	e := b.dir[addr]
+	if e == nil {
+		e = &dirEntry{}
+		b.dir[addr] = e
+	}
+	return e
+}
+
+// receive handles a protocol message addressed to this home bank.
+func (b *Bank) receive(m *msg) {
+	switch m.t {
+	case msgGetS, msgGetX, msgAtomic:
+		e := b.entry(m.addr)
+		if e.busy {
+			e.waitq = append(e.waitq, m)
+			return
+		}
+		e.busy = true
+		b.schedule(m)
+	case msgInvAck, msgFwdAck:
+		b.ack(m)
+	case msgPutM:
+		b.putM(m)
+	case msgUnblock:
+		b.unblock(m)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d received %v", b.tile, m.t))
+	}
+}
+
+// schedule charges the bank's tag-access occupancy and then processes m.
+func (b *Bank) schedule(m *msg) {
+	now := b.p.eng.Now()
+	start := now
+	if b.busyUntil > start {
+		start = b.busyUntil
+	}
+	b.busyUntil = start + b.p.cfg.L2TagLatency
+	b.p.eng.At(b.busyUntil, func() { b.process(m) })
+}
+
+func (b *Bank) process(m *msg) {
+	e := b.entry(m.addr)
+	b.p.tracer.Emit(b.p.eng.Now(), fmt.Sprintf("bank.%d", b.tile), "%v %#x from %d (dir=%v sharers=%b)", m.t, m.addr, m.from, e.state, e.sharers)
+	switch m.t {
+	case msgGetS:
+		b.getS(e, m)
+	case msgGetX:
+		b.getX(e, m)
+	case msgAtomic:
+		b.atomic(e, m)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d processing %v", b.tile, m.t))
+	}
+}
+
+func (b *Bank) getS(e *dirEntry, m *msg) {
+	switch e.state {
+	case dirInvalid:
+		b.withData(m.addr, func() {
+			e.state = dirOwned
+			e.owner = m.from
+			e.sharers = bit(m.from)
+			b.grant(e, m.from, m.addr, grantE, b.p.dataFlits())
+		})
+	case dirShared:
+		b.withData(m.addr, func() {
+			e.sharers |= bit(m.from)
+			b.grant(e, m.from, m.addr, grantS, b.p.dataFlits())
+		})
+	case dirOwned:
+		if e.owner == m.from {
+			// The owner silently dropped a clean line and re-reads it.
+			b.withData(m.addr, func() {
+				b.grant(e, m.from, m.addr, grantE, b.p.dataFlits())
+			})
+			return
+		}
+		owner := e.owner
+		b.expectAcks(e, 1, func() {
+			e.state = dirShared
+			e.sharers = bit(owner) | bit(m.from)
+			b.afterAckData(m.addr, func() {
+				b.grant(e, m.from, m.addr, grantS, b.p.dataFlits())
+			})
+		})
+		b.p.send(b.tile, owner, &msg{t: msgFwd, addr: m.addr, from: b.tile}, controlFlits)
+	}
+}
+
+func (b *Bank) getX(e *dirEntry, m *msg) {
+	grantTo := func(flits int) {
+		e.state = dirOwned
+		e.owner = m.from
+		e.sharers = bit(m.from)
+		b.grant(e, m.from, m.addr, grantM, flits)
+	}
+	switch e.state {
+	case dirInvalid:
+		b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
+	case dirShared:
+		wasSharer := e.sharers&bit(m.from) != 0
+		others := e.sharers &^ bit(m.from)
+		flits := b.p.dataFlits()
+		if wasSharer {
+			flits = controlFlits // upgrade: permission only
+		}
+		if others == 0 {
+			if wasSharer {
+				b.p.eng.After(b.p.cfg.L2DataLatency, func() { grantTo(flits) })
+			} else {
+				b.withData(m.addr, func() { grantTo(flits) })
+			}
+			return
+		}
+		n := b.invalidateAll(m.addr, others)
+		b.expectAcks(e, n, func() {
+			if wasSharer {
+				grantTo(flits)
+				return
+			}
+			b.withData(m.addr, func() { grantTo(flits) })
+		})
+	case dirOwned:
+		if e.owner == m.from {
+			// Owner silently dropped the clean line, now writes it.
+			b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
+			return
+		}
+		owner := e.owner
+		if b.p.cfg.ThreeHopOwnership {
+			// Ask the owner to hand the line straight to the requester;
+			// fall back to the home-relay path if the owner no longer
+			// has it (silent clean drop).
+			e.awaitUnblock = true // the requester acks the direct grant
+			b.expectAcks(e, 1, func() {
+				if e.ackXferred {
+					// Transfer done: directory flips to the requester;
+					// the in-flight Unblock closes the transaction.
+					e.state = dirOwned
+					e.owner = m.from
+					e.sharers = bit(m.from)
+					b.maybeFinish(m.addr, e)
+					return
+				}
+				// Owner had dropped the line: supply it ourselves.
+				b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
+			})
+			b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: m.from}, controlFlits)
+			return
+		}
+		b.expectAcks(e, 1, func() {
+			b.afterAckData(m.addr, func() { grantTo(b.p.dataFlits()) })
+		})
+		b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: -1}, controlFlits)
+	}
+}
+
+// atomic invalidates every cached copy, performs the RMW on the functional
+// store at the home, and returns the old value. The line ends uncached in
+// the L1s (it stays resident in this L2 bank).
+func (b *Bank) atomic(e *dirEntry, m *msg) {
+	doRMW := func() {
+		b.withData(m.addr, func() {
+			old := b.p.memv.RMW(m.addr, rmwFunc(m.kind, m.operand))
+			e.state = dirInvalid
+			e.sharers = 0
+			b.markDirty(m.addr)
+			b.p.send(b.tile, m.from, &msg{t: msgAtomicAck, addr: m.addr, from: b.tile, val: old}, atomicAckFlits)
+			b.finish(m.addr, e)
+		})
+	}
+	var targets uint64
+	switch e.state {
+	case dirShared:
+		targets = e.sharers
+	case dirOwned:
+		targets = bit(e.owner)
+	}
+	if targets == 0 {
+		doRMW()
+		return
+	}
+	n := b.invalidateAll(m.addr, targets)
+	b.expectAcks(e, n, doRMW)
+}
+
+func rmwFunc(kind AccessKind, operand uint64) func(uint64) uint64 {
+	switch kind {
+	case AtomicAdd:
+		return func(v uint64) uint64 { return v + operand }
+	case AtomicTAS, AtomicSwap:
+		return func(uint64) uint64 { return operand }
+	}
+	panic(fmt.Sprintf("coherence: rmwFunc(%v)", kind))
+}
+
+// invalidateAll sends plain Invs to every tile in the bitset and returns
+// the count.
+func (b *Bank) invalidateAll(addr uint64, targets uint64) int {
+	n := 0
+	for t := 0; t < b.p.cfg.Cores; t++ {
+		if targets&bit(t) != 0 {
+			b.p.send(b.tile, t, &msg{t: msgInv, addr: addr, from: b.tile, xfer: -1}, controlFlits)
+			n++
+		}
+	}
+	return n
+}
+
+// expectAcks arms the in-flight transaction to wait for n Inv/Fwd acks.
+func (b *Bank) expectAcks(e *dirEntry, n int, cont func()) {
+	if n <= 0 {
+		panic("coherence: expectAcks with n<=0")
+	}
+	e.acksLeft = n
+	e.ackHadData = false
+	e.ackXferred = false
+	e.cont = cont
+}
+
+// ack consumes one InvAck/FwdAck for an in-flight transaction. Stale acks
+// (no transaction waiting) are dropped: they come from races with silent
+// clean evictions.
+func (b *Bank) ack(m *msg) {
+	e := b.dir[m.addr]
+	if e == nil || !e.busy || e.acksLeft == 0 {
+		return
+	}
+	if m.withData {
+		e.ackHadData = true
+		b.markDirty(m.addr)
+	}
+	if m.xferred {
+		e.ackXferred = true
+	}
+	e.acksLeft--
+	if e.acksLeft == 0 {
+		cont := e.cont
+		e.cont = nil
+		cont()
+	}
+}
+
+// afterAckData continues after the data for a transaction whose owner was
+// forwarded/invalidated is available: if the ack carried the line it is now
+// in this bank; otherwise it must come from L2 or memory.
+func (b *Bank) afterAckData(addr uint64, cont func()) {
+	e := b.dir[addr]
+	if e != nil && e.ackHadData {
+		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
+		return
+	}
+	b.withData(addr, cont)
+}
+
+// putM absorbs a dirty eviction: the line's data comes home. Directory
+// state changes only when no transaction is in flight and the writer is
+// still the registered owner; otherwise the in-flight transaction's Fwd/Inv
+// will be acked without data and this PutM already delivered it.
+func (b *Bank) putM(m *msg) {
+	b.markDirty(m.addr)
+	e := b.dir[m.addr]
+	if e != nil && !e.busy && e.state == dirOwned && e.owner == m.from {
+		e.state = dirInvalid
+		e.sharers = 0
+	}
+}
+
+// markDirty installs addr in the L2 array as dirty (data present on-chip).
+func (b *Bank) markDirty(addr uint64) { b.insertL2(addr, cache.StateModified) }
+
+func (b *Bank) insertL2(addr uint64, st cache.State) {
+	if victim, vstate, evicted := b.l2.Insert(addr, st); evicted && vstate == cache.StateModified {
+		_ = victim
+		b.p.memWritebacks++
+	}
+}
+
+// withData runs cont once the line's data is available at this bank:
+// immediately after the L2 data-array latency on an L2 hit, or after an
+// off-chip fetch on a miss.
+func (b *Bank) withData(addr uint64, cont func()) {
+	if b.l2.Lookup(addr) != cache.StateInvalid {
+		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
+		return
+	}
+	b.p.memFetches++
+	b.p.eng.After(b.p.cfg.MemLatency, func() {
+		b.insertL2(addr, cache.StateShared)
+		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
+	})
+}
+
+// grant sends a Data reply and holds the line's transaction open until the
+// requester's Unblock confirms receipt.
+func (b *Bank) grant(e *dirEntry, to int, addr uint64, g grantState, flits int) {
+	b.p.tracer.Emit(b.p.eng.Now(), fmt.Sprintf("bank.%d", b.tile), "grant %#x to %d (%d flits)", addr, to, flits)
+	e.awaitUnblock = true
+	b.p.send(b.tile, to, &msg{t: msgData, addr: addr, from: b.tile, grant: g}, flits)
+}
+
+// unblock closes the transaction a grant left open. For a 3-hop ownership
+// transfer the owner's InvAck and the requester's Unblock both have to
+// arrive (in either order) before the line unlocks.
+func (b *Bank) unblock(m *msg) {
+	e := b.dir[m.addr]
+	if e == nil || !e.busy || !e.awaitUnblock {
+		panic(fmt.Sprintf("coherence: bank %d spurious Unblock for %#x", b.tile, m.addr))
+	}
+	e.awaitUnblock = false
+	b.maybeFinish(m.addr, e)
+}
+
+// maybeFinish closes the transaction once neither acks nor an unblock are
+// outstanding.
+func (b *Bank) maybeFinish(addr uint64, e *dirEntry) {
+	if e.acksLeft == 0 && !e.awaitUnblock {
+		b.finish(addr, e)
+	}
+}
+
+// finish closes the in-flight transaction on addr and starts the next
+// queued request, if any.
+func (b *Bank) finish(addr uint64, e *dirEntry) {
+	if !e.busy {
+		panic(fmt.Sprintf("coherence: bank %d finishing idle line %#x", b.tile, addr))
+	}
+	e.acksLeft = 0
+	e.cont = nil
+	if len(e.waitq) == 0 {
+		e.busy = false
+		return
+	}
+	m := e.waitq[0]
+	e.waitq = e.waitq[1:]
+	b.schedule(m)
+}
+
+// DirState reports the directory view of addr, for tests.
+func (b *Bank) DirState(addr uint64) (state string, owner int, sharers uint64) {
+	e := b.dir[b.p.LineAddr(addr)]
+	if e == nil {
+		return "I", -1, 0
+	}
+	switch e.state {
+	case dirInvalid:
+		return "I", -1, 0
+	case dirShared:
+		return "S", -1, e.sharers
+	default:
+		return "O", e.owner, e.sharers
+	}
+}

@@ -1,0 +1,121 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// CheckInvariants verifies the protocol's global correctness conditions at
+// a quiescent point (no transactions in flight). It returns the first
+// violation found:
+//
+//   - SWMR: at most one L1 holds any line in a writable (M/E) state, and
+//     no line is simultaneously writable in one L1 and readable in another.
+//   - Directory accuracy: a writable L1 copy implies the directory records
+//     that L1 as the owner. (The converse does not hold: silent clean
+//     evictions legitimately leave stale directory entries.)
+//   - Sharer soundness: an L1 holding a line Shared is listed in the
+//     directory's sharer set for that line.
+//
+// Call it from tests after the mesh has drained; calling mid-transaction
+// reports spurious violations.
+func (p *Protocol) CheckInvariants() error {
+	type holder struct {
+		tile int
+		st   cache.State
+	}
+	holders := make(map[uint64][]holder)
+	for tile, l1 := range p.l1s {
+		tile := tile
+		l1.c.ForEach(func(line uint64, st cache.State) {
+			holders[line] = append(holders[line], holder{tile: tile, st: st})
+		})
+	}
+	for line, hs := range holders {
+		writers := 0
+		readers := 0
+		writerTile := -1
+		for _, h := range hs {
+			if h.st.Writable() {
+				writers++
+				writerTile = h.tile
+			} else {
+				readers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("coherence: SWMR violation on %#x: %d writable copies (%v)", line, writers, hs)
+		}
+		if writers == 1 && readers > 0 {
+			return fmt.Errorf("coherence: SWMR violation on %#x: writable copy at %d coexists with %d readers", line, writerTile, readers)
+		}
+		home := p.banks[p.HomeOf(line)]
+		e := home.dir[line]
+		if writers == 1 {
+			if e == nil || e.state != dirOwned || e.owner != writerTile {
+				return fmt.Errorf("coherence: directory inaccuracy on %#x: tile %d holds writable copy, dir=%v", line, writerTile, dirDesc(e))
+			}
+		}
+		for _, h := range hs {
+			if h.st == cache.StateShared {
+				if e == nil {
+					return fmt.Errorf("coherence: no directory entry for shared line %#x held by %d", line, h.tile)
+				}
+				listed := false
+				switch e.state {
+				case dirShared:
+					listed = e.sharers&bit(h.tile) != 0
+				case dirOwned:
+					// A just-downgraded owner is tracked in sharers.
+					listed = e.sharers&bit(h.tile) != 0 || e.owner == h.tile
+				}
+				if !listed {
+					return fmt.Errorf("coherence: sharer %d of %#x not listed in directory (%s)", h.tile, line, dirDesc(e))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func dirDesc(e *dirEntry) string {
+	if e == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("{state:%v owner:%d sharers:%b busy:%v}", e.state, e.owner, e.sharers, e.busy)
+}
+
+// Quiescent reports whether no transaction is in flight anywhere (all
+// directory entries idle and the mesh empty) — the precondition for
+// CheckInvariants.
+func (p *Protocol) Quiescent() bool {
+	if p.mesh.InFlight() != 0 {
+		return false
+	}
+	for _, b := range p.banks {
+		for _, e := range b.dir {
+			if e.busy {
+				return false
+			}
+		}
+	}
+	for _, l1 := range p.l1s {
+		if l1.pend != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (s dirState) String() string {
+	switch s {
+	case dirInvalid:
+		return "I"
+	case dirShared:
+		return "S"
+	case dirOwned:
+		return "O"
+	}
+	return fmt.Sprintf("dirState(%d)", byte(s))
+}

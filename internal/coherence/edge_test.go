@@ -1,0 +1,182 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// TestFwdToSilentlyDroppedOwner: the directory forwards a read to an owner
+// that silently dropped its clean line; the home must recover by supplying
+// the data itself.
+func TestFwdToSilentlyDroppedOwner(t *testing.T) {
+	h := newCohHarness(t, 4)
+	cfg := h.prot.cfg
+	addr := h.addrFor(1)
+	// Tile 0 becomes E owner.
+	h.access(0, Read, addr, 0, 0, false)
+	h.settle()
+	// Force tile 0 to silently evict addr's line by filling its set with
+	// other clean lines.
+	setSpan := uint64(cfg.L1Size / cfg.L1Ways)
+	for i := 1; i <= cfg.L1Ways; i++ {
+		h.access(0, Read, addr+uint64(i)*setSpan, 0, 0, false)
+		h.settle()
+	}
+	if st := h.prot.L1(0).HasLine(addr); st != cache.StateInvalid {
+		t.Fatalf("line not evicted: %v", st)
+	}
+	// Directory still believes tile 0 owns it; a read from tile 2 must
+	// nevertheless complete with correct data.
+	h.prot.Memory().StoreWord(addr, 0) // value semantics: untouched bulk line
+	v, _ := h.access(2, Read, addr, 0, 0, false)
+	if v != 0 {
+		t.Errorf("read returned %d", v)
+	}
+	h.settle()
+	if st := h.prot.L1(2).HasLine(addr); st == cache.StateInvalid {
+		t.Error("requester did not receive the line")
+	}
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOwnerRefetchAfterSilentDrop: the owner itself re-reads a line the
+// directory still attributes to it.
+func TestOwnerRefetchAfterSilentDrop(t *testing.T) {
+	h := newCohHarness(t, 4)
+	cfg := h.prot.cfg
+	addr := h.addrFor(1)
+	h.access(0, Read, addr, 0, 0, false) // E at tile 0
+	h.settle()
+	setSpan := uint64(cfg.L1Size / cfg.L1Ways)
+	for i := 1; i <= cfg.L1Ways; i++ {
+		h.access(0, Read, addr+uint64(i)*setSpan, 0, 0, false)
+		h.settle()
+	}
+	// Re-read: directory sees owner==requester.
+	h.access(0, Read, addr, 0, 0, false)
+	h.settle()
+	if st := h.prot.L1(0).HasLine(addr); !st.Writable() {
+		t.Errorf("re-granted state %v, want E/M", st)
+	}
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOwnerWriteAfterSilentDrop: same race for a write.
+func TestOwnerWriteAfterSilentDrop(t *testing.T) {
+	h := newCohHarness(t, 4)
+	cfg := h.prot.cfg
+	addr := h.addrFor(1)
+	h.access(0, Read, addr, 0, 0, false)
+	h.settle()
+	setSpan := uint64(cfg.L1Size / cfg.L1Ways)
+	for i := 1; i <= cfg.L1Ways; i++ {
+		h.access(0, Read, addr+uint64(i)*setSpan, 0, 0, false)
+		h.settle()
+	}
+	h.access(0, Write, addr, 0, 77, true)
+	h.settle()
+	if v := h.prot.Memory().Load(addr); v != 77 {
+		t.Errorf("value %d, want 77", v)
+	}
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUpgradeRaceLosesToWriter: two sharers upgrade simultaneously; the
+// blocking directory serializes them — the second upgrade arrives after it
+// lost its copy and must be treated as a full miss.
+func TestUpgradeRaceLosesToWriter(t *testing.T) {
+	h := newCohHarness(t, 4)
+	addr := h.addrFor(3)
+	h.access(0, Read, addr, 0, 0, false)
+	h.settle()
+	h.access(1, Read, addr, 0, 0, false)
+	h.settle()
+	done := 0
+	h.prot.L1(0).Access(Write, addr, 0, 10, true, func(uint64) { done++ })
+	h.prot.L1(1).Access(Write, addr, 0, 20, true, func(uint64) { done++ })
+	for i := 0; i < 100_000 && done < 2; i++ {
+		h.eng.Step()
+	}
+	if done != 2 {
+		t.Fatalf("%d/2 writes completed", done)
+	}
+	h.settle()
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	// The later writer's value wins functionally.
+	v := h.prot.Memory().Load(addr)
+	if v != 10 && v != 20 {
+		t.Errorf("final value %d", v)
+	}
+}
+
+// TestUnblockCountsAsCoherence: the grant-ack message travels on the
+// coherence class, as protocol overhead should.
+func TestUnblockCountsAsCoherence(t *testing.T) {
+	h := newCohHarness(t, 4)
+	addr := h.addrFor(2)
+	h.access(0, Read, addr, 0, 0, false)
+	h.settle()
+	tr := h.prot.Traffic()
+	if tr.Messages[stats.ClassCoherence] == 0 {
+		t.Error("no coherence traffic recorded for the unblock")
+	}
+}
+
+// TestQuiescentDetection: mid-transaction the system is not quiescent.
+func TestQuiescentDetection(t *testing.T) {
+	h := newCohHarness(t, 4)
+	addr := h.addrFor(2)
+	fired := false
+	h.prot.L1(0).Access(Read, addr, 0, 0, false, func(uint64) { fired = true })
+	if h.prot.Quiescent() {
+		t.Error("system quiescent with a pending L1 access")
+	}
+	for i := 0; i < 100_000 && !fired; i++ {
+		h.eng.Step()
+	}
+	h.settle()
+	if !h.prot.Quiescent() {
+		t.Error("system not quiescent after settle")
+	}
+}
+
+// TestAtomicOnOwnedLine: an atomic to a line held M by another core pulls
+// the dirty data home first.
+func TestAtomicOnOwnedLine(t *testing.T) {
+	h := newCohHarness(t, 4)
+	addr := h.addrFor(1)
+	h.access(0, Write, addr, 0, 5, true) // tile 0 holds M, value 5
+	h.settle()
+	old, _ := h.access(2, AtomicAdd, addr, 1, 0, false)
+	if old != 5 {
+		t.Errorf("atomic saw %d, want 5", old)
+	}
+	if v := h.prot.Memory().Load(addr); v != 6 {
+		t.Errorf("value %d, want 6", v)
+	}
+	h.settle()
+	if st := h.prot.L1(0).HasLine(addr); st != cache.StateInvalid {
+		t.Errorf("old owner still holds %v", st)
+	}
+}
+
+// TestSwapSemantics: AtomicSwap returns old and installs new.
+func TestSwapSemantics(t *testing.T) {
+	h := newCohHarness(t, 4)
+	addr := h.addrFor(2)
+	h.prot.Memory().StoreWord(addr, 11)
+	old, _ := h.access(0, AtomicSwap, addr, 22, 0, false)
+	if old != 11 || h.prot.Memory().Load(addr) != 22 {
+		t.Errorf("swap old=%d new=%d", old, h.prot.Memory().Load(addr))
+	}
+}

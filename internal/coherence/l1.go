@@ -1,0 +1,307 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// L1 is a tile's private L1 data cache controller. Cores issue at most one
+// access at a time (in-order, blocking), so the controller holds at most one
+// pending transaction.
+type L1 struct {
+	p    *Protocol
+	tile int
+	c    *cache.Cache
+
+	pend *l1Pending
+
+	// watch implements efficient busy-wait simulation: a spinning core
+	// re-reads a cached line every cycle with no observable effect until
+	// the line is invalidated, so the core model sleeps and is woken here
+	// instead. Timing is identical to per-cycle re-loads.
+	watchLine uint64
+	watchFn   func()
+}
+
+type l1Pending struct {
+	kind     AccessKind
+	addr     uint64 // full address
+	line     uint64 // line address
+	operand  uint64
+	value    uint64
+	hasValue bool
+	done     func(val uint64)
+}
+
+func newL1(p *Protocol, tile int) *L1 {
+	return &L1{
+		p:    p,
+		tile: tile,
+		c:    cache.New(p.cfg.L1Size, p.cfg.L1Ways, p.cfg.LineSize),
+	}
+}
+
+// Access issues one memory operation. done is called exactly once, at the
+// cycle the operation completes, with the loaded/old value (loads and
+// atomics) or 0 (stores). For stores, hasValue=true writes value to the
+// functional store at completion time (used for synchronization variables;
+// bulk data stores pass hasValue=false).
+func (l *L1) Access(kind AccessKind, addr, operand, value uint64, hasValue bool, done func(val uint64)) {
+	if l.pend != nil {
+		panic(fmt.Sprintf("coherence: L1 %d already has a pending access (line %#x)", l.tile, l.pend.line))
+	}
+	line := l.p.LineAddr(addr)
+	pend := &l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, done: done}
+
+	switch kind {
+	case Read:
+		if st := l.c.Lookup(addr); st != cache.StateInvalid {
+			l.p.eng.After(l.p.cfg.L1HitLatency, func() { done(l.p.memv.Load(addr)) })
+			return
+		}
+		l.pend = pend
+		l.request(msgGetS, line)
+	case LoadLinked:
+		st := l.c.Lookup(addr)
+		if st.Writable() {
+			l.p.eng.After(l.p.cfg.L1HitLatency, func() {
+				if l.c.Peek(line) == cache.StateExclusive {
+					l.c.SetState(line, cache.StateModified)
+				}
+				done(l.p.memv.Load(addr))
+			})
+			return
+		}
+		// Shared or absent: take ownership so the following
+		// StoreConditional can succeed locally.
+		l.pend = pend
+		l.request(msgGetX, line)
+	case Write:
+		st := l.c.Lookup(addr)
+		if st.Writable() {
+			l.p.eng.After(l.p.cfg.L1HitLatency, func() {
+				// The line can be stolen by an invalidation between the
+				// hit and this cycle; replay the store as a miss then
+				// (store replay, as an in-order pipeline would).
+				cur := l.c.Peek(line)
+				if !cur.Writable() {
+					l.pend = pend
+					l.request(msgGetX, line)
+					return
+				}
+				if cur == cache.StateExclusive {
+					l.c.SetState(line, cache.StateModified)
+				}
+				if hasValue {
+					l.p.memv.StoreWord(addr, value)
+				}
+				done(0)
+			})
+			return
+		}
+		// Shared or absent: need ownership from the home.
+		l.pend = pend
+		l.request(msgGetX, line)
+	default: // atomics always go to the home bank
+		if !kind.IsAtomic() {
+			panic(fmt.Sprintf("coherence: unknown access kind %v", kind))
+		}
+		l.pend = pend
+		home := l.p.HomeOf(line)
+		l.p.send(l.tile, home, &msg{t: msgAtomic, addr: line, from: l.tile, kind: kind, operand: operand}, atomicReqFlits)
+	}
+}
+
+// Busy reports whether an access is outstanding.
+func (l *L1) Busy() bool { return l.pend != nil }
+
+// HitLatency returns the configured L1 hit latency.
+func (l *L1) HitLatency() uint64 { return l.p.cfg.L1HitLatency }
+
+// TryReadHit performs a load if it hits in the L1 (updating LRU and hit
+// counters) and reports whether it did. Misses are untouched (no counter
+// double-count): the caller falls back to Access.
+func (l *L1) TryReadHit(addr uint64) bool {
+	if l.c.Peek(addr) == cache.StateInvalid {
+		return false
+	}
+	l.c.Lookup(addr)
+	return true
+}
+
+// TryWriteHit performs a store if the line is already writable, reporting
+// whether it did. Used only for bulk (valueless) stores.
+func (l *L1) TryWriteHit(addr uint64) bool {
+	st := l.c.Peek(addr)
+	if !st.Writable() {
+		return false
+	}
+	l.c.Lookup(addr)
+	if st == cache.StateExclusive {
+		l.c.SetState(l.p.LineAddr(addr), cache.StateModified)
+	}
+	return true
+}
+
+func (l *L1) request(t msgType, line uint64) {
+	home := l.p.HomeOf(line)
+	l.p.send(l.tile, home, &msg{t: t, addr: line, from: l.tile}, controlFlits)
+}
+
+// receive handles protocol messages addressed to this L1.
+func (l *L1) receive(m *msg) {
+	switch m.t {
+	case msgData:
+		l.fill(m)
+	case msgAtomicAck:
+		l.finishAtomic(m)
+	case msgInv:
+		l.invalidate(m)
+	case msgFwd:
+		l.forward(m)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d received %v", l.tile, m.t))
+	}
+}
+
+// fill installs a granted line and completes the pending load/store.
+func (l *L1) fill(m *msg) {
+	pend := l.pend
+	if pend == nil || pend.line != m.addr {
+		panic(fmt.Sprintf("coherence: L1 %d got Data for %#x without matching pending access", l.tile, m.addr))
+	}
+	var st cache.State
+	switch m.grant {
+	case grantS:
+		st = cache.StateShared
+	case grantE:
+		st = cache.StateExclusive
+	case grantM:
+		st = cache.StateModified
+	}
+	if victim, vstate, evicted := l.c.Insert(m.addr, st); evicted {
+		if vstate == cache.StateModified {
+			home := l.p.HomeOf(victim)
+			l.p.send(l.tile, home, &msg{t: msgPutM, addr: victim, from: l.tile, withData: true}, l.p.dataFlits())
+		}
+		// Shared/Exclusive clean victims are dropped silently; the
+		// directory tolerates stale sharer bits (spurious Inv is acked).
+	}
+	l.pend = nil
+	// Grant-ack: the home keeps the line's transaction open until the
+	// requester confirms the grant arrived, so a later invalidation can
+	// never overtake the grant in the network.
+	home := l.p.HomeOf(m.addr)
+	l.p.send(l.tile, home, &msg{t: msgUnblock, addr: m.addr, from: l.tile}, controlFlits)
+	l.p.eng.After(l.p.cfg.L1HitLatency, func() {
+		switch pend.kind {
+		case Read, LoadLinked:
+			if pend.kind == LoadLinked && l.c.Peek(pend.line) == cache.StateExclusive {
+				l.c.SetState(pend.line, cache.StateModified)
+			}
+			pend.done(l.p.memv.Load(pend.addr))
+		case Write:
+			if hasLine := l.c.Peek(pend.line); hasLine == cache.StateExclusive {
+				l.c.SetState(pend.line, cache.StateModified)
+			}
+			if pend.hasValue {
+				l.p.memv.StoreWord(pend.addr, pend.value)
+			}
+			pend.done(0)
+		default:
+			panic(fmt.Sprintf("coherence: L1 %d Data fill for %v", l.tile, pend.kind))
+		}
+	})
+}
+
+func (l *L1) finishAtomic(m *msg) {
+	pend := l.pend
+	if pend == nil || pend.line != m.addr || !pend.kind.IsAtomic() {
+		panic(fmt.Sprintf("coherence: L1 %d got AtomicAck for %#x without matching pending atomic", l.tile, m.addr))
+	}
+	l.pend = nil
+	old := m.val
+	l.p.eng.After(l.p.cfg.L1HitLatency, func() { pend.done(old) })
+}
+
+// invalidate drops the line (if present) and acks the home. An ack is sent
+// even when the line is absent: silent clean evictions leave stale sharer
+// bits at the directory.
+func (l *L1) invalidate(m *msg) {
+	st := l.c.Peek(m.addr)
+	l.p.tracer.Emit(l.p.eng.Now(), fmt.Sprintf("l1.%d", l.tile), "inv %#x (was %v, xfer %d)", m.addr, st, m.xfer)
+	if m.xfer >= 0 && st.Writable() {
+		// 3-hop ownership transfer: hand the line straight to the new
+		// owner, confirm the transfer to the home with a control flit.
+		l.c.SetState(m.addr, cache.StateInvalid)
+		l.p.send(l.tile, m.xfer, &msg{t: msgData, addr: m.addr, from: l.tile, grant: grantM}, l.p.dataFlits())
+		l.p.send(l.tile, m.from, &msg{t: msgInvAck, addr: m.addr, from: l.tile, xferred: true}, controlFlits)
+		l.fireWatch(m.addr)
+		return
+	}
+	flits := controlFlits
+	ack := &msg{t: msgInvAck, addr: m.addr, from: l.tile}
+	if st == cache.StateModified {
+		ack.withData = true
+		flits = l.p.dataFlits()
+	}
+	if st != cache.StateInvalid {
+		l.c.SetState(m.addr, cache.StateInvalid)
+	}
+	l.p.send(l.tile, m.from, ack, flits)
+	l.fireWatch(m.addr)
+}
+
+// StoreConditional completes a LoadLinked: if this L1 still owns the line
+// (nobody stole it since the LL), the store commits locally and scWin is
+// true. It costs one L1 access either way and never touches the network —
+// the ownership acquired by LoadLinked is the reservation.
+func (l *L1) StoreConditional(addr, value uint64) (scWin bool) {
+	line := l.p.LineAddr(addr)
+	if !l.c.Peek(line).Writable() {
+		return false
+	}
+	l.c.Lookup(addr)
+	l.c.SetState(line, cache.StateModified)
+	l.p.memv.StoreWord(addr, value)
+	return true
+}
+
+// Watch arms a one-shot callback fired when addr's line is invalidated.
+// At most one watch per L1 (the single local core). The spinning core's
+// next load after the invalidation misses and refetches, exactly as if it
+// had been re-loading every cycle.
+func (l *L1) Watch(addr uint64, fn func()) {
+	if l.watchFn != nil {
+		panic(fmt.Sprintf("coherence: L1 %d already watching %#x", l.tile, l.watchLine))
+	}
+	l.watchLine = l.p.LineAddr(addr)
+	l.watchFn = fn
+}
+
+func (l *L1) fireWatch(line uint64) {
+	if l.watchFn != nil && l.watchLine == line {
+		fn := l.watchFn
+		l.watchFn = nil
+		fn()
+	}
+}
+
+// forward downgrades an owned line to Shared and returns the data to the
+// home. Absent lines (silent drop or racing writeback) are acked without
+// data.
+func (l *L1) forward(m *msg) {
+	st := l.c.Peek(m.addr)
+	flits := controlFlits
+	ack := &msg{t: msgFwdAck, addr: m.addr, from: l.tile}
+	if st == cache.StateModified || st == cache.StateExclusive {
+		l.c.SetState(m.addr, cache.StateShared)
+		ack.withData = true
+		flits = l.p.dataFlits()
+	}
+	l.p.send(l.tile, m.from, ack, flits)
+}
+
+// HasLine reports the L1 state of addr's line, for tests.
+func (l *L1) HasLine(addr uint64) cache.State { return l.c.Peek(l.p.LineAddr(addr)) }

@@ -1,0 +1,169 @@
+// Package coherence implements the directory-based cache-coherence protocol
+// of the simulated CMP: private L1 caches kept coherent by directories at
+// the distributed shared-L2 home banks, exchanging messages over the mesh.
+//
+// Design points (see DESIGN.md §5):
+//
+//   - The directory is blocking: one transaction in flight per line; later
+//     requests queue at the home bank in arrival order.
+//   - The L2 is non-inclusive/non-exclusive (NINE): the L2 array models only
+//     on-chip data presence/timing, while the map-based directory tracks L1
+//     copies exactly, so L2 evictions never require recalls.
+//   - Atomic read-modify-writes execute at the home bank after invalidating
+//     every cached copy, leaving the line uncached in L1s — so a contended
+//     barrier counter produces the invalidate/refetch storm that makes
+//     centralized software barriers collapse (the paper's motivation).
+//   - Data values are functional-global (package mem); messages carry
+//     timing, classes and sizes, not payload bytes.
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// AccessKind distinguishes the operations a core can issue to its L1.
+type AccessKind int
+
+const (
+	// Read is a plain load.
+	Read AccessKind = iota
+	// Write is a plain store.
+	Write
+	// AtomicAdd is fetch&add: returns the old value, adds the operand.
+	AtomicAdd
+	// AtomicTAS is test&set: returns the old value, stores the operand.
+	AtomicTAS
+	// AtomicSwap exchanges the word with the operand, returning the old
+	// value. (Timing-wise identical to AtomicTAS; kept separate for
+	// workload readability.)
+	AtomicSwap
+	// LoadLinked acquires the line in Modified state and returns the
+	// current value; a following StoreConditional succeeds only if the
+	// line is still held. This is how 2010-era cores (PowerPC LL/SC)
+	// implement read-modify-writes: the line bounces between contenders.
+	LoadLinked
+)
+
+// IsAtomic reports whether the access is a remote atomic RMW.
+func (k AccessKind) IsAtomic() bool { return k >= AtomicAdd && k <= AtomicSwap }
+
+// String names the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case Read:
+		return "Read"
+	case Write:
+		return "Write"
+	case AtomicAdd:
+		return "AtomicAdd"
+	case AtomicTAS:
+		return "AtomicTAS"
+	case AtomicSwap:
+		return "AtomicSwap"
+	case LoadLinked:
+		return "LoadLinked"
+	}
+	return fmt.Sprintf("AccessKind(%d)", int(k))
+}
+
+type msgType int
+
+const (
+	msgGetS      msgType = iota // L1 -> home: read miss
+	msgGetX                     // L1 -> home: write miss or upgrade
+	msgAtomic                   // L1 -> home: atomic RMW
+	msgData                     // home -> L1: data/permission grant
+	msgAtomicAck                // home -> L1: atomic result
+	msgInv                      // home -> L1: invalidate
+	msgInvAck                   // L1 -> home: invalidation done
+	msgFwd                      // home -> owner L1: downgrade, supply data
+	msgFwdAck                   // owner L1 -> home: downgrade done
+	msgPutM                     // L1 -> home: dirty eviction writeback
+	msgUnblock                  // L1 -> home: grant received; close the txn
+)
+
+func (t msgType) String() string {
+	switch t {
+	case msgGetS:
+		return "GetS"
+	case msgGetX:
+		return "GetX"
+	case msgAtomic:
+		return "Atomic"
+	case msgData:
+		return "Data"
+	case msgAtomicAck:
+		return "AtomicAck"
+	case msgInv:
+		return "Inv"
+	case msgInvAck:
+		return "InvAck"
+	case msgFwd:
+		return "Fwd"
+	case msgFwdAck:
+		return "FwdAck"
+	case msgPutM:
+		return "PutM"
+	case msgUnblock:
+		return "Unblock"
+	}
+	return fmt.Sprintf("msgType(%d)", int(t))
+}
+
+// toHome reports whether this message type is sunk at a home bank (true) or
+// at an L1 controller (false).
+func (t msgType) toHome() bool {
+	switch t {
+	case msgGetS, msgGetX, msgAtomic, msgInvAck, msgFwdAck, msgPutM, msgUnblock:
+		return true
+	}
+	return false
+}
+
+// class returns the Figure 7 traffic class of the message type.
+func (t msgType) class() stats.MsgClass {
+	switch t {
+	case msgGetS, msgGetX, msgAtomic:
+		return stats.ClassRequest
+	case msgData, msgAtomicAck:
+		return stats.ClassReply
+	default:
+		return stats.ClassCoherence
+	}
+}
+
+// msg is a protocol message. Line addresses are always line-aligned.
+type msg struct {
+	t    msgType
+	addr uint64 // line address
+	from int    // sending tile
+
+	// grant is the state conferred by a msgData reply.
+	grant grantState
+	// kind/operand describe the RMW for msgAtomic.
+	kind    AccessKind
+	operand uint64
+	// val carries the old value in msgAtomicAck.
+	val uint64
+	// withData marks acks that carry a full line (dirty owner), and on an
+	// InvAck that the owner transferred the line directly to xfer.
+	withData bool
+	// xfer >= 0 on an Inv asks the owner to forward the line straight to
+	// that requester (3-hop ownership transfer); -1 means plain
+	// invalidation. Zero value is adjusted at construction.
+	xfer int
+	// xferred on an InvAck confirms the owner handed the line directly to
+	// the requester.
+	xferred bool
+}
+
+// grantState is the permission carried by a Data reply.
+type grantState byte
+
+const (
+	grantS grantState = iota
+	grantE
+	grantM
+)

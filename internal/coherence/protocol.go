@@ -1,0 +1,163 @@
+package coherence
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/noc"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// localHopLatency is the cycles charged for an intra-tile message (an L1
+// talking to the L2 bank on its own tile), which never enters the mesh.
+const localHopLatency = 1
+
+// Protocol is the whole coherent memory system: one L1 per tile, one L2
+// home bank per tile, the mesh connecting them, and the functional store.
+type Protocol struct {
+	eng    *engine.Engine
+	cfg    config.Config
+	mesh   *noc.Mesh
+	memv   *mem.Store
+	l1s    []*L1
+	banks  []*Bank
+	tracer trace.Tracer
+
+	lineMask uint64
+
+	// memFetches and memWritebacks count off-chip accesses.
+	memFetches, memWritebacks uint64
+}
+
+// New builds the coherent memory system for the given configuration.
+func New(eng *engine.Engine, cfg config.Config, memv *mem.Store) *Protocol {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("coherence: %v", err))
+	}
+	p := &Protocol{
+		eng:      eng,
+		cfg:      cfg,
+		memv:     memv,
+		tracer:   trace.Nop{},
+		lineMask: ^uint64(cfg.LineSize - 1),
+	}
+	p.mesh = noc.New(eng, cfg.MeshCols, cfg.MeshRows, cfg.RouterLatency, cfg.LinkLatency, p.sink)
+	p.l1s = make([]*L1, cfg.Cores)
+	p.banks = make([]*Bank, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		p.l1s[i] = newL1(p, i)
+		p.banks[i] = newBank(p, i)
+	}
+	return p
+}
+
+// SetTracer installs an event tracer (trace.Nop by default).
+func (p *Protocol) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop{}
+	}
+	p.tracer = t
+}
+
+// Mesh exposes the data network for traffic accounting.
+func (p *Protocol) Mesh() *noc.Mesh { return p.mesh }
+
+// Memory exposes the functional store.
+func (p *Protocol) Memory() *mem.Store { return p.memv }
+
+// L1 returns tile's L1 controller (the port cores issue accesses through).
+func (p *Protocol) L1(tile int) *L1 { return p.l1s[tile] }
+
+// Bank returns tile's home bank, for white-box tests.
+func (p *Protocol) Bank(tile int) *Bank { return p.banks[tile] }
+
+// MemAccesses returns the off-chip fetch and writeback counts.
+func (p *Protocol) MemAccesses() (fetches, writebacks uint64) {
+	return p.memFetches, p.memWritebacks
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (p *Protocol) LineAddr(addr uint64) uint64 { return addr & p.lineMask }
+
+// HomeOf returns the tile whose L2 bank is the home of addr: lines are
+// interleaved across tiles at line granularity.
+func (p *Protocol) HomeOf(addr uint64) int {
+	return int((addr >> uint(lineShift(p.cfg.LineSize))) % uint64(p.cfg.Cores))
+}
+
+func lineShift(lineSize int) int {
+	s := 0
+	for 1<<s != lineSize {
+		s++
+	}
+	return s
+}
+
+// send routes a protocol message from tile src to tile dst. Intra-tile
+// messages bypass the mesh (they cost localHopLatency and no traffic);
+// everything else is injected as a NoC packet.
+func (p *Protocol) send(src, dst int, m *msg, flits int) {
+	if src == dst {
+		p.eng.After(localHopLatency, func() { p.dispatch(dst, m) })
+		return
+	}
+	p.mesh.Inject(&noc.Packet{
+		Src:     src,
+		Dst:     dst,
+		Class:   m.t.class(),
+		Flits:   flits,
+		Payload: m,
+	})
+}
+
+// sink receives packets delivered by the mesh.
+func (p *Protocol) sink(dst int, pkt *noc.Packet) {
+	m, ok := pkt.Payload.(*msg)
+	if !ok {
+		panic(fmt.Sprintf("coherence: foreign payload %T delivered to tile %d", pkt.Payload, dst))
+	}
+	p.dispatch(dst, m)
+}
+
+func (p *Protocol) dispatch(dst int, m *msg) {
+	if m.t.toHome() {
+		p.banks[dst].receive(m)
+	} else {
+		p.l1s[dst].receive(m)
+	}
+}
+
+// controlFlits is the size of a permission/ack/request message.
+const controlFlits = 1
+
+// atomicReqFlits carries the request header plus the operand word.
+const atomicReqFlits = 2
+
+// atomicAckFlits carries the header plus the old value.
+const atomicAckFlits = 2
+
+// dataFlits is the size of a message carrying a full cache line.
+func (p *Protocol) dataFlits() int { return p.cfg.DataFlits() }
+
+// Stats helpers ------------------------------------------------------------
+
+// Traffic returns the mesh's per-class counters.
+func (p *Protocol) Traffic() stats.Traffic { return p.mesh.Traffic() }
+
+// L1Stats returns the hit/miss counters of a tile's L1.
+func (p *Protocol) L1Stats(tile int) (hits, misses uint64) {
+	c := p.l1s[tile].c
+	return c.Hits(), c.Misses()
+}
+
+// L2Stats returns the aggregate L2 hit/miss counters.
+func (p *Protocol) L2Stats() (hits, misses uint64) {
+	for _, b := range p.banks {
+		hits += b.l2.Hits()
+		misses += b.l2.Misses()
+	}
+	return hits, misses
+}

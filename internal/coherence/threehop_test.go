@@ -1,0 +1,110 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+func newThreeHopHarness(t *testing.T, cores int) *cohHarness {
+	t.Helper()
+	eng := engine.New()
+	cfg := config.Default(cores)
+	cfg.ThreeHopOwnership = true
+	return &cohHarness{t: t, eng: eng, prot: New(eng, cfg, mem.NewStore())}
+}
+
+func TestThreeHopOwnershipTransfer(t *testing.T) {
+	h := newThreeHopHarness(t, 4)
+	addr := h.addrFor(1)
+	h.access(0, Write, addr, 0, 5, true) // tile 0 owns M
+	h.settle()
+	h.access(2, Write, addr, 0, 9, true) // transfer 0 -> 2
+	h.settle()
+	if st := h.prot.L1(0).HasLine(addr); st != cache.StateInvalid {
+		t.Errorf("old owner state %v", st)
+	}
+	if st := h.prot.L1(2).HasLine(addr); st != cache.StateModified {
+		t.Errorf("new owner state %v", st)
+	}
+	state, owner, _ := h.prot.Bank(1).DirState(addr)
+	if state != "O" || owner != 2 {
+		t.Errorf("dir %s/%d, want O/2", state, owner)
+	}
+	if v := h.prot.Memory().Load(addr); v != 9 {
+		t.Errorf("value %d", v)
+	}
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeHopFasterThanFourHop(t *testing.T) {
+	// Ping-pong a line between two far-apart tiles and compare protocols.
+	run := func(threeHop bool) uint64 {
+		eng := engine.New()
+		cfg := config.Default(16)
+		cfg.ThreeHopOwnership = threeHop
+		prot := New(eng, cfg, mem.NewStore())
+		addr := uint64(0x100040) // home somewhere in the middle
+		left := 40
+		var ping func(tile int)
+		ping = func(tile int) {
+			if left == 0 {
+				return
+			}
+			left--
+			next := 15 - tile
+			prot.L1(tile).Access(Write, addr, 0, uint64(left), true, func(uint64) { ping(next) })
+		}
+		ping(0)
+		for i := 0; i < 10_000_000 && left > 0; i++ {
+			eng.Step()
+		}
+		return eng.Now()
+	}
+	three := run(true)
+	four := run(false)
+	if three >= four {
+		t.Errorf("3-hop (%d cycles) not faster than 4-hop (%d)", three, four)
+	}
+	t.Logf("40 ownership ping-pongs: 3-hop=%d cycles, 4-hop=%d cycles", three, four)
+}
+
+func TestThreeHopFallbackOnDroppedOwner(t *testing.T) {
+	h := newThreeHopHarness(t, 4)
+	cfg := h.prot.cfg
+	addr := h.addrFor(1)
+	h.access(0, Read, addr, 0, 0, false) // E owner
+	h.settle()
+	// Evict silently.
+	setSpan := uint64(cfg.L1Size / cfg.L1Ways)
+	for i := 1; i <= cfg.L1Ways; i++ {
+		h.access(0, Read, addr+uint64(i)*setSpan, 0, 0, false)
+		h.settle()
+	}
+	// Write from another tile: the transfer request finds no owner; the
+	// home must recover.
+	h.access(2, Write, addr, 0, 3, true)
+	h.settle()
+	if st := h.prot.L1(2).HasLine(addr); st != cache.StateModified {
+		t.Errorf("state %v after fallback", st)
+	}
+	if err := h.prot.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThreeHopStress(t *testing.T) {
+	eng := engine.New()
+	cfg := config.Default(16)
+	cfg.ThreeHopOwnership = true
+	prot := New(eng, cfg, mem.NewStore())
+	h := &cohHarness{t: t, eng: eng, prot: prot}
+	_ = h
+	// Reuse the random stress driver at a smaller scale.
+	runStressOn(t, prot, eng, 3, 16, 800)
+}

@@ -1,0 +1,113 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefault32MatchesTable1(t *testing.T) {
+	c := Default32()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	checks := []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"Cores", c.Cores, 32},
+		{"IssueWidth", c.IssueWidth, 2},
+		{"ClockGHz", c.ClockGHz, 3.0},
+		{"LineSize", c.LineSize, 64},
+		{"L1Size", c.L1Size, 32 * 1024},
+		{"L1Ways", c.L1Ways, 4},
+		{"L1HitLatency", c.L1HitLatency, uint64(1)},
+		{"L2SizePerCore", c.L2SizePerCore, 256 * 1024},
+		{"L2Ways", c.L2Ways, 4},
+		{"L2TagLatency", c.L2TagLatency, uint64(6)},
+		{"L2DataLatency", c.L2DataLatency, uint64(2)},
+		{"MemLatency", c.MemLatency, uint64(400)},
+		{"GLMaxTransmitters", c.GLMaxTransmitters, 6},
+	}
+	for _, ck := range checks {
+		if ck.got != ck.want {
+			t.Errorf("%s = %v, want %v (Table 1)", ck.name, ck.got, ck.want)
+		}
+	}
+	if c.MeshCols*c.MeshRows != 32 {
+		t.Errorf("mesh %dx%d does not cover 32 cores", c.MeshCols, c.MeshRows)
+	}
+}
+
+func TestSquarestMesh(t *testing.T) {
+	cases := []struct{ n, cols, rows int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {8, 4, 2}, {16, 4, 4},
+		{32, 8, 4}, {36, 6, 6}, {48, 8, 6}, {64, 8, 8}, {7, 7, 1},
+	}
+	for _, c := range cases {
+		cols, rows := SquarestMesh(c.n)
+		if cols != c.cols || rows != c.rows {
+			t.Errorf("SquarestMesh(%d) = %dx%d, want %dx%d", c.n, cols, rows, c.cols, c.rows)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.Cores = 65; c.MeshCols = 65; c.MeshRows = 1 },
+		func(c *Config) { c.MeshCols = 3 },
+		func(c *Config) { c.IssueWidth = 0 },
+		func(c *Config) { c.LineSize = 48 },
+		func(c *Config) { c.L1Size = 0 },
+		func(c *Config) { c.L1Size = 3 * 1024 }, // 12 sets: not a power of two
+		func(c *Config) { c.FlitBytes = 7 },
+		func(c *Config) { c.GLMaxTransmitters = 0 },
+		func(c *Config) { c.GLContexts = -1 },
+	}
+	for i, mutate := range bad {
+		c := Default32()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGLGeometry(t *testing.T) {
+	c := Default32() // 8x4
+	if got := c.GLLinesPerBarrier(); got != 2*(4+1) {
+		t.Errorf("GLLinesPerBarrier = %d, want 10", got)
+	}
+	if c.GLFitsFlat() {
+		t.Error("8x4 mesh should exceed the 6-transmitter flat limit (7 slaves per row)")
+	}
+	c16 := Default(16) // 4x4
+	if !c16.GLFitsFlat() {
+		t.Error("4x4 mesh should fit a flat network")
+	}
+	// The paper's example: 16-core CMP needs 10 G-lines per barrier.
+	if got := c16.GLLinesPerBarrier(); got != 10 {
+		t.Errorf("16-core GLLinesPerBarrier = %d, want 10 (paper Figure 1)", got)
+	}
+}
+
+func TestNodeCoordsRoundTrip(t *testing.T) {
+	f := func(nRaw uint8, coreRaw uint16) bool {
+		n := int(nRaw%64) + 1
+		c := Default(n)
+		core := int(coreRaw) % n
+		col, row := c.NodeOf(core)
+		return c.CoreAt(col, row) == core && col < c.MeshCols && row < c.MeshRows
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataFlits(t *testing.T) {
+	c := Default32()
+	if got := c.DataFlits(); got != 9 {
+		t.Errorf("DataFlits = %d, want 9 (header + 64B/8B)", got)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "testing"
+
+// FuzzBarrierSchedule feeds arbitrary byte strings interpreted as arrival
+// schedules into a flat network and checks safety (nobody released before
+// the last arrival) and liveness (everyone released 4 cycles after it).
+// Run with `go test -fuzz FuzzBarrierSchedule ./internal/core`.
+func FuzzBarrierSchedule(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{7, 7, 7, 7, 9, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cols, rows := 4, 4
+		n := cols * rows
+		net, err := NewNetwork(NetworkConfig{Cols: cols, Rows: rows, MaxTransmitters: 6, Contexts: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		released := map[int]uint64{}
+		var cycle uint64
+		net.OnRelease(nil, func(c int) { released[c] = cycle })
+		// Derive one arrival cycle per core from the fuzz input.
+		arrivals := make([]uint64, n)
+		var last uint64
+		for c := 0; c < n; c++ {
+			v := uint64(0)
+			if len(data) > 0 {
+				v = uint64(data[c%len(data)]) % 50
+			}
+			arrivals[c] = v
+			if v > last {
+				last = v
+			}
+		}
+		for cycle <= last+8 {
+			for c, at := range arrivals {
+				if at == cycle {
+					net.Arrive(c, 0)
+				}
+			}
+			if len(released) != 0 && cycle < last {
+				t.Fatalf("released %d cores before last arrival (%d < %d)", len(released), cycle, last)
+			}
+			net.Tick(cycle)
+			cycle++
+		}
+		if len(released) != n {
+			t.Fatalf("released %d/%d cores", len(released), n)
+		}
+		for c, cyc := range released {
+			if cyc != last+3 {
+				t.Fatalf("core %d released at %d, want %d", c, cyc, last+3)
+			}
+		}
+	})
+}

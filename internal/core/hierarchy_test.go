@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+type hierHarness struct {
+	h        *Hierarchical
+	cycle    uint64
+	released map[int]uint64
+}
+
+func newHierHarness(t *testing.T, cols, rows, span, contexts int) *hierHarness {
+	t.Helper()
+	h, err := NewHierarchical(cols, rows, span, 6, contexts)
+	if err != nil {
+		t.Fatalf("NewHierarchical: %v", err)
+	}
+	hh := &hierHarness{h: h, released: map[int]uint64{}}
+	h.OnRelease(nil, func(core int) { hh.released[core] = hh.cycle })
+	return hh
+}
+
+func (hh *hierHarness) run(n int) {
+	for i := 0; i < n; i++ {
+		hh.h.Tick(hh.cycle)
+		hh.cycle++
+	}
+}
+
+// TestHierarchicalSixCycleLatency: clustered gather/release costs 6 cycles
+// with simultaneous arrivals (2 local + 1 global up + 1 global down + 2
+// local).
+func TestHierarchicalSixCycleLatency(t *testing.T) {
+	for _, geom := range []struct{ cols, rows, span int }{
+		{4, 4, 2}, {6, 6, 3}, {8, 8, 4}, {8, 4, 4},
+	} {
+		hh := newHierHarness(t, geom.cols, geom.rows, geom.span, 1)
+		n := geom.cols * geom.rows
+		for c := 0; c < n; c++ {
+			hh.h.Arrive(c, 0)
+		}
+		hh.run(8)
+		if len(hh.released) != n {
+			t.Errorf("%dx%d span %d: released %d/%d", geom.cols, geom.rows, geom.span, len(hh.released), n)
+			continue
+		}
+		for c, cyc := range hh.released {
+			if cyc != 5 {
+				t.Errorf("%dx%d span %d: core %d released at %d, want 5 (6-cycle latency)", geom.cols, geom.rows, geom.span, c, cyc)
+			}
+		}
+		if hh.h.Episodes() != 1 {
+			t.Errorf("episodes=%d", hh.h.Episodes())
+		}
+	}
+}
+
+// TestHierarchicalScalesBeyondFlatLimit: an 8x8 mesh (64 cores) cannot use
+// a flat network with 6 transmitters; the hierarchical one must work.
+func TestHierarchicalScalesBeyondFlatLimit(t *testing.T) {
+	if _, err := NewNetwork(NetworkConfig{Cols: 8, Rows: 8, MaxTransmitters: 6, Contexts: 1}); err == nil {
+		t.Fatal("flat 8x8 should be rejected")
+	}
+	hh := newHierHarness(t, 8, 8, 4, 1)
+	if got := hh.h.Clusters(); got != 4 {
+		t.Fatalf("clusters=%d, want 4", got)
+	}
+	for c := 0; c < 64; c++ {
+		hh.h.Arrive(c, 0)
+	}
+	hh.run(8)
+	if len(hh.released) != 64 {
+		t.Errorf("released %d/64", len(hh.released))
+	}
+}
+
+func TestHierarchicalStaggeredArrivals(t *testing.T) {
+	hh := newHierHarness(t, 4, 4, 2, 1)
+	for c := 0; c < 15; c++ {
+		hh.h.Arrive(c, 0)
+	}
+	hh.run(10)
+	if len(hh.released) != 0 {
+		t.Fatal("released before last arrival")
+	}
+	hh.h.Arrive(15, 0)
+	arrival := hh.cycle
+	hh.run(8)
+	if len(hh.released) != 16 {
+		t.Fatalf("released %d/16", len(hh.released))
+	}
+	for c, cyc := range hh.released {
+		// Last arriver's cluster completes locally (2 cycles), global up
+		// (1 registered +1), down, local release: <=7 cycles after.
+		if cyc < arrival+3 || cyc > arrival+7 {
+			t.Errorf("core %d released at %d (arrival %d)", c, cyc, arrival)
+		}
+	}
+}
+
+func TestHierarchicalRepeatedEpisodes(t *testing.T) {
+	hh := newHierHarness(t, 4, 4, 2, 1)
+	for e := 0; e < 5; e++ {
+		for c := 0; c < 16; c++ {
+			hh.h.Arrive(c, 0)
+		}
+		hh.run(6)
+		if int(hh.h.Episodes()) != e+1 {
+			t.Fatalf("episode %d: count=%d", e+1, hh.h.Episodes())
+		}
+		if len(hh.released) != 16 {
+			t.Fatalf("episode %d: released %d", e+1, len(hh.released))
+		}
+		hh.released = map[int]uint64{}
+	}
+}
+
+func TestHierarchicalParticipants(t *testing.T) {
+	hh := newHierHarness(t, 4, 4, 2, 1)
+	// Only cores in two of the four clusters participate.
+	parts := []int{0, 1, 14, 15}
+	if err := hh.h.SetParticipants(0, parts); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range parts {
+		hh.h.Arrive(c, 0)
+	}
+	hh.run(8)
+	if len(hh.released) != len(parts) {
+		t.Fatalf("released %d/%d", len(hh.released), len(parts))
+	}
+}
+
+func TestHierarchicalValidation(t *testing.T) {
+	cases := []struct{ cols, rows, span, maxTx, ctxs int }{
+		{0, 4, 2, 6, 1},
+		{4, 4, 1, 6, 1}, // span must be >1
+		{4, 4, 9, 6, 1}, // span beyond electrical limit
+		{16, 16, 2, 6, 1} /* 64 clusters > limit */, {4, 4, 2, 6, 0},
+	}
+	for i, tc := range cases {
+		if _, err := NewHierarchical(tc.cols, tc.rows, tc.span, tc.maxTx, tc.ctxs); err == nil {
+			t.Errorf("bad hierarchy %d accepted", i)
+		}
+	}
+}
+
+// TestPropHierarchicalSafetyLiveness mirrors the flat property on a
+// clustered 8x8 network.
+func TestPropHierarchicalSafetyLiveness(t *testing.T) {
+	f := func(seed int64) bool {
+		h, err := NewHierarchical(8, 8, 4, 6, 1)
+		if err != nil {
+			return false
+		}
+		released := map[int]uint64{}
+		var cycle uint64
+		h.OnRelease(nil, func(c int) { released[c] = cycle })
+		r := rand.New(rand.NewSource(seed))
+		arrivals := make([]uint64, 64)
+		var last uint64
+		for c := range arrivals {
+			arrivals[c] = uint64(r.Intn(30))
+			if arrivals[c] > last {
+				last = arrivals[c]
+			}
+		}
+		for cycle <= last+12 {
+			for c, at := range arrivals {
+				if at == cycle {
+					h.Arrive(c, 0)
+				}
+			}
+			if len(released) != 0 && cycle < last {
+				return false
+			}
+			h.Tick(cycle)
+			cycle++
+		}
+		if len(released) != 64 || h.Episodes() != 1 {
+			return false
+		}
+		// All released the same cycle.
+		var first uint64
+		for _, cyc := range released {
+			first = cyc
+			break
+		}
+		for _, cyc := range released {
+			if cyc != first {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchicalEnergyAndLines(t *testing.T) {
+	hh := newHierHarness(t, 4, 4, 2, 1)
+	// 4 clusters of 2x2: each 2*(2+1)=6 lines, plus 2 global = 26.
+	if got := hh.h.LineCount(); got != 26 {
+		t.Errorf("line count %d, want 26", got)
+	}
+	for c := 0; c < 16; c++ {
+		hh.h.Arrive(c, 0)
+	}
+	hh.run(8)
+	if hh.h.Toggles() == 0 {
+		t.Error("no toggles recorded")
+	}
+	if hh.h.ActiveCycles() == 0 {
+		t.Error("no active cycles recorded")
+	}
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+)
+
+// MuxMode selects how multiple barrier contexts share the chip's G-lines.
+type MuxMode int
+
+const (
+	// MuxSpace gives every context its own physical set of G-lines
+	// (2*(rows+1) lines each). Latency is the ideal 4 cycles per context.
+	MuxSpace MuxMode = iota
+	// MuxTime shares one physical set of G-lines between all contexts by
+	// time-division: context i may drive/sample the wires only on cycles
+	// where cycle mod N == i. Area stays constant; worst-case latency
+	// scales with the number of contexts.
+	MuxTime
+)
+
+// NetworkConfig configures a flat G-line barrier network.
+type NetworkConfig struct {
+	// Cols and Rows give the mesh geometry the network spans.
+	Cols, Rows int
+	// MaxTransmitters is the per-line electrical limit (paper: 6).
+	MaxTransmitters int
+	// Contexts is the number of independent logical barriers (>=1).
+	Contexts int
+	// Mux selects space- or time-multiplexing for Contexts > 1.
+	Mux MuxMode
+	// SerialSignaling disables S-CSMA: line receivers register at most
+	// one arrival per cycle. An ablation of the paper's counting
+	// technique; simultaneous arrivals then serialize at the masters.
+	SerialSignaling bool
+}
+
+// Network is the flat G-line barrier network of one CMP: the paper's
+// architecture of Figure 1, extended with multiple contexts. It implements
+// engine.Ticker; the simulator registers it so it steps once per cycle
+// while any barrier is in flight.
+type Network struct {
+	cfg      NetworkConfig
+	contexts []*context
+	release  func(core int)
+	schedule func(delay uint64, fn func()) // release deferral hook
+
+	activeCtxs int
+	cycles     uint64 // cycles the network was actively stepped (power gating)
+}
+
+// context is one logical barrier: a full set of controllers plus (in
+// MuxSpace) its own lines.
+type context struct {
+	id           int
+	net          *Network
+	regs         []tileRegs
+	slavesH      []*slaveH
+	mastersH     []*masterH
+	slavesV      []*slaveV
+	mv           *masterV
+	lines        []*Line
+	participants []bool
+	nParts       int
+	pending      int // cores arrived and not yet released
+	slot, period int
+
+	arrivals, episodes uint64
+	lastEpisodeCycle   uint64
+}
+
+// NewNetwork builds a flat G-line network. Every context initially includes
+// all cores as participants; use SetParticipants to restrict a context.
+// The mesh must fit the electrical limit: at most MaxTransmitters slaves
+// per line (cols-1 and rows-1), i.e. up to 7x7 with the paper's limit of 6.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.Cols <= 0 || cfg.Rows <= 0 {
+		return nil, fmt.Errorf("gline: invalid mesh %dx%d", cfg.Cols, cfg.Rows)
+	}
+	if cfg.MaxTransmitters < 1 {
+		return nil, fmt.Errorf("gline: MaxTransmitters must be >=1, got %d", cfg.MaxTransmitters)
+	}
+	if cfg.Cols-1 > cfg.MaxTransmitters || cfg.Rows-1 > cfg.MaxTransmitters {
+		return nil, fmt.Errorf("gline: mesh %dx%d exceeds the %d-transmitter limit per line (max %dx%d); use a hierarchical network",
+			cfg.Cols, cfg.Rows, cfg.MaxTransmitters, cfg.MaxTransmitters+1, cfg.MaxTransmitters+1)
+	}
+	if cfg.Contexts < 1 {
+		return nil, fmt.Errorf("gline: Contexts must be >=1, got %d", cfg.Contexts)
+	}
+	n := &Network{cfg: cfg}
+	var shared []*Line
+	if cfg.Mux == MuxTime {
+		shared = makeLines(cfg, -1)
+	}
+	for i := 0; i < cfg.Contexts; i++ {
+		lines := shared
+		if cfg.Mux == MuxSpace {
+			lines = makeLines(cfg, i)
+		}
+		ctx := newContext(n, i, lines)
+		if cfg.Mux == MuxTime {
+			ctx.slot, ctx.period = i, cfg.Contexts
+		}
+		n.contexts = append(n.contexts, ctx)
+	}
+	return n, nil
+}
+
+// makeLines allocates the 2*(rows+1) lines of one physical network. ctx<0
+// labels a time-shared set.
+func makeLines(cfg NetworkConfig, ctxID int) []*Line {
+	label := "shared"
+	if ctxID >= 0 {
+		label = fmt.Sprintf("ctx%d", ctxID)
+	}
+	lines := make([]*Line, 0, 2*(cfg.Rows+1))
+	for r := 0; r < cfg.Rows; r++ {
+		lines = append(lines,
+			NewLine(fmt.Sprintf("%s-arrH%d", label, r), cfg.MaxTransmitters),
+			NewLine(fmt.Sprintf("%s-relH%d", label, r), cfg.MaxTransmitters))
+	}
+	lines = append(lines,
+		NewLine(label+"-arrV", cfg.MaxTransmitters),
+		NewLine(label+"-relV", cfg.MaxTransmitters))
+	return lines
+}
+
+func newContext(n *Network, id int, lines []*Line) *context {
+	cfg := n.cfg
+	ctx := &context{
+		id:           id,
+		net:          n,
+		regs:         make([]tileRegs, cfg.Cols*cfg.Rows),
+		lines:        lines,
+		participants: make([]bool, cfg.Cols*cfg.Rows),
+		period:       1,
+	}
+	for i := range ctx.participants {
+		ctx.participants[i] = true
+	}
+	ctx.nParts = len(ctx.participants)
+	arrV, relV := lines[2*cfg.Rows], lines[2*cfg.Rows+1]
+	for r := 0; r < cfg.Rows; r++ {
+		arrH, relH := lines[2*r], lines[2*r+1]
+		masterTile := r * cfg.Cols
+		mh := &masterH{tile: masterTile, arr: arrH, rel: relH, regs: &ctx.regs[masterTile], serial: cfg.SerialSignaling}
+		ctx.mastersH = append(ctx.mastersH, mh)
+		for c := 1; c < cfg.Cols; c++ {
+			tile := r*cfg.Cols + c
+			ctx.slavesH = append(ctx.slavesH, &slaveH{tile: tile, arr: arrH, rel: relH, regs: &ctx.regs[tile]})
+		}
+		if r == 0 {
+			ctx.mv = &masterV{tile: masterTile, arr: arrV, rel: relV, regs: &ctx.regs[masterTile], mh: mh, serial: cfg.SerialSignaling}
+			ctx.mv.episodeDone = ctx.onEpisode
+		} else {
+			ctx.slavesV = append(ctx.slavesV, &slaveV{tile: masterTile, arr: arrV, rel: relV, regs: &ctx.regs[masterTile], mh: mh})
+		}
+	}
+	ctx.recomputeExpectations()
+	return ctx
+}
+
+// SetParticipants restricts a context's barrier to the given cores. It must
+// not be called while the context has arrivals in flight.
+func (n *Network) SetParticipants(ctxID int, cores []int) error {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		return err
+	}
+	if ctx.pending != 0 {
+		return fmt.Errorf("gline: context %d has %d arrivals in flight", ctxID, ctx.pending)
+	}
+	if len(cores) == 0 {
+		return fmt.Errorf("gline: context %d: empty participant set", ctxID)
+	}
+	for _, c := range cores {
+		if c < 0 || c >= len(ctx.participants) {
+			return fmt.Errorf("gline: participant %d out of range [0,%d)", c, len(ctx.participants))
+		}
+	}
+	for i := range ctx.participants {
+		ctx.participants[i] = false
+	}
+	for _, c := range cores {
+		ctx.participants[c] = true
+	}
+	ctx.nParts = len(cores)
+	ctx.recomputeExpectations()
+	return nil
+}
+
+// recomputeExpectations derives every controller's expected arrival counts
+// from the participant mask.
+func (c *context) recomputeExpectations() {
+	cols := c.net.cfg.Cols
+	rows := c.net.cfg.Rows
+	vMax := 0
+	for r := 0; r < rows; r++ {
+		slaves := 0
+		for col := 1; col < cols; col++ {
+			if c.participants[r*cols+col] {
+				slaves++
+			}
+		}
+		mh := c.mastersH[r]
+		mh.scntMax = slaves
+		mh.mcntReq = c.participants[r*cols]
+		rowActive := slaves > 0 || mh.mcntReq
+		mh.enabled = rowActive
+		if r == 0 {
+			c.mv.row0Req = rowActive
+		} else if rowActive {
+			vMax++
+		}
+		// A row with no participants never raises its flag; its SlaveV
+		// stays silent and must not be counted by MasterV.
+		if r > 0 {
+			c.slavesV[r-1].enabled = rowActive
+		}
+	}
+	c.mv.scntMax = vMax
+}
+
+// GateRelease configures a context so that barrier completion does not
+// immediately start the release phase; TriggerRelease must be called to
+// release the waiting cores. Used by the hierarchical network's global
+// layer.
+func (n *Network) GateRelease(ctxID int, gated bool) error {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		return err
+	}
+	ctx.mv.gated = gated
+	return nil
+}
+
+// TriggerRelease starts the release phase of a gated context whose barrier
+// has completed. It panics if the context is not waiting: triggering an
+// incomplete barrier is a hardware-logic bug.
+func (n *Network) TriggerRelease(ctxID int) {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		panic(err.Error())
+	}
+	if ctx.mv.state != masterWaiting {
+		panic(fmt.Sprintf("gline: TriggerRelease on context %d with no completed barrier", ctxID))
+	}
+	ctx.mv.relPend = true
+}
+
+func (n *Network) ctx(id int) (*context, error) {
+	if id < 0 || id >= len(n.contexts) {
+		return nil, fmt.Errorf("gline: context %d out of range [0,%d)", id, len(n.contexts))
+	}
+	return n.contexts[id], nil
+}
+
+// OnRelease installs the callback invoked when the hardware resets a core's
+// bar_reg. The callback is deferred by one cycle through schedule (the core
+// observes the cleared register on the next cycle).
+func (n *Network) OnRelease(schedule func(delay uint64, fn func()), release func(core int)) {
+	n.schedule = schedule
+	n.release = release
+}
+
+// Arrive is the core side of `mov 1, bar_reg`: core announces its arrival
+// at the barrier of the given context.
+func (n *Network) Arrive(core int, ctxID int) {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		panic(err.Error())
+	}
+	if core < 0 || core >= len(ctx.regs) {
+		panic(fmt.Sprintf("gline: core %d out of range", core))
+	}
+	if !ctx.participants[core] {
+		panic(fmt.Sprintf("gline: core %d is not a participant of context %d", core, ctxID))
+	}
+	if ctx.regs[core].barReg {
+		panic(fmt.Sprintf("gline: core %d arrived twice at context %d", core, ctxID))
+	}
+	ctx.regs[core].barReg = true
+	ctx.arrivals++
+	ctx.pending++
+	if ctx.pending == 1 {
+		n.activeCtxs++
+	}
+}
+
+// BarRegSet reports whether a core's bar_reg is currently set, for tests.
+func (n *Network) BarRegSet(core, ctxID int) bool {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ctx.regs[core].barReg
+}
+
+// Episodes returns the total completed barrier episodes across contexts.
+func (n *Network) Episodes() uint64 {
+	var e uint64
+	for _, c := range n.contexts {
+		e += c.episodes
+	}
+	return e
+}
+
+// ContextEpisodes returns the completed episodes of one context.
+func (n *Network) ContextEpisodes(ctxID int) uint64 {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		panic(err.Error())
+	}
+	return ctx.episodes
+}
+
+// Toggles returns total G-line assertions (each is one wire transition),
+// the basis of the energy model.
+func (n *Network) Toggles() uint64 {
+	var t uint64
+	seen := map[*Line]bool{}
+	for _, c := range n.contexts {
+		for _, l := range c.lines {
+			if !seen[l] {
+				seen[l] = true
+				t += l.Toggles()
+			}
+		}
+	}
+	return t
+}
+
+// ActiveCycles returns how many cycles the network was powered (stepped
+// with work pending) — controllers are switched off otherwise (paper §3.3).
+func (n *Network) ActiveCycles() uint64 { return n.cycles }
+
+// LineCount returns the total number of physical G-lines.
+func (n *Network) LineCount() int {
+	seen := map[*Line]bool{}
+	cnt := 0
+	for _, c := range n.contexts {
+		for _, l := range c.lines {
+			if !seen[l] {
+				seen[l] = true
+				cnt++
+			}
+		}
+	}
+	return cnt
+}
+
+func (c *context) onEpisode() { c.episodes++ }
+
+// Tick steps the network one cycle. Returns whether any barrier is in
+// flight (contexts with no pending arrivals are power-gated).
+func (n *Network) Tick(cycle uint64) bool {
+	if n.activeCtxs == 0 {
+		return false
+	}
+	n.cycles++
+	for _, ctx := range n.contexts {
+		if ctx.pending == 0 && !ctx.inFlight() {
+			continue
+		}
+		if cycle%uint64(ctx.period) != uint64(ctx.slot) {
+			continue
+		}
+		ctx.step(cycle)
+	}
+	return n.activeCtxs > 0
+}
+
+// inFlight reports whether any controller holds transient state (release
+// still propagating after pending already dropped, which cannot happen
+// today but keeps the gate conservative).
+func (c *context) inFlight() bool {
+	if c.mv.state != masterAccounting || c.mv.relPend || c.mv.backlog > 0 {
+		return true
+	}
+	for _, m := range c.mastersH {
+		if m.state != masterAccounting || m.relPend || m.backlog > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// step is one hardware cycle of one context: all controllers drive their
+// lines, the lines latch (S-CSMA sampling), then all controllers observe.
+// The sample order (masterV, slavesV, mastersH, slavesH) realizes the
+// registered-flag semantics of the paper: a flag written by MasterH on
+// cycle k is first visible to MasterV on cycle k+1.
+func (c *context) step(cycle uint64) {
+	for _, s := range c.slavesH {
+		s.assertPhase()
+	}
+	for _, m := range c.mastersH {
+		m.assertPhase()
+	}
+	for _, s := range c.slavesV {
+		s.assertPhase()
+	}
+	c.mv.assertPhase()
+
+	for _, l := range c.lines {
+		l.sample()
+	}
+
+	released := releasedBuf[:0]
+	collect := func(tile int) { released = append(released, tile) }
+	c.mv.samplePhase()
+	for _, s := range c.slavesV {
+		s.samplePhase()
+	}
+	for _, m := range c.mastersH {
+		m.samplePhase(collect)
+	}
+	for _, s := range c.slavesH {
+		s.samplePhase(collect)
+	}
+
+	if len(released) > 0 {
+		c.pending -= len(released)
+		if c.pending < 0 {
+			panic("gline: released more cores than arrived")
+		}
+		if c.pending == 0 {
+			c.net.activeCtxs--
+		}
+		c.lastEpisodeCycle = cycle
+		n := c.net
+		if n.release != nil {
+			for _, tile := range released {
+				tile := tile
+				if n.schedule != nil {
+					n.schedule(1, func() { n.release(tile) })
+				} else {
+					n.release(tile)
+				}
+			}
+		}
+	}
+	releasedBuf = released[:0]
+}
+
+// releasedBuf is reused across steps; the simulator is single-threaded.
+var releasedBuf = make([]int, 0, 64)

@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// TestSerialSignalingAblation: without S-CSMA, simultaneous arrivals
+// serialize at the row masters, stretching the barrier; with S-CSMA the
+// latency stays 4 cycles.
+func TestSerialSignalingAblation(t *testing.T) {
+	build := func(serial bool) (*Network, map[int]uint64, *uint64) {
+		net, err := NewNetwork(NetworkConfig{
+			Cols: 7, Rows: 7, MaxTransmitters: 6, Contexts: 1,
+			SerialSignaling: serial,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		released := map[int]uint64{}
+		cycle := new(uint64)
+		net.OnRelease(nil, func(c int) { released[c] = *cycle })
+		return net, released, cycle
+	}
+
+	run := func(serial bool) uint64 {
+		net, released, cycle := build(serial)
+		for c := 0; c < 49; c++ {
+			net.Arrive(c, 0)
+		}
+		for *cycle < 40 && len(released) < 49 {
+			net.Tick(*cycle)
+			*cycle++
+		}
+		if len(released) != 49 {
+			t.Fatalf("serial=%v: released %d/49", serial, len(released))
+		}
+		var rel uint64
+		for _, cyc := range released {
+			rel = cyc
+			break
+		}
+		return rel
+	}
+
+	scsma := run(false)
+	serial := run(true)
+	if scsma != 3 {
+		t.Errorf("S-CSMA release at cycle %d, want 3 (4-cycle barrier)", scsma)
+	}
+	// Serial: each row master needs 6 cycles to register its 6 slaves,
+	// and the vertical master 6 more for the 6 other rows.
+	if serial <= scsma+5 {
+		t.Errorf("serial signaling released at %d, expected well beyond the S-CSMA %d", serial, scsma)
+	}
+	t.Logf("7x7 simultaneous barrier: S-CSMA=%d cycles, serial=%d cycles", scsma+1, serial+1)
+}
+
+// TestSerialSignalingStillCorrect: the ablated network still synchronizes
+// correctly, just slower.
+func TestSerialSignalingStillCorrect(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{
+		Cols: 4, Rows: 4, MaxTransmitters: 6, Contexts: 1, SerialSignaling: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := 0
+	net.OnRelease(nil, func(int) { released++ })
+	for episode := 0; episode < 3; episode++ {
+		for c := 0; c < 16; c++ {
+			net.Arrive(c, 0)
+		}
+		for i := 0; i < 40 && released < 16*(episode+1); i++ {
+			net.Tick(uint64(episode*100 + i))
+		}
+		if released != 16*(episode+1) {
+			t.Fatalf("episode %d: released %d", episode, released)
+		}
+	}
+	if net.Episodes() != 3 {
+		t.Errorf("episodes=%d", net.Episodes())
+	}
+}

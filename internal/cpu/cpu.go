@@ -1,0 +1,484 @@
+// Package cpu models the in-order cores of the CMP and the operation-level
+// program interface workloads are written against.
+//
+// A Program is an ordinary Go function running in its own goroutine; it
+// issues operations (compute, loads, stores, atomics, G-line barriers)
+// through a Ctx. The core and the program hand off control synchronously —
+// exactly one of them runs at any instant — so simulation remains
+// deterministic while workloads read like straight-line code.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/coherence"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Program is the code a core executes.
+type Program func(c *Ctx)
+
+// BarrierEngine is the hardware barrier the core's bar_reg is wired to
+// (the G-line network). Arrive corresponds to `mov 1, bar_reg`; the engine
+// calls the core's GLRelease when the hardware resets bar_reg.
+type BarrierEngine interface {
+	Arrive(core int, barrierCtx int)
+}
+
+type opKind int
+
+const (
+	opCompute opKind = iota
+	opLoad
+	opStore
+	opAtomic
+	opGLBarrier
+	opSpin
+	opLoadRange
+	opStoreRange
+	opLoadLinked
+	opStoreCond
+
+	numOpKinds
+)
+
+type op struct {
+	kind       opKind
+	cycles     uint64
+	addr       uint64
+	operand    uint64
+	value      uint64
+	hasValue   bool
+	atomicKind coherence.AccessKind
+	barrierCtx int
+	region     stats.Region
+}
+
+// Core is one in-order processor. It executes at most one operation at a
+// time, blocking on memory, and attributes every cycle of its run to a
+// stats.Region.
+type Core struct {
+	id         int
+	eng        *engine.Engine
+	issueWidth int
+	overhead   uint64 // G-line barrier software call overhead
+	l1         *coherence.L1
+	be         BarrierEngine
+
+	opCh  chan op
+	resCh chan uint64
+	abort chan struct{}
+
+	breakdown  stats.TimeBreakdown
+	opCounts   [numOpKinds]uint64
+	startCycle uint64
+	endCycle   uint64
+	running    bool
+	done       bool
+	err        error
+
+	pendingGL *op // outstanding G-line barrier, waiting for GLRelease
+	pendStart uint64
+}
+
+// NewCore builds a core. be may be nil if the configuration has no G-line
+// network; executing a GLBarrier op then fails the program.
+func NewCore(id int, eng *engine.Engine, issueWidth int, glOverhead uint64, l1 *coherence.L1, be BarrierEngine) *Core {
+	return &Core{
+		id:         id,
+		eng:        eng,
+		issueWidth: issueWidth,
+		overhead:   glOverhead,
+		l1:         l1,
+		be:         be,
+		opCh:       make(chan op),
+		resCh:      make(chan uint64),
+		abort:      make(chan struct{}),
+	}
+}
+
+// ID returns the core's tile index.
+func (c *Core) ID() int { return c.id }
+
+// SetBarrierEngine rewires bar_reg to a different barrier network; only
+// valid before the core starts running.
+func (c *Core) SetBarrierEngine(be BarrierEngine) {
+	if c.running {
+		panic(fmt.Sprintf("cpu: core %d rewired while running", c.id))
+	}
+	c.be = be
+}
+
+// Done reports whether the program has finished.
+func (c *Core) Done() bool { return c.done }
+
+// Err returns the program's failure, if it panicked.
+func (c *Core) Err() error { return c.err }
+
+// Breakdown returns the per-region cycle attribution so far.
+func (c *Core) Breakdown() stats.TimeBreakdown { return c.breakdown }
+
+// OpCounts returns executed-operation counts indexed by
+// compute/load/store/atomic/barrier.
+func (c *Core) OpCounts() (compute, loads, stores, atomics, barriers uint64) {
+	return c.opCounts[opCompute], c.opCounts[opLoad], c.opCounts[opStore], c.opCounts[opAtomic], c.opCounts[opGLBarrier]
+}
+
+// FinishCycle returns the cycle the program completed (valid once Done).
+func (c *Core) FinishCycle() uint64 { return c.endCycle }
+
+// errAborted is the sentinel carried by the panic that unwinds a program
+// goroutine when the simulation is torn down early.
+var errAborted = fmt.Errorf("cpu: simulation aborted")
+
+// Start launches prog on the core. The program begins issuing operations at
+// the engine's current cycle.
+func (c *Core) Start(prog Program) {
+	if c.running {
+		panic(fmt.Sprintf("cpu: core %d already running", c.id))
+	}
+	c.running = true
+	c.startCycle = c.eng.Now()
+	ctx := &Ctx{core: c, region: stats.RegionBusy}
+	go func() {
+		defer close(c.opCh)
+		defer func() {
+			if r := recover(); r != nil {
+				if err, ok := r.(error); ok && err == errAborted {
+					return
+				}
+				c.err = fmt.Errorf("cpu: core %d program panic: %v", c.id, r)
+			}
+		}()
+		prog(ctx)
+	}()
+	c.eng.At(c.eng.Now(), c.nextOp)
+}
+
+// Abort tears the core down mid-run (watchdog/error paths). The program
+// goroutine unwinds the next time it touches its Ctx.
+func (c *Core) Abort() {
+	select {
+	case <-c.abort:
+	default:
+		close(c.abort)
+	}
+}
+
+// nextOp pulls the next operation from the program and executes it.
+func (c *Core) nextOp() {
+	var o op
+	var ok bool
+	select {
+	case o, ok = <-c.opCh:
+	case <-c.abort:
+		c.finishProgram()
+		return
+	}
+	if !ok {
+		c.finishProgram()
+		return
+	}
+	start := c.eng.Now()
+	c.opCounts[o.kind]++
+	complete := func(val uint64) {
+		c.breakdown.Add(o.region, c.eng.Now()-start)
+		select {
+		case c.resCh <- val:
+		case <-c.abort:
+			c.finishProgram()
+			return
+		}
+		c.nextOp()
+	}
+	switch o.kind {
+	case opCompute:
+		if o.cycles == 0 {
+			complete(0)
+			return
+		}
+		c.eng.After(o.cycles, func() { complete(0) })
+	case opLoad:
+		c.l1.Access(coherence.Read, o.addr, 0, 0, false, complete)
+	case opLoadLinked:
+		c.l1.Access(coherence.LoadLinked, o.addr, 0, 0, false, complete)
+	case opStoreCond:
+		c.eng.After(c.l1.HitLatency(), func() {
+			if c.l1.StoreConditional(o.addr, o.value) {
+				complete(1)
+			} else {
+				complete(0)
+			}
+		})
+	case opStore:
+		c.l1.Access(coherence.Write, o.addr, 0, o.value, o.hasValue, complete)
+	case opAtomic:
+		c.l1.Access(o.atomicKind, o.addr, o.operand, 0, false, complete)
+	case opSpin:
+		var attempt func()
+		attempt = func() {
+			c.l1.Access(coherence.Read, o.addr, 0, 0, false, func(v uint64) {
+				if v == o.operand {
+					complete(v)
+					return
+				}
+				// The value can only change after an invalidation of
+				// the cached copy: sleep until then (timing-identical
+				// to re-loading the L1-resident line every cycle).
+				c.l1.Watch(o.addr, attempt)
+			})
+		}
+		attempt()
+	case opLoadRange, opStoreRange:
+		c.runRange(o, complete)
+	case opGLBarrier:
+		if c.be == nil {
+			c.err = fmt.Errorf("cpu: core %d executed GLBarrier without a barrier engine", c.id)
+			c.Abort()
+			c.finishProgram()
+			return
+		}
+		o := o
+		c.pendingGL = &o
+		c.pendStart = start
+		c.eng.After(c.overhead, func() { c.be.Arrive(c.id, o.barrierCtx) })
+	}
+}
+
+// runRange executes a strided sequence of loads or stores element by
+// element. Runs of L1 hits are accumulated into a single event (each hit
+// still costs its full hit latency and updates cache state); every miss
+// goes through the normal coherence path. Timing is equivalent to issuing
+// the accesses one at a time.
+func (c *Core) runRange(o op, complete func(uint64)) {
+	isLoad := o.kind == opLoadRange
+	hitLat := c.l1.HitLatency()
+	var i uint64
+	var step func()
+	step = func() {
+		var acc uint64
+		for i < o.cycles {
+			a := o.addr + i*o.operand
+			if isLoad && c.l1.TryReadHit(a) {
+				acc += hitLat
+				i++
+				continue
+			}
+			if !isLoad && c.l1.TryWriteHit(a) {
+				acc += hitLat
+				i++
+				continue
+			}
+			break
+		}
+		if i == o.cycles {
+			if acc == 0 {
+				complete(0)
+			} else {
+				c.eng.After(acc, func() { complete(0) })
+			}
+			return
+		}
+		missAddr := o.addr + i*o.operand
+		fire := func() {
+			kind := coherence.Read
+			if !isLoad {
+				kind = coherence.Write
+			}
+			c.l1.Access(kind, missAddr, 0, 0, false, func(uint64) { i++; step() })
+		}
+		if acc > 0 {
+			c.eng.After(acc, fire)
+		} else {
+			fire()
+		}
+	}
+	step()
+}
+
+// GLRelease is called by the G-line network when the hardware resets this
+// core's bar_reg: the pending barrier operation completes this cycle.
+func (c *Core) GLRelease() {
+	o := c.pendingGL
+	if o == nil {
+		panic(fmt.Sprintf("cpu: core %d released with no barrier pending", c.id))
+	}
+	c.pendingGL = nil
+	c.breakdown.Add(o.region, c.eng.Now()-c.pendStart)
+	select {
+	case c.resCh <- 0:
+	case <-c.abort:
+		c.finishProgram()
+		return
+	}
+	c.nextOp()
+}
+
+// WaitingAtBarrier reports whether the core has a G-line barrier pending.
+func (c *Core) WaitingAtBarrier() bool { return c.pendingGL != nil }
+
+func (c *Core) finishProgram() {
+	if !c.done {
+		c.done = true
+		c.endCycle = c.eng.Now()
+	}
+}
+
+// Ctx is the interface a Program uses to issue operations. It is only valid
+// inside the program's goroutine.
+type Ctx struct {
+	core   *Core
+	region stats.Region
+}
+
+func (x *Ctx) do(o op) uint64 {
+	o.region = x.region
+	// Outside synchronization regions, memory stall time is attributed to
+	// the paper's Read/Write categories; only pure compute stays Busy.
+	if o.region == stats.RegionBusy {
+		switch o.kind {
+		case opLoad, opSpin, opLoadRange, opLoadLinked:
+			o.region = stats.RegionRead
+		case opStore, opStoreRange, opStoreCond:
+			o.region = stats.RegionWrite
+		case opAtomic:
+			o.region = stats.RegionWrite
+		}
+	}
+	select {
+	case x.core.opCh <- o:
+	case <-x.core.abort:
+		panic(errAborted)
+	}
+	select {
+	case v := <-x.core.resCh:
+		return v
+	case <-x.core.abort:
+		panic(errAborted)
+	}
+}
+
+// CoreID returns the executing core's tile index.
+func (x *Ctx) CoreID() int { return x.core.id }
+
+// Now returns the current simulation cycle.
+func (x *Ctx) Now() uint64 { return x.core.eng.Now() }
+
+// Compute advances the core by exactly n cycles of computation.
+func (x *Ctx) Compute(n uint64) { x.do(op{kind: opCompute, cycles: n}) }
+
+// Work models executing n instructions on the in-order pipeline: it costs
+// ceil(n/issueWidth) cycles.
+func (x *Ctx) Work(n int) {
+	if n <= 0 {
+		return
+	}
+	w := x.core.issueWidth
+	x.Compute(uint64((n + w - 1) / w))
+}
+
+// Load reads the word at addr, returning its value.
+func (x *Ctx) Load(addr uint64) uint64 { return x.do(op{kind: opLoad, addr: addr}) }
+
+// LoadRange issues count loads starting at base with the given stride in
+// bytes (default word size when strideBytes is 0), as a streaming read of
+// bulk data. Equivalent in simulated time to count individual Loads.
+func (x *Ctx) LoadRange(base uint64, count int, strideBytes uint64) {
+	if count <= 0 {
+		return
+	}
+	if strideBytes == 0 {
+		strideBytes = 8
+	}
+	x.do(op{kind: opLoadRange, addr: base, cycles: uint64(count), operand: strideBytes})
+}
+
+// StoreRange issues count bulk stores starting at base with the given
+// stride in bytes (default word size when strideBytes is 0).
+func (x *Ctx) StoreRange(base uint64, count int, strideBytes uint64) {
+	if count <= 0 {
+		return
+	}
+	if strideBytes == 0 {
+		strideBytes = 8
+	}
+	x.do(op{kind: opStoreRange, addr: base, cycles: uint64(count), operand: strideBytes})
+}
+
+// SpinUntilEq busy-waits (repeated loads) until the word at addr equals
+// want, returning the observed value. It simulates a load spin loop with
+// per-cycle fidelity but costs the host only one event per invalidation.
+func (x *Ctx) SpinUntilEq(addr, want uint64) uint64 {
+	return x.do(op{kind: opSpin, addr: addr, operand: want})
+}
+
+// LoadLinked reads addr while taking ownership of its line, so a following
+// StoreCond can commit locally (the LL/SC pair of 2010-era ISAs).
+func (x *Ctx) LoadLinked(addr uint64) uint64 {
+	return x.do(op{kind: opLoadLinked, addr: addr})
+}
+
+// StoreCond conditionally stores value to addr; it reports whether the
+// reservation from the preceding LoadLinked still held.
+func (x *Ctx) StoreCond(addr, value uint64) bool {
+	return x.do(op{kind: opStoreCond, addr: addr, value: value}) == 1
+}
+
+// FetchAddLLSC increments addr by delta with a LoadLinked/StoreCond retry
+// loop, returning the previous value. Under contention the line bounces
+// between cores — the realistic cost of a shared software counter.
+func (x *Ctx) FetchAddLLSC(addr, delta uint64) uint64 {
+	for {
+		old := x.LoadLinked(addr)
+		if x.StoreCond(addr, old+delta) {
+			return old
+		}
+	}
+}
+
+// Store writes addr without a tracked value (bulk data).
+func (x *Ctx) Store(addr uint64) { x.do(op{kind: opStore, addr: addr}) }
+
+// StoreV writes value to addr with functional visibility (synchronization
+// variables).
+func (x *Ctx) StoreV(addr, value uint64) {
+	x.do(op{kind: opStore, addr: addr, value: value, hasValue: true})
+}
+
+// FetchAdd atomically adds delta to addr, returning the previous value.
+func (x *Ctx) FetchAdd(addr, delta uint64) uint64 {
+	return x.do(op{kind: opAtomic, addr: addr, operand: delta, atomicKind: coherence.AtomicAdd})
+}
+
+// TestAndSet atomically stores v to addr, returning the previous value.
+func (x *Ctx) TestAndSet(addr, v uint64) uint64 {
+	return x.do(op{kind: opAtomic, addr: addr, operand: v, atomicKind: coherence.AtomicTAS})
+}
+
+// Swap atomically exchanges addr with v, returning the previous value.
+func (x *Ctx) Swap(addr, v uint64) uint64 {
+	return x.do(op{kind: opAtomic, addr: addr, operand: v, atomicKind: coherence.AtomicSwap})
+}
+
+// GLBarrier executes one hardware barrier on the given G-line context: it
+// writes bar_reg and blocks until the network resets it. All cycles spent
+// here are attributed to the Barrier region.
+func (x *Ctx) GLBarrier(barrierCtx int) {
+	prev := x.region
+	x.region = stats.RegionBarrier
+	x.do(op{kind: opGLBarrier, barrierCtx: barrierCtx})
+	x.region = prev
+}
+
+// InRegion runs fn with all its operations attributed to region r (nesting
+// restores the previous region).
+func (x *Ctx) InRegion(r stats.Region, fn func()) {
+	prev := x.region
+	x.region = r
+	defer func() { x.region = prev }()
+	fn()
+}
+
+// Region returns the current attribution region.
+func (x *Ctx) Region() stats.Region { return x.region }

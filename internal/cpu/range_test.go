@@ -1,0 +1,122 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// TestLoadRangeWithMisses: a strided range crossing many lines mixes hits
+// and misses and must still match the one-by-one loop exactly.
+func TestLoadRangeWithMisses(t *testing.T) {
+	run := func(useRange bool) uint64 {
+		eng := engine.New()
+		cfg := config.Default(4)
+		prot := coherence.New(eng, cfg, mem.NewStore())
+		core := NewCore(0, eng, 2, 9, prot.L1(0), nil)
+		var end uint64
+		const stride = 64 // one line per element: every access misses cold
+		core.Start(func(c *Ctx) {
+			if useRange {
+				c.LoadRange(0x8000, 32, stride)
+				c.LoadRange(0x8000, 32, stride) // second pass: all hits
+			} else {
+				for p := 0; p < 2; p++ {
+					for i := 0; i < 32; i++ {
+						c.Load(0x8000 + uint64(i)*stride)
+					}
+				}
+			}
+			end = c.Now()
+		})
+		for i := 0; i < 10_000_000 && !core.Done(); i++ {
+			eng.Step()
+		}
+		if !core.Done() {
+			t.Fatal("program did not finish")
+		}
+		return end
+	}
+	a, b := run(true), run(false)
+	if a != b {
+		t.Errorf("range=%d loop=%d cycles", a, b)
+	}
+}
+
+func TestStoreRangeTimingMatchesLoop(t *testing.T) {
+	run := func(useRange bool) uint64 {
+		eng := engine.New()
+		cfg := config.Default(4)
+		prot := coherence.New(eng, cfg, mem.NewStore())
+		core := NewCore(0, eng, 2, 9, prot.L1(0), nil)
+		var end uint64
+		core.Start(func(c *Ctx) {
+			if useRange {
+				c.StoreRange(0x9000, 48, 8)
+			} else {
+				for i := 0; i < 48; i++ {
+					c.Store(0x9000 + uint64(i)*8)
+				}
+			}
+			end = c.Now()
+		})
+		for i := 0; i < 10_000_000 && !core.Done(); i++ {
+			eng.Step()
+		}
+		return end
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Errorf("range=%d loop=%d cycles", a, b)
+	}
+}
+
+func TestZeroCountRangesAreFree(t *testing.T) {
+	h, _ := newCPUHarness(t)
+	var at uint64
+	h.core.Start(func(c *Ctx) {
+		c.LoadRange(0x100, 0, 8)
+		c.StoreRange(0x100, -1, 8)
+		at = c.Now()
+	})
+	h.runUntilDone(t, 100)
+	if at != 0 {
+		t.Errorf("empty ranges took %d cycles", at)
+	}
+}
+
+func TestInRegionNesting(t *testing.T) {
+	h, _ := newCPUHarness(t)
+	h.core.Start(func(c *Ctx) {
+		c.InRegion(stats.RegionLock, func() {
+			c.Compute(5)
+			c.InRegion(stats.RegionBarrier, func() {
+				c.Compute(7)
+			})
+			c.Compute(3)
+		})
+		c.Compute(2)
+	})
+	h.runUntilDone(t, 1000)
+	b := h.core.Breakdown()
+	if b[stats.RegionLock] != 8 || b[stats.RegionBarrier] != 7 || b[stats.RegionBusy] != 2 {
+		t.Errorf("nesting: lock=%d barrier=%d busy=%d, want 8/7/2",
+			b[stats.RegionLock], b[stats.RegionBarrier], b[stats.RegionBusy])
+	}
+}
+
+func TestRegionAccessor(t *testing.T) {
+	h, _ := newCPUHarness(t)
+	var inside, outside stats.Region
+	h.core.Start(func(c *Ctx) {
+		outside = c.Region()
+		c.InRegion(stats.RegionLock, func() { inside = c.Region() })
+	})
+	h.runUntilDone(t, 100)
+	if outside != stats.RegionBusy || inside != stats.RegionLock {
+		t.Errorf("regions %v/%v", outside, inside)
+	}
+}

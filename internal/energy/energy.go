@@ -1,0 +1,39 @@
+// Package energy estimates interconnect energy, supporting the paper's
+// claim (and future-work item) that removing barrier traffic from the data
+// NoC saves power: the mesh accounts energy per flit-hop; the G-line
+// network per wire toggle.
+//
+// Constants are nominal 45 nm-class values in the range of Wang et al.
+// ("Power-driven Design of Router Microarchitectures", MICRO'03) and
+// Krishna et al. (HOTI'08) that the paper cites; absolute joules are not
+// the point — the ratio between NoC traffic energy and G-line energy is.
+package energy
+
+// Nominal per-event energies, in picojoules.
+const (
+	// FlitHopPJ is the energy to move one flit one hop (link + router).
+	FlitHopPJ = 0.98
+	// GLTogglePJ is the energy of one G-line transition; a full-chip
+	// broadcast wire with a low-swing driver (Krishna et al. report
+	// G-lines are far cheaper than router traversals).
+	GLTogglePJ = 0.36
+)
+
+// Estimate is the energy attributed to each interconnect.
+type Estimate struct {
+	// NoCPJ is flit-hops times FlitHopPJ.
+	NoCPJ float64
+	// GLinePJ is G-line toggles times GLTogglePJ.
+	GLinePJ float64
+}
+
+// Total returns the combined estimate in picojoules.
+func (e Estimate) Total() float64 { return e.NoCPJ + e.GLinePJ }
+
+// New computes an Estimate from raw event counts.
+func New(flitHops, glToggles uint64) Estimate {
+	return Estimate{
+		NoCPJ:   float64(flitHops) * FlitHopPJ,
+		GLinePJ: float64(glToggles) * GLTogglePJ,
+	}
+}

@@ -1,0 +1,30 @@
+package energy
+
+import "testing"
+
+func TestEstimate(t *testing.T) {
+	e := New(1000, 50)
+	if e.NoCPJ != 1000*FlitHopPJ {
+		t.Errorf("NoC energy %f", e.NoCPJ)
+	}
+	if e.GLinePJ != 50*GLTogglePJ {
+		t.Errorf("G-line energy %f", e.GLinePJ)
+	}
+	if e.Total() != e.NoCPJ+e.GLinePJ {
+		t.Errorf("total %f", e.Total())
+	}
+}
+
+func TestGLineCheaperPerEvent(t *testing.T) {
+	// The premise of the paper's power argument: one G-line toggle costs
+	// less than one flit-hop.
+	if GLTogglePJ >= FlitHopPJ {
+		t.Error("G-line toggle should be cheaper than a flit-hop")
+	}
+}
+
+func TestZeroCounts(t *testing.T) {
+	if e := New(0, 0); e.Total() != 0 {
+		t.Error("zero events should cost zero energy")
+	}
+}

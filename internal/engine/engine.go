@@ -1,0 +1,122 @@
+// Package engine provides the deterministic cycle-driven event core shared
+// by every simulated component: a virtual clock and an event queue ordered
+// by (cycle, insertion sequence).
+//
+// All components of the simulator schedule work through a single Engine, so
+// a whole-system run is a pure function of its inputs: events due on the
+// same cycle execute in the exact order they were scheduled.
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a specific cycle.
+type event struct {
+	cycle uint64
+	seq   uint64
+	fn    func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Ticker is a component that must be stepped every cycle while it is active
+// (e.g. a network router or a G-line controller). A Ticker reports whether
+// it still has work; idle tickers let the engine fast-forward to the next
+// scheduled event.
+type Ticker interface {
+	// Tick advances the component by one cycle and reports whether the
+	// component remains active (has buffered or in-flight work).
+	Tick(cycle uint64) (active bool)
+}
+
+// Engine is the deterministic simulation core.
+type Engine struct {
+	now     uint64
+	seq     uint64
+	events  eventHeap
+	tickers []Ticker
+}
+
+// New returns an Engine at cycle 0 with an empty event queue.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current cycle.
+func (e *Engine) Now() uint64 { return e.now }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// panics: it always indicates a component bug, never a recoverable state.
+func (e *Engine) At(cycle uint64, fn func()) {
+	if cycle < e.now {
+		panic(fmt.Sprintf("engine: scheduling at cycle %d, now %d", cycle, e.now))
+	}
+	heap.Push(&e.events, event{cycle: cycle, seq: e.seq, fn: fn})
+	e.seq++
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay uint64, fn func()) { e.At(e.now+delay, fn) }
+
+// AddTicker registers a per-cycle component. Tickers run after all events
+// due on a cycle, in registration order.
+func (e *Engine) AddTicker(t Ticker) { e.tickers = append(e.tickers, t) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step advances the simulation by exactly one cycle: it runs every event due
+// at the current cycle (including events those events schedule for the same
+// cycle), then ticks all registered tickers, then advances the clock.
+// It reports whether any ticker remains active.
+func (e *Engine) Step() (tickersActive bool) {
+	for len(e.events) > 0 && e.events[0].cycle == e.now {
+		ev := heap.Pop(&e.events).(event)
+		ev.fn()
+	}
+	for _, t := range e.tickers {
+		if t.Tick(e.now) {
+			tickersActive = true
+		}
+	}
+	e.now++
+	return tickersActive
+}
+
+// Run drives the simulation until done() reports true or no work remains or
+// maxCycles elapses. It fast-forwards over cycles where all tickers are idle
+// and no events are due. It returns the cycle at which it stopped and an
+// error if the cycle budget was exhausted with work still pending.
+func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	for e.now < maxCycles {
+		if done() {
+			return e.now, nil
+		}
+		active := e.Step()
+		if !active && len(e.events) > 0 && e.events[0].cycle > e.now {
+			// Nothing happens until the next event: jump.
+			e.now = e.events[0].cycle
+		}
+		if !active && len(e.events) == 0 {
+			if done() {
+				return e.now, nil
+			}
+			return e.now, fmt.Errorf("engine: deadlock at cycle %d: no events, idle tickers, simulation not done", e.now)
+		}
+	}
+	if done() {
+		return e.now, nil
+	}
+	return e.now, fmt.Errorf("engine: cycle budget %d exhausted", maxCycles)
+}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInCycleOrder(t *testing.T) {
+	e := New()
+	var got []uint64
+	for _, cyc := range []uint64{5, 1, 3, 1, 0, 5} {
+		cyc := cyc
+		e.At(cyc, func() { got = append(got, cyc) })
+	}
+	for i := 0; i < 10; i++ {
+		e.Step()
+	}
+	want := []uint64{0, 1, 1, 3, 5, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	e := New()
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e.At(7, func() { got = append(got, i) })
+	}
+	for e.Now() <= 7 {
+		e.Step()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle events reordered: %v", got)
+		}
+	}
+}
+
+func TestEventScheduledDuringOwnCycleRuns(t *testing.T) {
+	e := New()
+	ran := false
+	e.At(3, func() {
+		e.At(3, func() { ran = true })
+	})
+	for i := 0; i < 5; i++ {
+		e.Step()
+	}
+	if !ran {
+		t.Error("event chained at the same cycle did not run")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New()
+	e.At(0, func() {})
+	e.Step()
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.At(0, func() {})
+}
+
+type countTicker struct {
+	ticks  int
+	active int // remain active for this many ticks
+}
+
+func (c *countTicker) Tick(cycle uint64) bool {
+	c.ticks++
+	c.active--
+	return c.active > 0
+}
+
+func TestRunFastForwardsIdleGaps(t *testing.T) {
+	e := New()
+	tk := &countTicker{active: 3}
+	e.AddTicker(tk)
+	done := false
+	e.At(1000, func() { done = true })
+	end, err := e.Run(10_000, func() bool { return done })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// The event fires during cycle 1000; Run returns after that cycle.
+	if end != 1001 {
+		t.Errorf("ended at %d, want 1001", end)
+	}
+	// The ticker goes idle after 3 ticks; the engine must not tick it 1000
+	// times.
+	if tk.ticks > 10 {
+		t.Errorf("ticker stepped %d times despite idling", tk.ticks)
+	}
+}
+
+func TestRunDeadlockDetection(t *testing.T) {
+	e := New()
+	_, err := e.Run(1000, func() bool { return false })
+	if err == nil {
+		t.Error("expected deadlock error with no events and no done")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	e := New()
+	var reschedule func()
+	reschedule = func() { e.After(1, reschedule) }
+	e.After(1, reschedule)
+	_, err := e.Run(100, func() bool { return false })
+	if err == nil {
+		t.Error("expected budget-exhausted error")
+	}
+}
+
+// Property: events fire exactly at their scheduled cycles regardless of
+// insertion order.
+func TestPropEventTiming(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := rand.New(rand.NewSource(seed))
+		e := New()
+		cycles := make([]uint64, n)
+		fired := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			cycles[i] = uint64(r.Intn(200))
+			cyc := cycles[i]
+			e.At(cyc, func() {
+				if e.Now() != cyc {
+					t.Errorf("event for %d fired at %d", cyc, e.Now())
+				}
+				fired = append(fired, cyc)
+			})
+		}
+		for i := 0; i < 220; i++ {
+			e.Step()
+		}
+		sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+		if len(fired) != n {
+			return false
+		}
+		for i := range cycles {
+			if fired[i] != cycles[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

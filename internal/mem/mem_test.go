@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	if v := s.Load(0x100); v != 0 {
+		t.Fatalf("uninitialized word = %d, want 0", v)
+	}
+	s.StoreWord(0x100, 42)
+	if v := s.Load(0x100); v != 42 {
+		t.Fatalf("load = %d, want 42", v)
+	}
+	// Same word, different byte offset.
+	if v := s.Load(0x107); v != 42 {
+		t.Fatalf("intra-word offset load = %d, want 42", v)
+	}
+	if v := s.Load(0x108); v != 0 {
+		t.Fatalf("next word = %d, want 0", v)
+	}
+}
+
+func TestRMW(t *testing.T) {
+	s := NewStore()
+	s.StoreWord(8, 10)
+	old := s.RMW(8, func(v uint64) uint64 { return v + 5 })
+	if old != 10 || s.Load(8) != 15 {
+		t.Errorf("RMW old=%d new=%d, want 10/15", old, s.Load(8))
+	}
+	loads, stores, rmws := s.Counters()
+	if loads != 1 || stores != 1 || rmws != 1 {
+		t.Errorf("counters %d/%d/%d", loads, stores, rmws)
+	}
+}
+
+func TestAllocatorLineAlignment(t *testing.T) {
+	a := NewAllocator(100, 64)
+	l1 := a.Line()
+	l2 := a.Line()
+	if l1%64 != 0 || l2%64 != 0 {
+		t.Errorf("lines not aligned: %#x %#x", l1, l2)
+	}
+	if l2 != l1+64 {
+		t.Errorf("lines not consecutive: %#x %#x", l1, l2)
+	}
+}
+
+func TestAllocatorWordsDense(t *testing.T) {
+	a := NewAllocator(0, 64)
+	w1 := a.Words(3)
+	w2 := a.Words(1)
+	if w2 != w1+3*WordSize {
+		t.Errorf("words not dense: %#x then %#x", w1, w2)
+	}
+	a.AlignLine()
+	l := a.Line()
+	if l%64 != 0 || l < w2 {
+		t.Errorf("AlignLine produced %#x", l)
+	}
+}
+
+// Property: allocations never overlap and are properly aligned.
+func TestPropAllocatorNoOverlap(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewAllocator(0x1000, 64)
+		type span struct{ lo, hi uint64 }
+		var spans []span
+		for _, op := range ops {
+			var lo, hi uint64
+			switch {
+			case op%3 == 0:
+				n := int(op%7) + 1
+				lo = a.Lines(n)
+				hi = lo + uint64(n)*64
+				if lo%64 != 0 {
+					return false
+				}
+			default:
+				n := int(op%9) + 1
+				lo = a.Words(n)
+				hi = lo + uint64(n)*WordSize
+				if lo%WordSize != 0 {
+					return false
+				}
+			}
+			for _, s := range spans {
+				if lo < s.hi && s.lo < hi {
+					return false
+				}
+			}
+			spans = append(spans, span{lo, hi})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package noc models the CMP's main data interconnect: a 2D-mesh,
+// packet-switched network with dimension-order (XY) routing, one-flit-per-
+// cycle link bandwidth, and per-hop router/link pipeline delays.
+//
+// Forwarding is virtual cut-through (wormhole-like): the head flit moves to
+// the next router after the hop latency while the tail still drains, so
+// end-to-end latency is hops*(router+link+1) + flits, not hops*flits. Each
+// output port stays busy for the packet's full length, so bandwidth
+// contention and hot-spot queueing emerge naturally — the behaviour that
+// makes centralized software barriers collapse in the paper.
+package noc
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// Port indices of a router.
+const (
+	portLocal = iota
+	portNorth
+	portSouth
+	portEast
+	portWest
+	numPorts
+)
+
+// Packet is one network message.
+type Packet struct {
+	// ID is unique per mesh, assigned at injection.
+	ID uint64
+	// Src and Dst are tile indices.
+	Src, Dst int
+	// Class drives the Figure 7 traffic accounting.
+	Class stats.MsgClass
+	// Flits is the packet length; links move one flit per cycle.
+	Flits int
+	// Payload is the protocol-level message carried by this packet.
+	Payload any
+	// InjectedAt is the cycle Inject was called, for latency accounting.
+	InjectedAt uint64
+}
+
+type entry struct {
+	p       *Packet
+	readyAt uint64
+}
+
+type router struct {
+	in        [numPorts][]entry
+	out       [numPorts][]entry
+	busyUntil [numPorts]uint64
+	// txFlits counts flit-cycles of occupancy per output port, for the
+	// link-utilization report.
+	txFlits [numPorts]uint64
+}
+
+// Mesh is the 2D-mesh network. It implements engine.Ticker.
+type Mesh struct {
+	cols, rows         int
+	routerLat, linkLat uint64
+	eng                *engine.Engine
+	routers            []router
+	sink               func(dst int, p *Packet)
+
+	nextID    uint64
+	inFlight  int
+	traffic   stats.Traffic
+	delivered uint64
+	latSum    [stats.NumMsgClasses]uint64
+	latCount  [stats.NumMsgClasses]uint64
+}
+
+// New creates a cols x rows mesh. Delivered packets are handed to sink.
+func New(eng *engine.Engine, cols, rows int, routerLat, linkLat uint64, sink func(dst int, p *Packet)) *Mesh {
+	if cols <= 0 || rows <= 0 {
+		panic(fmt.Sprintf("noc: invalid mesh %dx%d", cols, rows))
+	}
+	m := &Mesh{
+		cols:      cols,
+		rows:      rows,
+		routerLat: routerLat,
+		linkLat:   linkLat,
+		eng:       eng,
+		routers:   make([]router, cols*rows),
+		sink:      sink,
+	}
+	eng.AddTicker(m)
+	return m
+}
+
+// Nodes returns the number of tiles.
+func (m *Mesh) Nodes() int { return m.cols * m.rows }
+
+// Inject queues packet p at its source router's local input port. The
+// packet's ID and InjectedAt fields are assigned here.
+func (m *Mesh) Inject(p *Packet) {
+	if p.Src < 0 || p.Src >= len(m.routers) || p.Dst < 0 || p.Dst >= len(m.routers) {
+		panic(fmt.Sprintf("noc: packet endpoints out of range: src=%d dst=%d nodes=%d", p.Src, p.Dst, len(m.routers)))
+	}
+	if p.Flits <= 0 {
+		panic(fmt.Sprintf("noc: packet with %d flits", p.Flits))
+	}
+	p.ID = m.nextID
+	m.nextID++
+	p.InjectedAt = m.eng.Now()
+	m.traffic.Add(p.Class, p.Flits)
+	m.inFlight++
+	r := &m.routers[p.Src]
+	r.in[portLocal] = append(r.in[portLocal], entry{p: p, readyAt: m.eng.Now()})
+}
+
+// Traffic returns the accumulated per-class message/flit counters.
+func (m *Mesh) Traffic() stats.Traffic { return m.traffic }
+
+// Delivered returns the number of packets handed to the sink so far.
+func (m *Mesh) Delivered() uint64 { return m.delivered }
+
+// InFlight returns the number of injected but not yet delivered packets.
+func (m *Mesh) InFlight() int { return m.inFlight }
+
+// AvgLatency returns the mean inject-to-sink latency in cycles for the
+// given class, or 0 if none delivered.
+func (m *Mesh) AvgLatency(c stats.MsgClass) float64 {
+	if m.latCount[c] == 0 {
+		return 0
+	}
+	return float64(m.latSum[c]) / float64(m.latCount[c])
+}
+
+// LinkUtilization returns total flit-cycles transmitted per tile per port,
+// indexed [tile][port]; ports follow Local,N,S,E,W order.
+func (m *Mesh) LinkUtilization() [][5]uint64 {
+	u := make([][5]uint64, len(m.routers))
+	for i := range m.routers {
+		u[i] = m.routers[i].txFlits
+	}
+	return u
+}
+
+// route returns the output port for a packet at tile node heading to dst,
+// using XY (column-first) dimension-order routing.
+func (m *Mesh) route(node, dst int) int {
+	nc, nr := node%m.cols, node/m.cols
+	dc, dr := dst%m.cols, dst/m.cols
+	switch {
+	case dc > nc:
+		return portEast
+	case dc < nc:
+		return portWest
+	case dr > nr:
+		return portSouth
+	case dr < nr:
+		return portNorth
+	default:
+		return portLocal
+	}
+}
+
+// neighbor returns the tile index adjacent to node through port, and the
+// input port on which the packet arrives there.
+func (m *Mesh) neighbor(node, port int) (next, inPort int) {
+	switch port {
+	case portNorth:
+		return node - m.cols, portSouth
+	case portSouth:
+		return node + m.cols, portNorth
+	case portEast:
+		return node + 1, portWest
+	case portWest:
+		return node - 1, portEast
+	}
+	panic("noc: neighbor of local port")
+}
+
+// Tick advances the mesh one cycle: a routing stage moving at most one
+// packet per input port into an output queue, then a transmission stage
+// starting at most one packet per free output port.
+func (m *Mesh) Tick(cycle uint64) bool {
+	if m.inFlight == 0 {
+		return false
+	}
+	for node := range m.routers {
+		r := &m.routers[node]
+		for port := 0; port < numPorts; port++ {
+			q := r.in[port]
+			if len(q) == 0 || q[0].readyAt > cycle {
+				continue
+			}
+			e := q[0]
+			r.in[port] = q[1:]
+			outPort := m.route(node, e.p.Dst)
+			r.out[outPort] = append(r.out[outPort], entry{p: e.p, readyAt: cycle + m.routerLat})
+		}
+		for port := 0; port < numPorts; port++ {
+			q := r.out[port]
+			if len(q) == 0 || q[0].readyAt > cycle || r.busyUntil[port] > cycle {
+				continue
+			}
+			e := q[0]
+			r.out[port] = q[1:]
+			flits := uint64(e.p.Flits)
+			r.busyUntil[port] = cycle + flits
+			r.txFlits[port] += flits
+			if port == portLocal {
+				// Ejection: the packet fully drains into the node.
+				m.eng.At(cycle+flits, func() { m.deliver(node, e.p) })
+				continue
+			}
+			next, inPort := m.neighbor(node, port)
+			nr := &m.routers[next]
+			p := e.p
+			// Cut-through: the head flit reaches the neighbor after one
+			// flit time plus the wire delay; the tail follows while the
+			// downstream router already routes the head.
+			m.eng.At(cycle+1+m.linkLat, func() {
+				nr.in[inPort] = append(nr.in[inPort], entry{p: p, readyAt: m.eng.Now()})
+			})
+		}
+	}
+	return true
+}
+
+func (m *Mesh) deliver(node int, p *Packet) {
+	m.inFlight--
+	m.delivered++
+	m.latSum[p.Class] += m.eng.Now() - p.InjectedAt
+	m.latCount[p.Class]++
+	m.sink(node, p)
+}
+
+// Heatmap renders per-tile link utilization (total flit-cycles transmitted
+// by each router) as an ASCII grid — hot-spot patterns like a contended
+// barrier counter's home bank become immediately visible.
+func (m *Mesh) Heatmap() string {
+	totals := make([]uint64, len(m.routers))
+	var max uint64
+	for i := range m.routers {
+		var t uint64
+		for _, f := range m.routers[i].txFlits {
+			t += f
+		}
+		totals[i] = t
+		if t > max {
+			max = t
+		}
+	}
+	shades := []byte(" .:-=+*#%@")
+	var b []byte
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			t := totals[r*m.cols+c]
+			idx := 0
+			if max > 0 {
+				idx = int(t * uint64(len(shades)-1) / max)
+			}
+			b = append(b, '[', shades[idx], ']')
+		}
+		b = append(b, '\n')
+	}
+	b = append(b, fmt.Sprintf("scale: ' '=0 .. '@'=%d flit-cycles\n", max)...)
+	return string(b)
+}

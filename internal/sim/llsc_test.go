@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestLLSCContention(t *testing.T) {
+	for _, n := range []int{2, 4, 8} {
+		s := newTestSystem(t, n)
+		addr := s.Alloc.Line()
+		wins := make([]uint64, n)
+		progs := make([]cpu.Program, n)
+		for i := 0; i < n; i++ {
+			i := i
+			progs[i] = func(c *cpu.Ctx) {
+				for k := 0; k < 5; k++ {
+					wins[i] = c.FetchAddLLSC(addr, 1)
+				}
+			}
+		}
+		if err := s.Launch(progs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(500_000); err != nil {
+			t.Fatalf("n=%d: %v wins=%v final=%d", n, err, wins, s.Memv.Load(addr))
+		}
+		if got := s.Memv.Load(addr); got != uint64(5*n) {
+			t.Errorf("n=%d: counter=%d want %d", n, got, 5*n)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package sim assembles the full simulated CMP — cores, coherent memory
+// hierarchy, mesh NoC and G-line barrier network — and runs programs on it
+// to completion, producing the statistics the paper's evaluation reports.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/coherence"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/stats"
+)
+
+// heapBase is where workload allocations start; any non-zero line-aligned
+// value works (addresses are synthetic).
+const heapBase = 0x1000_0000
+
+// GLNetwork is the interface both the flat and the hierarchical G-line
+// networks satisfy.
+type GLNetwork interface {
+	Arrive(core int, barrierCtx int)
+	Tick(cycle uint64) bool
+	OnRelease(schedule func(delay uint64, fn func()), release func(core int))
+	SetParticipants(ctxID int, cores []int) error
+	Episodes() uint64
+	Toggles() uint64
+	LineCount() int
+	ActiveCycles() uint64
+}
+
+// System is one simulated CMP instance. Build it with New, install
+// programs with Launch, then Run.
+type System struct {
+	Cfg   config.Config
+	Eng   *engine.Engine
+	Prot  *coherence.Protocol
+	Memv  *mem.Store
+	Alloc *mem.Allocator
+	GL    GLNetwork
+	Cores []*cpu.Core
+
+	// SWEpisodes counts software barrier episodes (the G-line network
+	// counts hardware episodes itself).
+	SWEpisodes uint64
+
+	launched int
+}
+
+// New builds a system for the given configuration. A flat G-line network
+// is used when the mesh fits the electrical limit; otherwise a hierarchical
+// one is built automatically.
+func New(cfg config.Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := engine.New()
+	memv := mem.NewStore()
+	prot := coherence.New(eng, cfg, memv)
+
+	var gl GLNetwork
+	if cfg.GLContexts > 0 {
+		var err error
+		gl, err = buildGL(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	s := &System{
+		Cfg:   cfg,
+		Eng:   eng,
+		Prot:  prot,
+		Memv:  memv,
+		Alloc: mem.NewAllocator(heapBase, cfg.LineSize),
+		GL:    gl,
+	}
+	s.Cores = make([]*cpu.Core, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		s.Cores[i] = cpu.NewCore(i, eng, cfg.IssueWidth, cfg.GLCallOverhead, prot.L1(i), gl)
+	}
+	if gl != nil {
+		gl.OnRelease(eng.After, func(c int) { s.Cores[c].GLRelease() })
+		eng.AddTicker(gl)
+	}
+	return s, nil
+}
+
+// buildGL constructs the barrier network matching the mesh size.
+func buildGL(cfg config.Config) (GLNetwork, error) {
+	if cfg.GLFitsFlat() {
+		return core.NewNetwork(core.NetworkConfig{
+			Cols:            cfg.MeshCols,
+			Rows:            cfg.MeshRows,
+			MaxTransmitters: cfg.GLMaxTransmitters,
+			Contexts:        cfg.GLContexts,
+			Mux:             core.MuxSpace,
+		})
+	}
+	span, err := ChooseSpan(cfg.MeshCols, cfg.MeshRows, cfg.GLMaxTransmitters)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewHierarchical(cfg.MeshCols, cfg.MeshRows, span, cfg.GLMaxTransmitters, cfg.GLContexts)
+}
+
+// ChooseSpan picks the smallest balanced cluster span for a mesh exceeding
+// the flat limit, such that both the cluster dimensions and the number of
+// clusters respect the per-line transmitter limit.
+func ChooseSpan(cols, rows, maxTx int) (int, error) {
+	for span := 2; span <= maxTx+1; span++ {
+		gridC := (cols + span - 1) / span
+		gridR := (rows + span - 1) / span
+		if gridC*gridR-1 <= maxTx {
+			return span, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: no single-level cluster span covers a %dx%d mesh with %d transmitters per line", cols, rows, maxTx)
+}
+
+// ReplaceGL swaps the barrier network before any program launches; used by
+// ablation studies to install hierarchical or time-multiplexed variants.
+func (s *System) ReplaceGL(gl GLNetwork) {
+	if s.launched > 0 {
+		panic("sim: ReplaceGL after Launch")
+	}
+	s.GL = gl
+	gl.OnRelease(s.Eng.After, func(c int) { s.Cores[c].GLRelease() })
+	s.Eng.AddTicker(gl)
+	for _, c := range s.Cores {
+		c.SetBarrierEngine(gl)
+	}
+}
+
+// NewBarrier builds a barrier of the given kind over this system's memory
+// for n threads (tids 0..n-1), using G-line context 0 for KindGL.
+func (s *System) NewBarrier(kind barrier.Kind, n int) (barrier.Barrier, error) {
+	if kind == barrier.KindGL {
+		if s.GL == nil {
+			return nil, fmt.Errorf("sim: configuration has no G-line network (GLContexts=0)")
+		}
+		if n != s.Cfg.Cores {
+			if err := s.GL.SetParticipants(0, firstN(n)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return barrier.New(kind, s.Alloc, n, &s.SWEpisodes, 0)
+}
+
+func firstN(n int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = i
+	}
+	return v
+}
+
+// Launch starts one program per core, programs[i] on core i. Fewer
+// programs than cores leaves the remaining cores idle.
+func (s *System) Launch(programs []cpu.Program) error {
+	if len(programs) > len(s.Cores) {
+		return fmt.Errorf("sim: %d programs for %d cores", len(programs), len(s.Cores))
+	}
+	for i, p := range programs {
+		if p == nil {
+			return fmt.Errorf("sim: nil program for core %d", i)
+		}
+		s.Cores[i].Start(p)
+	}
+	s.launched = len(programs)
+	return nil
+}
+
+// Run drives the simulation until every launched program finishes or
+// maxCycles elapses. It returns the report even on error (partial stats
+// are useful for diagnosing hangs).
+func (s *System) Run(maxCycles uint64) (*Report, error) {
+	if s.launched == 0 {
+		return nil, fmt.Errorf("sim: no programs launched")
+	}
+	done := func() bool {
+		for i := 0; i < s.launched; i++ {
+			if !s.Cores[i].Done() {
+				return false
+			}
+		}
+		return true
+	}
+	endCycle, err := s.Eng.Run(maxCycles, done)
+	if err == nil {
+		for i := 0; i < s.launched; i++ {
+			if cerr := s.Cores[i].Err(); cerr != nil {
+				err = cerr
+				break
+			}
+		}
+	}
+	rep := s.report(endCycle)
+	return rep, err
+}
+
+// Close unwinds any program goroutines still blocked (after an error or
+// cycle-budget exhaustion).
+func (s *System) Close() {
+	for i := 0; i < s.launched; i++ {
+		s.Cores[i].Abort()
+	}
+}
+
+// Report is the complete result of one simulation run.
+type Report struct {
+	Cycles    uint64
+	PerCore   []stats.TimeBreakdown
+	Breakdown stats.TimeBreakdown
+	Traffic   stats.Traffic
+
+	BarrierEpisodes uint64
+	BarrierPeriod   float64
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+	MemFetches       uint64
+	MemWritebacks    uint64
+
+	FlitHops       uint64
+	GLToggles      uint64
+	GLLines        int
+	GLActiveCycles uint64
+	Energy         energy.Estimate
+}
+
+func (s *System) report(endCycle uint64) *Report {
+	r := &Report{
+		Cycles:  endCycle,
+		Traffic: s.Prot.Traffic(),
+	}
+	for i := 0; i < s.launched; i++ {
+		b := s.Cores[i].Breakdown()
+		r.PerCore = append(r.PerCore, b)
+		r.Breakdown = r.Breakdown.Plus(b)
+	}
+	for i := range s.Cores {
+		h, m := s.Prot.L1Stats(i)
+		r.L1Hits += h
+		r.L1Misses += m
+	}
+	r.L2Hits, r.L2Misses = s.Prot.L2Stats()
+	r.MemFetches, r.MemWritebacks = s.Prot.MemAccesses()
+
+	for _, ports := range s.Prot.Mesh().LinkUtilization() {
+		for _, f := range ports {
+			r.FlitHops += f
+		}
+	}
+	r.BarrierEpisodes = s.SWEpisodes
+	if s.GL != nil {
+		r.BarrierEpisodes += s.GL.Episodes()
+		r.GLToggles = s.GL.Toggles()
+		r.GLLines = s.GL.LineCount()
+		r.GLActiveCycles = s.GL.ActiveCycles()
+	}
+	if r.BarrierEpisodes > 0 {
+		r.BarrierPeriod = float64(r.Cycles) / float64(r.BarrierEpisodes)
+	}
+	r.Energy = energy.New(r.FlitHops, r.GLToggles)
+	return r
+}
+
+// String renders a human-readable summary of the report.
+func (r *Report) String() string {
+	t := stats.Table{Header: []string{"metric", "value"}}
+	t.AddRow("cycles", fmt.Sprintf("%d", r.Cycles))
+	f := r.Breakdown.Fractions()
+	for reg := stats.Region(0); reg < stats.NumRegions; reg++ {
+		t.AddRow("time."+reg.String(), fmt.Sprintf("%d (%s)", r.Breakdown[reg], stats.Pct(f[reg])))
+	}
+	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
+		t.AddRow("traffic."+c.String(), fmt.Sprintf("%d msgs / %d flits", r.Traffic.Messages[c], r.Traffic.Flits[c]))
+	}
+	t.AddRow("barrier.episodes", fmt.Sprintf("%d", r.BarrierEpisodes))
+	t.AddRow("barrier.period", fmt.Sprintf("%.0f", r.BarrierPeriod))
+	t.AddRow("l1.hits/misses", fmt.Sprintf("%d/%d", r.L1Hits, r.L1Misses))
+	t.AddRow("l2.hits/misses", fmt.Sprintf("%d/%d", r.L2Hits, r.L2Misses))
+	t.AddRow("mem.fetch/writeback", fmt.Sprintf("%d/%d", r.MemFetches, r.MemWritebacks))
+	t.AddRow("noc.flit-hops", fmt.Sprintf("%d", r.FlitHops))
+	t.AddRow("gl.lines", fmt.Sprintf("%d", r.GLLines))
+	t.AddRow("gl.toggles", fmt.Sprintf("%d", r.GLToggles))
+	t.AddRow("energy.noc-pJ", fmt.Sprintf("%.0f", r.Energy.NoCPJ))
+	t.AddRow("energy.gl-pJ", fmt.Sprintf("%.1f", r.Energy.GLinePJ))
+	return t.String()
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/barrier"
+	"repro/internal/config"
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+// newTestSystem builds a small system, failing the test on error.
+func newTestSystem(t *testing.T, n int) *System {
+	t.Helper()
+	s, err := New(config.Default(n))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSingleCoreComputeOnly(t *testing.T) {
+	s := newTestSystem(t, 4)
+	prog := func(c *cpu.Ctx) { c.Compute(100) }
+	if err := s.Launch([]cpu.Program{prog}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	rep, err := s.Run(10_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Breakdown[stats.RegionBusy] != 100 {
+		t.Errorf("busy cycles = %d, want 100", rep.Breakdown[stats.RegionBusy])
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s := newTestSystem(t, 4)
+	addr := s.Alloc.Line()
+	var got uint64
+	prog := func(c *cpu.Ctx) {
+		c.StoreV(addr, 42)
+		got = c.Load(addr)
+	}
+	if err := s.Launch([]cpu.Program{prog}); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if _, err := s.Run(100_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got != 42 {
+		t.Errorf("loaded %d, want 42", got)
+	}
+}
+
+func TestGLBarrierAllCores(t *testing.T) {
+	s := newTestSystem(t, 16)
+	var after []uint64
+	progs := make([]cpu.Program, 16)
+	order := make(chan int, 16)
+	for i := 0; i < 16; i++ {
+		i := i
+		progs[i] = func(c *cpu.Ctx) {
+			c.Compute(uint64(i * 3)) // staggered arrivals
+			c.GLBarrier(0)
+			order <- i
+			after = append(after, c.Now())
+		}
+	}
+	if err := s.Launch(progs); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	rep, err := s.Run(100_000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.BarrierEpisodes != 1 {
+		t.Errorf("episodes = %d, want 1", rep.BarrierEpisodes)
+	}
+	// All cores resume at the same cycle.
+	first := after[0]
+	for _, cyc := range after {
+		if cyc != first {
+			t.Errorf("cores released at different cycles: %v", after)
+			break
+		}
+	}
+	if rep.Traffic.TotalMessages() != 0 {
+		t.Errorf("G-line barrier generated %d NoC messages, want 0", rep.Traffic.TotalMessages())
+	}
+}
+
+func TestSoftwareBarriers(t *testing.T) {
+	for _, kind := range []barrier.Kind{barrier.KindCSW, barrier.KindDSW} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			const n = 8
+			const iters = 5
+			s := newTestSystem(t, n)
+			b, err := s.NewBarrier(kind, n)
+			if err != nil {
+				t.Fatalf("NewBarrier: %v", err)
+			}
+			counts := make([]int, n)
+			progs := make([]cpu.Program, n)
+			for i := 0; i < n; i++ {
+				i := i
+				progs[i] = func(c *cpu.Ctx) {
+					for it := 0; it < iters; it++ {
+						c.Compute(uint64(1 + i))
+						b.Wait(c, i)
+						counts[i]++
+					}
+				}
+			}
+			if err := s.Launch(progs); err != nil {
+				t.Fatalf("Launch: %v", err)
+			}
+			rep, err := s.Run(10_000_000)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if rep.BarrierEpisodes != iters {
+				t.Errorf("episodes = %d, want %d", rep.BarrierEpisodes, iters)
+			}
+			for i, c := range counts {
+				if c != iters {
+					t.Errorf("thread %d completed %d iterations, want %d", i, c, iters)
+				}
+			}
+			if rep.Traffic.TotalMessages() == 0 {
+				t.Error("software barrier generated no NoC traffic")
+			}
+		})
+	}
+}

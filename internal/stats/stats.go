@@ -1,0 +1,268 @@
+// Package stats collects and renders the two result families the paper
+// reports: per-core execution-time breakdowns (Figure 6) and network-traffic
+// breakdowns (Figure 7), plus the derived barrier metrics of Table 2.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Region classifies what a core is doing on a given cycle. The categories
+// are exactly those of the paper's Figure 6.
+type Region int
+
+const (
+	// RegionBusy is computational work (arithmetic and private activity).
+	RegionBusy Region = iota
+	// RegionRead is time stalled on memory loads outside synchronization.
+	RegionRead
+	// RegionWrite is time stalled on memory stores outside synchronization.
+	RegionWrite
+	// RegionLock is time spent in lock acquire/release.
+	RegionLock
+	// RegionBarrier is time spent in barrier notification, busy-wait and
+	// release (the paper's S1+S2+S3).
+	RegionBarrier
+
+	// NumRegions is the number of Region values.
+	NumRegions
+)
+
+// String returns the paper's label for the region.
+func (r Region) String() string {
+	switch r {
+	case RegionBusy:
+		return "Busy"
+	case RegionRead:
+		return "Read"
+	case RegionWrite:
+		return "Write"
+	case RegionLock:
+		return "Lock"
+	case RegionBarrier:
+		return "Barrier"
+	}
+	return fmt.Sprintf("Region(%d)", int(r))
+}
+
+// MsgClass classifies network messages as in the paper's Figure 7.
+type MsgClass int
+
+const (
+	// ClassRequest is a load/store request travelling to a home bank or
+	// memory controller.
+	ClassRequest MsgClass = iota
+	// ClassReply carries requested data (or an atomic result) back.
+	ClassReply
+	// ClassCoherence is protocol traffic: invalidations, acks, forwards,
+	// writebacks.
+	ClassCoherence
+
+	// NumMsgClasses is the number of MsgClass values.
+	NumMsgClasses
+)
+
+// String returns the paper's label for the message class.
+func (m MsgClass) String() string {
+	switch m {
+	case ClassRequest:
+		return "Request"
+	case ClassReply:
+		return "Reply"
+	case ClassCoherence:
+		return "Coherence"
+	}
+	return fmt.Sprintf("MsgClass(%d)", int(m))
+}
+
+// TimeBreakdown accumulates cycles per region.
+type TimeBreakdown [NumRegions]uint64
+
+// Add attributes n cycles to region r.
+func (t *TimeBreakdown) Add(r Region, n uint64) { t[r] += n }
+
+// Total returns the sum over all regions.
+func (t TimeBreakdown) Total() uint64 {
+	var s uint64
+	for _, v := range t {
+		s += v
+	}
+	return s
+}
+
+// Plus returns the element-wise sum of two breakdowns.
+func (t TimeBreakdown) Plus(o TimeBreakdown) TimeBreakdown {
+	var r TimeBreakdown
+	for i := range t {
+		r[i] = t[i] + o[i]
+	}
+	return r
+}
+
+// Fractions returns each region's share of the total (zeros if empty).
+func (t TimeBreakdown) Fractions() [NumRegions]float64 {
+	var f [NumRegions]float64
+	tot := t.Total()
+	if tot == 0 {
+		return f
+	}
+	for i, v := range t {
+		f[i] = float64(v) / float64(tot)
+	}
+	return f
+}
+
+// Traffic accumulates message and flit counts per class.
+type Traffic struct {
+	Messages [NumMsgClasses]uint64
+	Flits    [NumMsgClasses]uint64
+}
+
+// Add records one message of class c with the given flit count.
+func (t *Traffic) Add(c MsgClass, flits int) {
+	t.Messages[c]++
+	t.Flits[c] += uint64(flits)
+}
+
+// TotalMessages returns the message count over all classes.
+func (t Traffic) TotalMessages() uint64 {
+	var s uint64
+	for _, v := range t.Messages {
+		s += v
+	}
+	return s
+}
+
+// TotalFlits returns the flit count over all classes.
+func (t Traffic) TotalFlits() uint64 {
+	var s uint64
+	for _, v := range t.Flits {
+		s += v
+	}
+	return s
+}
+
+// Plus returns the element-wise sum of two traffic counters.
+func (t Traffic) Plus(o Traffic) Traffic {
+	var r Traffic
+	for i := range t.Messages {
+		r.Messages[i] = t.Messages[i] + o.Messages[i]
+		r.Flits[i] = t.Flits[i] + o.Flits[i]
+	}
+	return r
+}
+
+// BarrierStats summarizes barrier activity for Table 2.
+type BarrierStats struct {
+	// Barriers is the number of completed barrier episodes.
+	Barriers uint64
+	// TotalCycles is the run length used to derive the period.
+	TotalCycles uint64
+}
+
+// Period returns the average number of cycles between consecutive barriers
+// (Table 2's "Barrier Period"), or 0 if no barrier executed.
+func (b BarrierStats) Period() float64 {
+	if b.Barriers == 0 {
+		return 0
+	}
+	return float64(b.TotalCycles) / float64(b.Barriers)
+}
+
+// Table renders rows as an aligned plain-text table, the format used by the
+// cmd/reproduce output.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	width := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		width[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range width {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 comma-separated values; cells
+// containing commas or quotes are quoted.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats v as a percentage with one decimal.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Reduction returns the relative reduction of with versus base, e.g. 0.68
+// for a 68% improvement. Returns 0 when base is 0.
+func Reduction(base, with float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - with) / base
+}
+
+// SortedKeys returns the keys of m in sorted order; a helper for rendering
+// deterministic reports from maps.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeBreakdownTotalsAndFractions(t *testing.T) {
+	var b TimeBreakdown
+	b.Add(RegionBusy, 50)
+	b.Add(RegionBarrier, 30)
+	b.Add(RegionRead, 20)
+	if b.Total() != 100 {
+		t.Fatalf("total %d, want 100", b.Total())
+	}
+	f := b.Fractions()
+	if f[RegionBusy] != 0.5 || f[RegionBarrier] != 0.3 || f[RegionRead] != 0.2 {
+		t.Errorf("fractions %v", f)
+	}
+	if f[RegionLock] != 0 || f[RegionWrite] != 0 {
+		t.Errorf("unused regions nonzero: %v", f)
+	}
+}
+
+func TestEmptyBreakdownFractionsZero(t *testing.T) {
+	var b TimeBreakdown
+	for _, v := range b.Fractions() {
+		if v != 0 {
+			t.Fatalf("empty breakdown fractions %v", b.Fractions())
+		}
+	}
+}
+
+func TestBreakdownPlus(t *testing.T) {
+	f := func(a, b [NumRegions]uint16) bool {
+		var x, y TimeBreakdown
+		for i := range a {
+			x[i] = uint64(a[i])
+			y[i] = uint64(b[i])
+		}
+		sum := x.Plus(y)
+		for i := range sum {
+			if sum[i] != uint64(a[i])+uint64(b[i]) {
+				return false
+			}
+		}
+		return sum.Total() == x.Total()+y.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	var tr Traffic
+	tr.Add(ClassRequest, 1)
+	tr.Add(ClassRequest, 1)
+	tr.Add(ClassReply, 9)
+	tr.Add(ClassCoherence, 1)
+	if tr.TotalMessages() != 4 {
+		t.Errorf("messages %d, want 4", tr.TotalMessages())
+	}
+	if tr.TotalFlits() != 12 {
+		t.Errorf("flits %d, want 12", tr.TotalFlits())
+	}
+	sum := tr.Plus(tr)
+	if sum.TotalMessages() != 8 || sum.TotalFlits() != 24 {
+		t.Errorf("Plus: %+v", sum)
+	}
+}
+
+func TestBarrierPeriod(t *testing.T) {
+	b := BarrierStats{Barriers: 4, TotalCycles: 1000}
+	if b.Period() != 250 {
+		t.Errorf("period %f, want 250", b.Period())
+	}
+	if (BarrierStats{}).Period() != 0 {
+		t.Error("empty period should be 0")
+	}
+}
+
+func TestRegionAndClassNames(t *testing.T) {
+	wantRegions := []string{"Busy", "Read", "Write", "Lock", "Barrier"}
+	for r := Region(0); r < NumRegions; r++ {
+		if r.String() != wantRegions[r] {
+			t.Errorf("Region(%d) = %q, want %q", r, r.String(), wantRegions[r])
+		}
+	}
+	wantClasses := []string{"Request", "Reply", "Coherence"}
+	for c := MsgClass(0); c < NumMsgClasses; c++ {
+		if c.String() != wantClasses[c] {
+			t.Errorf("MsgClass(%d) = %q, want %q", c, c.String(), wantClasses[c])
+		}
+	}
+	if !strings.Contains(Region(99).String(), "99") {
+		t.Error("unknown region should include its number")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Header: []string{"a", "bee"}}
+	tab.AddRow("xxxx", "y")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a    ") {
+		t.Errorf("header not padded to widest cell: %q", lines[0])
+	}
+	csv := tab.CSV()
+	if csv != "a,bee\nxxxx,y\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+	quoted := Table{Header: []string{"k", "v"}}
+	quoted.AddRow("a,b", `say "hi"`)
+	if got := quoted.CSV(); got != "k,v\n\"a,b\",\"say \"\"hi\"\"\"\n" {
+		t.Errorf("quoted CSV = %q", got)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(100, 32); r != 0.68 {
+		t.Errorf("Reduction(100,32) = %v, want 0.68", r)
+	}
+	if r := Reduction(0, 5); r != 0 {
+		t.Errorf("Reduction(0,5) = %v, want 0", r)
+	}
+	if r := Reduction(50, 60); r != -0.2 {
+		t.Errorf("Reduction(50,60) = %v, want -0.2", r)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.685); got != "68.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace provides the simulator's event-trace facility: components
+// emit formatted events tagged with cycle and source; sinks either stream
+// them to a writer or keep the last N in a ring buffer for post-mortem
+// dumps (the default for debugging protocol hangs).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Tracer receives simulation events. Implementations must be cheap when
+// disabled: the simulator calls Emit on hot paths.
+type Tracer interface {
+	// Emit records one event at the given cycle from the named source
+	// ("l1.3", "bank.7", "gline", ...).
+	Emit(cycle uint64, source, format string, args ...any)
+}
+
+// Nop discards all events; the zero value is ready to use.
+type Nop struct{}
+
+// Emit does nothing.
+func (Nop) Emit(uint64, string, string, ...any) {}
+
+// Event is one recorded trace entry.
+type Event struct {
+	Cycle  uint64
+	Source string
+	Msg    string
+}
+
+// String formats the event as "cycle source: msg".
+func (e Event) String() string {
+	return fmt.Sprintf("%10d %-8s %s", e.Cycle, e.Source, e.Msg)
+}
+
+// Ring keeps the most recent events in a fixed-size circular buffer. The
+// zero value is unusable; call NewRing. Ring is safe for the simulator's
+// single-threaded use plus concurrent Dump calls.
+type Ring struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	filled bool
+}
+
+// NewRing builds a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{events: make([]Event, capacity)}
+}
+
+// Emit implements Tracer.
+func (r *Ring) Emit(cycle uint64, source, format string, args ...any) {
+	r.mu.Lock()
+	r.events[r.next] = Event{Cycle: cycle, Source: source, Msg: fmt.Sprintf(format, args...)}
+	r.next++
+	if r.next == len(r.events) {
+		r.next = 0
+		r.filled = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports how many events are currently held.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.events)
+	}
+	return r.next
+}
+
+// Events returns the held events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.filled {
+		out = append(out, r.events[r.next:]...)
+	}
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dump writes the held events to w, oldest first.
+func (r *Ring) Dump(w io.Writer) error {
+	for _, e := range r.Events() {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Writer streams every event to an io.Writer as it is emitted.
+type Writer struct {
+	W io.Writer
+}
+
+// Emit implements Tracer.
+func (t Writer) Emit(cycle uint64, source, format string, args ...any) {
+	fmt.Fprintf(t.W, "%10d %-8s %s\n", cycle, source, fmt.Sprintf(format, args...))
+}
+
+// Filtered forwards events whose source passes Keep.
+type Filtered struct {
+	Next Tracer
+	Keep func(source string) bool
+}
+
+// Emit implements Tracer.
+func (f Filtered) Emit(cycle uint64, source, format string, args ...any) {
+	if f.Keep == nil || f.Keep(source) {
+		f.Next.Emit(cycle, source, format, args...)
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRingKeepsLastN(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(uint64(i), "src", "event %d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len=%d, want 3", len(evs))
+	}
+	for i, e := range evs {
+		wantCycle := uint64(i + 2)
+		if e.Cycle != wantCycle {
+			t.Errorf("event %d cycle=%d, want %d", i, e.Cycle, wantCycle)
+		}
+	}
+	if r.Len() != 3 {
+		t.Errorf("Len=%d", r.Len())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(10)
+	r.Emit(1, "a", "x")
+	r.Emit(2, "b", "y")
+	if r.Len() != 2 {
+		t.Fatalf("Len=%d", r.Len())
+	}
+	var sb strings.Builder
+	if err := r.Dump(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "y") {
+		t.Errorf("dump: %q", out)
+	}
+	if strings.Index(out, "x") > strings.Index(out, "y") {
+		t.Error("dump not oldest-first")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	w := Writer{W: &sb}
+	w.Emit(42, "bank.3", "grant %#x", 0x100)
+	if !strings.Contains(sb.String(), "bank.3") || !strings.Contains(sb.String(), "0x100") {
+		t.Errorf("writer output: %q", sb.String())
+	}
+}
+
+func TestFiltered(t *testing.T) {
+	r := NewRing(10)
+	f := Filtered{Next: r, Keep: func(src string) bool { return strings.HasPrefix(src, "gline") }}
+	f.Emit(1, "bank.0", "dropped")
+	f.Emit(2, "gline", "kept")
+	if r.Len() != 1 || r.Events()[0].Msg != "kept" {
+		t.Errorf("filter failed: %v", r.Events())
+	}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	n.Emit(1, "x", "y") // must not panic
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 7, Source: "l1.2", Msg: "fill"}
+	s := e.String()
+	if !strings.Contains(s, "7") || !strings.Contains(s, "l1.2") || !strings.Contains(s, "fill") {
+		t.Errorf("event string %q", s)
+	}
+}
+
+func TestRingZeroCapacity(t *testing.T) {
+	r := NewRing(0)
+	r.Emit(1, "a", "b")
+	if r.Len() != 1 {
+		t.Errorf("zero-capacity ring should clamp to 1, got %d", r.Len())
+	}
+}

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/barrier"
+)
+
+// TestBarrierLatencyScaling checks the Figure 5 shape: GL stays flat near
+// the ideal latency while DSW grows and CSW grows much faster, with
+// GL < DSW < CSW at every core count.
+func TestBarrierLatencyScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-point scaling sweep")
+	}
+	synth := &Synthetic{Iters: 50}
+	lat := map[barrier.Kind][]float64{}
+	sizes := []int{2, 4, 8, 16, 32}
+	for _, kind := range []barrier.Kind{barrier.KindCSW, barrier.KindDSW, barrier.KindGL} {
+		for _, n := range sizes {
+			rep := runOne(t, synth, kind, n)
+			l := float64(rep.Cycles) / float64(synth.Barriers(n))
+			lat[kind] = append(lat[kind], l)
+			t.Logf("%s n=%2d: %.1f cycles/barrier", kind, n, l)
+		}
+	}
+	for i, n := range sizes {
+		gl, dsw, csw := lat[barrier.KindGL][i], lat[barrier.KindDSW][i], lat[barrier.KindCSW][i]
+		// At n=2 DSW and CSW degenerate to the same lock+counter shape.
+		if !(gl < dsw && dsw <= csw) || (n >= 4 && dsw >= csw) {
+			t.Errorf("n=%d: want GL < DSW < CSW, got %.1f / %.1f / %.1f", n, gl, dsw, csw)
+		}
+		if gl > 20 {
+			t.Errorf("n=%d: GL latency %.1f, want near-constant <=20 (4 ideal + call overhead)", n, gl)
+		}
+	}
+	// CSW must degrade faster than DSW as cores double (hot-spot collapse).
+	cswGrowth := lat[barrier.KindCSW][len(sizes)-1] / lat[barrier.KindCSW][0]
+	dswGrowth := lat[barrier.KindDSW][len(sizes)-1] / lat[barrier.KindDSW][0]
+	if cswGrowth <= dswGrowth {
+		t.Errorf("CSW growth %.1fx should exceed DSW growth %.1fx", cswGrowth, dswGrowth)
+	}
+}

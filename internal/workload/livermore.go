@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Kernel2 is Livermore Loop 2, an excerpt from an incomplete Cholesky
+// conjugate gradient (ICCG). Each iteration reduces the active vector by
+// halving passes (log2(N) of them), with a barrier after every pass:
+// Table 2 reports 10 barriers per iteration for N=1024.
+type Kernel2 struct {
+	// N is the vector length (power of two; paper: 1024).
+	N int
+	// Iters is the outer iteration count (paper: 1000).
+	Iters int
+}
+
+// PaperKernel2 returns Table 2's configuration.
+func PaperKernel2() *Kernel2 { return &Kernel2{N: 1024, Iters: 1000} }
+
+// ReproKernel2 keeps the paper's vector length with fewer iterations: the
+// per-barrier structure (and hence the Figure 6/7 ratios) is identical.
+func ReproKernel2() *Kernel2 { return &Kernel2{N: 1024, Iters: 50} }
+
+// ScaledKernel2 returns a fast variant with the same per-pass structure.
+func ScaledKernel2() *Kernel2 { return &Kernel2{N: 256, Iters: 10} }
+
+// Name returns "KERN2".
+func (w *Kernel2) Name() string { return "KERN2" }
+
+// passes returns log2(N): the halving passes per iteration.
+func (w *Kernel2) passes() int {
+	p := 0
+	for n := w.N; n > 1; n >>= 1 {
+		p++
+	}
+	return p
+}
+
+// Barriers returns Iters * log2(N).
+func (w *Kernel2) Barriers(threads int) uint64 {
+	return uint64(w.Iters) * uint64(w.passes())
+}
+
+// Programs implements Benchmark.
+func (w *Kernel2) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	if w.N <= 0 || w.N&(w.N-1) != 0 {
+		return nil, errf("KERN2: N must be a power of two, got %d", w.N)
+	}
+	s.Alloc.AlignLine()
+	x := s.Alloc.Words(2 * w.N)
+	v := s.Alloc.Words(2 * w.N)
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Ctx) {
+			for it := 0; it < w.Iters; it++ {
+				ipnt, ipntp := 0, 0
+				for m := w.N; m > 1; m >>= 1 {
+					ipntp += m
+					out := m / 2
+					lo, hi := chunk(tid, threads, out)
+					if hi > lo {
+						// x[ipntp+i] = x[k]-v[k]*x[k-1]-v[k+1]*x[k+1]:
+						// streaming reads of the x and v pair regions,
+						// then the compacted writes.
+						n := hi - lo
+						c.LoadRange(wordAddr(x, ipnt+2*lo), 2*n, 8)
+						c.LoadRange(wordAddr(v, ipnt+2*lo), 2*n, 8)
+						c.Work(8 * n)
+						c.StoreRange(wordAddr(x, ipntp+lo), n, 8)
+					}
+					ipnt = ipntp
+					b.Wait(c, tid)
+				}
+			}
+		}
+	}
+	return progs, nil
+}
+
+// Kernel3 is Livermore Loop 3, a simple inner product. Each thread reduces
+// its chunk into a private partial on its own cache line; one barrier per
+// iteration separates iterations (Table 2). The partials are combined once
+// after the timed loop, so — like the paper's version, whose network
+// traffic is 99.8% barrier-induced — the kernel's only steady-state
+// communication is the barrier itself.
+type Kernel3 struct {
+	// N is the vector length (paper: 1024).
+	N int
+	// Iters is the iteration count (paper: 1000).
+	Iters int
+}
+
+// PaperKernel3 returns Table 2's configuration.
+func PaperKernel3() *Kernel3 { return &Kernel3{N: 1024, Iters: 1000} }
+
+// ReproKernel3 keeps the paper's vector length with fewer iterations.
+func ReproKernel3() *Kernel3 { return &Kernel3{N: 1024, Iters: 100} }
+
+// ScaledKernel3 returns a fast variant.
+func ScaledKernel3() *Kernel3 { return &Kernel3{N: 256, Iters: 20} }
+
+// Name returns "KERN3".
+func (w *Kernel3) Name() string { return "KERN3" }
+
+// Barriers returns one barrier per iteration.
+func (w *Kernel3) Barriers(threads int) uint64 { return uint64(w.Iters) }
+
+// Programs implements Benchmark.
+func (w *Kernel3) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	s.Alloc.AlignLine()
+	z := s.Alloc.Words(w.N)
+	x := s.Alloc.Words(w.N)
+	partials := allocSpread(s.Alloc, threads)
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		lo, hi := chunk(tid, threads, w.N)
+		progs[tid] = func(c *cpu.Ctx) {
+			for it := 0; it < w.Iters; it++ {
+				c.LoadRange(wordAddr(z, lo), hi-lo, 8)
+				c.LoadRange(wordAddr(x, lo), hi-lo, 8)
+				c.Work(2 * (hi - lo)) // multiply-accumulate chain
+				c.Store(partials[tid])
+				b.Wait(c, tid)
+			}
+			if tid == 0 {
+				// Final cross-thread combine, outside the timed loop.
+				for t := 0; t < threads; t++ {
+					c.Load(partials[t])
+				}
+				c.Work(threads)
+			}
+		}
+	}
+	return progs, nil
+}
+
+// Kernel6 is Livermore Loop 6, a general linear recurrence: element i
+// depends on all elements before it, so each recurrence step parallelizes
+// the inner reduction and then synchronizes. Table 2 reports N-2 barriers
+// per iteration (1,022,000 total for N=1024, 1000 iterations).
+type Kernel6 struct {
+	// N is the recurrence length (paper: 1024).
+	N int
+	// Iters is the iteration count (paper: 1000).
+	Iters int
+}
+
+// PaperKernel6 returns Table 2's configuration.
+func PaperKernel6() *Kernel6 { return &Kernel6{N: 1024, Iters: 1000} }
+
+// ReproKernel6 keeps the paper's recurrence length with fewer iterations.
+func ReproKernel6() *Kernel6 { return &Kernel6{N: 1024, Iters: 2} }
+
+// ScaledKernel6 returns a fast variant.
+func ScaledKernel6() *Kernel6 { return &Kernel6{N: 64, Iters: 5} }
+
+// Name returns "KERN6".
+func (w *Kernel6) Name() string { return "KERN6" }
+
+// Barriers returns Iters*(N-2).
+func (w *Kernel6) Barriers(threads int) uint64 {
+	return uint64(w.Iters) * uint64(w.N-2)
+}
+
+// Programs implements Benchmark.
+func (w *Kernel6) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	if w.N < 3 {
+		return nil, errf("KERN6: N must be >=3, got %d", w.N)
+	}
+	s.Alloc.AlignLine()
+	wv := s.Alloc.Words(w.N)       // w vector
+	bm := s.Alloc.Words(w.N * w.N) // b matrix, row-major
+	accum := s.Alloc.Line()        // fetch&op reduction target
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Ctx) {
+			for it := 0; it < w.Iters; it++ {
+				for i := 2; i < w.N; i++ {
+					// w[i] += sum_{k<i} b[k][i] * w[(i-k)-1]: the inner
+					// sum is split over threads; partials combine with a
+					// fetch&op on a shared accumulator.
+					lo, hi := chunk(tid, threads, i)
+					if hi > lo {
+						// b[k][i] walks a column (stride N words); the
+						// w reads are a contiguous window.
+						c.LoadRange(wordAddr(bm, lo*w.N+i), hi-lo, uint64(w.N)*8)
+						c.LoadRange(wordAddr(wv, i-hi), hi-lo, 8)
+						c.Work(2 * (hi - lo))
+						c.FetchAdd(accum, 1)
+					}
+					b.Wait(c, tid)
+					if tid == 0 {
+						// The recurrence owner publishes w[i].
+						c.Load(accum)
+						c.Work(2)
+						c.Store(wordAddr(wv, i))
+					}
+				}
+			}
+		}
+	}
+	return progs, nil
+}
+
+// wordAddr returns the address of the i-th word of an array base.
+func wordAddr(base uint64, i int) uint64 { return base + uint64(i)*mem.WordSize }
+
+// allocSpread returns n addresses on n distinct cache lines (used for
+// per-thread partials, avoiding false sharing).
+func allocSpread(a *mem.Allocator, n int) []uint64 {
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addrs[i] = a.Line()
+	}
+	return addrs
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }
+
+// Input describes the configuration for Table 2.
+func (w *Kernel2) Input() string { return fmt.Sprintf("%d elements, %d iterations", w.N, w.Iters) }
+
+// Input describes the configuration for Table 2.
+func (w *Kernel3) Input() string { return fmt.Sprintf("%d elements, %d iterations", w.N, w.Iters) }
+
+// Input describes the configuration for Table 2.
+func (w *Kernel6) Input() string { return fmt.Sprintf("%d elements, %d iterations", w.N, w.Iters) }

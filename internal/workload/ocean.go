@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Ocean models the SPLASH-2 OCEAN application (large-scale ocean-current
+// simulation): a red/black relaxation over a square grid, with threads
+// owning contiguous row bands and exchanging halo rows at the band
+// boundaries. OCEAN's defining property in Table 2 is its very high barrier
+// period (205,206 cycles): lots of grid work between synchronizations,
+// modelled here by multiple relaxation sweeps per barrier phase.
+type Ocean struct {
+	// Grid is the square grid dimension including boundary (paper: 258).
+	Grid int
+	// Steps is the number of time steps.
+	Steps int
+	// PhasesPerStep is the number of barrier-terminated phases per step
+	// (red sweep, black sweep, error reductions...).
+	PhasesPerStep int
+	// InnerSweeps is how many relaxation sweeps run inside one phase,
+	// controlling the barrier period.
+	InnerSweeps int
+}
+
+// PaperOcean returns the Table 2 configuration: 258x258 and 364 barriers
+// (52 steps x 7 phases).
+func PaperOcean() *Ocean {
+	return &Ocean{Grid: 258, Steps: 52, PhasesPerStep: 7, InnerSweeps: 8}
+}
+
+// ReproOcean keeps the paper's grid and sweep depth (hence the paper's
+// barrier period) over fewer time steps.
+func ReproOcean() *Ocean {
+	return &Ocean{Grid: 258, Steps: 6, PhasesPerStep: 7, InnerSweeps: 8}
+}
+
+// ScaledOcean returns a fast variant with the same phase structure.
+func ScaledOcean() *Ocean {
+	return &Ocean{Grid: 66, Steps: 4, PhasesPerStep: 7, InnerSweeps: 2}
+}
+
+// Name returns "OCEAN".
+func (w *Ocean) Name() string { return "OCEAN" }
+
+// Barriers returns Steps*PhasesPerStep.
+func (w *Ocean) Barriers(threads int) uint64 {
+	return uint64(w.Steps) * uint64(w.PhasesPerStep)
+}
+
+// Programs implements Benchmark.
+func (w *Ocean) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	if w.Grid < 4 {
+		return nil, errf("OCEAN: grid must be >=4, got %d", w.Grid)
+	}
+	s.Alloc.AlignLine()
+	grid := s.Alloc.Words(w.Grid * w.Grid)
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		// Row bands over the interior rows [1, Grid-1).
+		lo, hi := chunk(tid, threads, w.Grid-2)
+		lo, hi = lo+1, hi+1
+		progs[tid] = func(c *cpu.Ctx) {
+			at := func(r, col int) uint64 { return wordAddr(grid, r*w.Grid+col) }
+			for step := 0; step < w.Steps; step++ {
+				for phase := 0; phase < w.PhasesPerStep; phase++ {
+					color := phase & 1
+					for sweep := 0; sweep < w.InnerSweeps; sweep++ {
+						for r := lo; r < hi; r++ {
+							// 5-point stencil over this row's red or black
+							// points: the north/south rows carry the halo
+							// traffic between bands; east/west accesses are
+							// same-line hits folded into the compute cost.
+							col0 := 1 + (r+color)&1
+							npts := (w.Grid - 1 - col0 + 1) / 2
+							c.LoadRange(at(r-1, col0), npts, 16)
+							c.LoadRange(at(r+1, col0), npts, 16)
+							c.Work(8 * npts)
+							c.StoreRange(at(r, col0), npts, 16)
+						}
+					}
+					b.Wait(c, tid)
+				}
+			}
+		}
+	}
+	return progs, nil
+}
+
+// Input describes the configuration for Table 2.
+func (w *Ocean) Input() string { return fmt.Sprintf("%dx%d ocean, %d steps", w.Grid, w.Grid, w.Steps) }

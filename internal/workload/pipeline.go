@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"repro/internal/barrier"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Pipeline is a beyond-the-paper workload exercising the future-work
+// multiplexing features: the cores split into two groups — producers and
+// consumers — each synchronizing on its own G-line barrier context, with a
+// shared ring of buffers between them (flag-synchronized hand-off). It
+// demonstrates several barrier executions coexisting in hardware.
+//
+// Pipeline only runs with the GL barrier (it needs two hardware contexts);
+// Programs returns an error otherwise.
+type Pipeline struct {
+	// Stages is the number of buffer hand-offs.
+	Stages int
+	// BufWords is the size of each transferred buffer.
+	BufWords int
+}
+
+// ScaledPipeline returns a fast configuration.
+func ScaledPipeline() *Pipeline { return &Pipeline{Stages: 50, BufWords: 64} }
+
+// Name returns "PIPE".
+func (w *Pipeline) Name() string { return "PIPE" }
+
+// Input describes the configuration.
+func (w *Pipeline) Input() string {
+	return sprintfInput("%d stages, %d-word buffers", w.Stages, w.BufWords)
+}
+
+// Barriers returns the per-group episode count: each group barriers once
+// per stage on its own context.
+func (w *Pipeline) Barriers(threads int) uint64 { return 2 * uint64(w.Stages) }
+
+// Programs implements Benchmark. It requires an even thread count >= 4 and
+// a system whose G-line network has at least two contexts; the producers
+// run on context 0, consumers on context 1.
+func (w *Pipeline) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	if threads < 4 || threads%2 != 0 {
+		return nil, errf("PIPE: need an even thread count >= 4, got %d", threads)
+	}
+	if _, ok := b.(*barrier.GLine); !ok {
+		return nil, errf("PIPE: requires the GL barrier (two hardware contexts), got %s", b.Name())
+	}
+	if s.GL == nil {
+		return nil, errf("PIPE: system has no G-line network")
+	}
+	half := threads / 2
+	producers := make([]int, 0, half)
+	consumers := make([]int, 0, half)
+	for i := 0; i < threads; i++ {
+		if i < half {
+			producers = append(producers, i)
+		} else {
+			consumers = append(consumers, i)
+		}
+	}
+	if err := s.GL.SetParticipants(0, producers); err != nil {
+		return nil, err
+	}
+	if err := s.GL.SetParticipants(1, consumers); err != nil {
+		return nil, err
+	}
+
+	s.Alloc.AlignLine()
+	// Double-buffered hand-off: each producer writes its slice of buf[p],
+	// the stage flag releases the consumers, who read it while producers
+	// fill buf[1-p].
+	bufs := [2]uint64{s.Alloc.Words(w.BufWords), s.Alloc.Words(w.BufWords)}
+	s.Alloc.AlignLine()
+	flags := [2]uint64{s.Alloc.Line(), s.Alloc.Line()} // producer -> consumer
+	acks := [2]uint64{s.Alloc.Line(), s.Alloc.Line()}  // consumer -> producer
+
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		if tid < half {
+			lo, hi := chunk(tid, half, w.BufWords)
+			progs[tid] = func(c *cpu.Ctx) {
+				for st := 0; st < w.Stages; st++ {
+					p := st & 1
+					if st >= 2 {
+						// Backpressure: buffer p may only be refilled
+						// after the consumers drained it (stage st-2).
+						c.SpinUntilEq(acks[p], uint64(st-1))
+					}
+					c.StoreRange(wordAddr(bufs[p], lo), hi-lo, 8)
+					c.Work(4 * (hi - lo))
+					c.GLBarrier(0) // producers agree the buffer is full
+					if tid == 0 {
+						c.StoreV(flags[p], uint64(st+1)) // publish stage
+					}
+				}
+			}
+		} else {
+			ctid := tid - half
+			lo, hi := chunk(ctid, half, w.BufWords)
+			progs[tid] = func(c *cpu.Ctx) {
+				for st := 0; st < w.Stages; st++ {
+					p := st & 1
+					c.SpinUntilEq(flags[p], uint64(st+1)) // wait for stage
+					c.LoadRange(wordAddr(bufs[p], lo), hi-lo, 8)
+					c.Work(6 * (hi - lo))
+					c.GLBarrier(1) // consumers agree the buffer is drained
+					if ctid == 0 {
+						c.StoreV(acks[p], uint64(st+1)) // release the buffer
+					}
+				}
+			}
+		}
+	}
+	return progs, nil
+}
+
+func sprintfInput(format string, args ...any) string { return errf(format, args...).Error() }

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/cpu"
+	"repro/internal/sim"
+)
+
+// Synthetic is the paper's barrier-latency microbenchmark (Section 4.2,
+// following Culler/Singh/Gupta's methodology): a loop of four consecutive
+// barriers with no work between them, so total-cycles / (4*iterations) is
+// the average per-barrier latency (Figure 5).
+type Synthetic struct {
+	// Iters is the number of loop iterations (paper: 100,000).
+	Iters int
+}
+
+// PaperSynthetic returns the paper-scale microbenchmark.
+func PaperSynthetic() *Synthetic { return &Synthetic{Iters: 100_000} }
+
+// ReproSynthetic balances precision and wall-clock for the harness: runs
+// are deterministic and steady-state, so 250 iterations (1000 barriers)
+// measure the same per-barrier latency as the paper's 100,000.
+func ReproSynthetic() *Synthetic { return &Synthetic{Iters: 250} }
+
+// ScaledSynthetic returns a fast variant with identical structure.
+func ScaledSynthetic() *Synthetic { return &Synthetic{Iters: 500} }
+
+// Name returns "SYNTH".
+func (w *Synthetic) Name() string { return "SYNTH" }
+
+// Barriers returns 4 barriers per iteration.
+func (w *Synthetic) Barriers(threads int) uint64 { return 4 * uint64(w.Iters) }
+
+// Programs implements Benchmark.
+func (w *Synthetic) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Program, error) {
+	if err := validateThreads(s, threads); err != nil {
+		return nil, err
+	}
+	progs := make([]cpu.Program, threads)
+	for tid := 0; tid < threads; tid++ {
+		tid := tid
+		progs[tid] = func(c *cpu.Ctx) {
+			for it := 0; it < w.Iters; it++ {
+				b.Wait(c, tid)
+				b.Wait(c, tid)
+				b.Wait(c, tid)
+				b.Wait(c, tid)
+			}
+		}
+	}
+	return progs, nil
+}
+
+// AvgBarrierLatency derives Figure 5's metric from a finished run.
+func (w *Synthetic) AvgBarrierLatency(rep *sim.Report) float64 {
+	return float64(rep.Cycles) / float64(w.Barriers(0))
+}
+
+// Input describes the configuration for Table 2.
+func (w *Synthetic) Input() string { return fmt.Sprintf("%d iterations", w.Iters) }

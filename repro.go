@@ -1,0 +1,93 @@
+// Package repro is the public facade of the G-line barrier reproduction:
+// it re-exports the pieces needed to build a simulated CMP, run the
+// paper's benchmarks, and regenerate every table and figure of the
+// evaluation (see DESIGN.md and EXPERIMENTS.md).
+//
+// Quick use:
+//
+//	cfg := repro.DefaultConfig(32)
+//	sys, _ := repro.NewSystem(cfg)
+//	rep, _ := repro.RunBenchmark(sys, repro.Benchmark("SYNTH", repro.TierScaled), repro.GL, 32)
+//	fmt.Println(rep)
+//
+// The experiment drivers (Fig5, Fig6, Fig7, Table1, Table2) each rerun the
+// paper's corresponding evaluation and return both the raw reports and the
+// derived table the paper prints.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/barrier"
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Re-exported names for the public API surface.
+type (
+	// Config is the CMP configuration (Table 1).
+	Config = config.Config
+	// System is a simulated CMP instance.
+	System = sim.System
+	// Report is the result of one simulation run.
+	Report = sim.Report
+	// BarrierKind selects CSW, DSW or GL.
+	BarrierKind = barrier.Kind
+	// Tier selects benchmark input scale.
+	Tier = workload.Tier
+	// Workload is one of the paper's benchmarks.
+	Workload = workload.Benchmark
+)
+
+// Barrier kinds and tiers, re-exported.
+const (
+	CSW = barrier.KindCSW
+	DSW = barrier.KindDSW
+	GL  = barrier.KindGL
+
+	TierScaled = workload.TierScaled
+	TierRepro  = workload.TierRepro
+	TierPaper  = workload.TierPaper
+)
+
+// DefaultConfig returns the paper's Table 1 configuration scaled to n
+// cores (n=32 reproduces the paper exactly).
+func DefaultConfig(n int) Config { return config.Default(n) }
+
+// NewSystem builds a simulated CMP.
+func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
+
+// Benchmark looks up a paper benchmark by name ("SYNTH", "KERN2", "KERN3",
+// "KERN6", "UNSTR", "OCEAN", "EM3D") at the given tier; it panics on an
+// unknown name (use workload.ByName for error handling).
+func Benchmark(name string, tier Tier) Workload {
+	b, err := workload.ByName(name, tier)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// RunBenchmark executes one benchmark on a fresh system with the given
+// barrier implementation and thread count.
+func RunBenchmark(sys *System, w Workload, kind BarrierKind, threads int) (*Report, error) {
+	return workload.Run(sys, w, kind, threads, defaultCycleBudget)
+}
+
+// defaultCycleBudget bounds any single run; the paper-scale OCEAN run is
+// the largest at ~75M cycles.
+const defaultCycleBudget = 4_000_000_000
+
+// runFresh builds a system and runs one benchmark on it.
+func runFresh(cores int, w Workload, kind BarrierKind) (*Report, error) {
+	sys, err := sim.New(config.Default(cores))
+	if err != nil {
+		return nil, err
+	}
+	rep, err := workload.Run(sys, w, kind, cores, defaultCycleBudget)
+	if err != nil {
+		return rep, fmt.Errorf("%s on %d cores with %s: %w", w.Name(), cores, kind, err)
+	}
+	return rep, nil
+}

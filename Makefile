@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short bench reproduce examples vet
+.PHONY: all build test test-short test-race bench reproduce examples vet
 
-all: build vet test
+all: build vet test test-race
 
 build:
 	go build ./...
@@ -15,6 +15,10 @@ test:
 
 test-short:
 	go test -short ./...
+
+# Race-detector gate over the fast tests; part of `all`.
+test-race:
+	go test -race -short ./...
 
 bench:
 	go test -bench=. -benchmem .

@@ -7,7 +7,7 @@ import (
 )
 
 func TestAblationSCSMA(t *testing.T) {
-	tab, err := AblationSCSMA(30)
+	tab, err := AblationSCSMA(30, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +36,7 @@ func TestAblationSCSMA(t *testing.T) {
 }
 
 func TestAblationRouterDepth(t *testing.T) {
-	tab, err := AblationRouterDepth(16, []uint64{1, 4}, 30)
+	tab, err := AblationRouterDepth(16, []uint64{1, 4}, 30, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestEnergyStudyScaled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite energy study")
 	}
-	rows, err := EnergyStudy(TierScaled, 16)
+	rows, err := EnergyStudy(TierScaled, 16, Parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestEnergyStudyScaled(t *testing.T) {
 }
 
 func TestAblationProtocol(t *testing.T) {
-	tab, err := AblationProtocol(16, 30)
+	tab, err := AblationProtocol(16, 30, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}

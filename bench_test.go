@@ -8,6 +8,8 @@ package repro
 // `cmd/reproduce -tier repro all`.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/config"
@@ -157,7 +159,7 @@ func BenchmarkAblation_GLOverhead(b *testing.B) {
 func BenchmarkAblation_FlatVsHierarchical(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
-		t, err := AblationHierarchy(50)
+		t, err := AblationHierarchy(50, Sequential)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -170,7 +172,7 @@ func BenchmarkAblation_FlatVsHierarchical(b *testing.B) {
 // barrier contexts.
 func BenchmarkAblation_TDMContexts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := AblationTDM(16, []int{1, 4}, 50); err != nil {
+		if _, err := AblationTDM(16, []int{1, 4}, 50, Sequential); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -208,6 +210,32 @@ func BenchmarkAblation_DSWLockVsLLSC(b *testing.B) {
 	}
 	b.ReportMetric(lock, "lock-cycles/barrier")
 	b.ReportMetric(llsc, "llsc-cycles/barrier")
+}
+
+// --- Sweep runner -------------------------------------------------------------
+
+// BenchmarkSweepParallelism runs the Figure 5 grid through the sweep pool
+// sequentially and with one worker per CPU. On a multi-core host the
+// parallel variant's ns/op should drop roughly linearly with core count;
+// the fingerprint-checked tables are identical either way (see
+// TestParallelSweepMatchesSequential).
+func BenchmarkSweepParallelism(b *testing.B) {
+	grid := []int{2, 8, 16}
+	for _, cfg := range []struct {
+		name string
+		opt  SweepOptions
+	}{
+		{"sequential/jobs=1", Sequential},
+		{fmt.Sprintf("parallel/jobs=%d", runtime.NumCPU()), SweepOptions{Jobs: runtime.NumCPU()}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Fig5(workload.TierTest, grid, cfg.opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Microbenchmarks of the substrates ---------------------------------------

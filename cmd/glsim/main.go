@@ -6,6 +6,10 @@
 // Benchmarks: SYNTH, KERN2, KERN3, KERN6, UNSTR, OCEAN, EM3D.
 // Barriers:   GL (the paper's G-line hardware barrier), DSW (combining
 // tree), CSW (centralized lock-based).
+//
+// With -replicas N the same run executes N times on fresh systems across
+// -jobs worker goroutines and glsim verifies all determinism fingerprints
+// agree — the quick way to prove a configuration simulates reproducibly.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 
 	repro "repro"
 	"repro/internal/barrier"
+	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -24,10 +30,12 @@ func main() {
 	barrierName := flag.String("barrier", "GL", "barrier implementation: GL, DSW or CSW")
 	cores := flag.Int("cores", 32, "number of cores")
 	threads := flag.Int("threads", 0, "threads (default: all cores)")
-	tierName := flag.String("tier", "scaled", "input scale: scaled, repro or paper")
+	tierName := flag.String("tier", "scaled", "input scale: test, scaled, repro or paper")
 	maxCycles := flag.Uint64("max-cycles", 4_000_000_000, "simulation cycle budget")
 	traceN := flag.Int("trace", 0, "dump the last N coherence-protocol events after the run")
 	heatmap := flag.Bool("heatmap", false, "print the per-tile link-utilization heatmap")
+	replicas := flag.Int("replicas", 1, "run N identical fresh-system replicas and verify fingerprints agree")
+	jobs := flag.Int("jobs", 0, "parallel replica runs (0 = all CPUs)")
 	flag.Parse()
 
 	kind, err := barrier.ParseKind(*barrierName)
@@ -48,6 +56,10 @@ func main() {
 	cfg := repro.DefaultConfig(*cores)
 	if bench.Name() == "PIPE" {
 		cfg.GLContexts = 2 // the pipeline runs two concurrent barrier groups
+	}
+	if *replicas > 1 {
+		verifyReplicas(cfg, tier, *benchName, kind, *threads, *maxCycles, *replicas, *jobs)
+		return
 	}
 	sys, err := repro.NewSystem(cfg)
 	if err != nil {
@@ -74,6 +86,43 @@ func main() {
 		fmt.Println("\nlink-utilization heatmap:")
 		fmt.Print(sys.Prot.Mesh().Heatmap())
 	}
+}
+
+// verifyReplicas runs the benchmark n times on fresh systems through the
+// sweep pool and checks every run's determinism fingerprint matches.
+func verifyReplicas(cfg repro.Config, tier workload.Tier, benchName string, kind barrier.Kind, threads int, maxCycles uint64, n, jobs int) {
+	specs := make([]sweep.Spec, n)
+	for i := range specs {
+		i := i
+		specs[i] = sweep.Spec{
+			Label: fmt.Sprintf("replica%d", i),
+			Run: func() (*sim.Report, error) {
+				// A fresh benchmark instance per replica: replicas must
+				// share nothing, or the check proves too little.
+				bench, err := workload.ByName(benchName, tier)
+				if err != nil {
+					return nil, err
+				}
+				sys, err := repro.NewSystem(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return workload.Run(sys, bench, kind, threads, maxCycles)
+			},
+		}
+	}
+	results := sweep.Run(sweep.Options{Jobs: jobs}, specs)
+	if err := sweep.Errs(results); err != nil {
+		fatal(err)
+	}
+	want := results[0].Fingerprint()
+	for i, r := range results {
+		fmt.Printf("replica %2d: %s\n", i, r.Fingerprint())
+		if r.Fingerprint() != want {
+			fatal(fmt.Errorf("nondeterminism: replica %d fingerprint %s != %s", i, r.Fingerprint(), want))
+		}
+	}
+	fmt.Printf("%d replicas agree: %s\n", n, want)
 }
 
 func fatal(err error) {

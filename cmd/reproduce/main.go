@@ -1,11 +1,17 @@
 // Command reproduce regenerates every table and figure of the paper's
 // evaluation:
 //
-//	reproduce [-tier repro] [-cores 32] table1|table2|fig5|fig6|fig7|ablation|all
+//	reproduce [-tier repro] [-cores 32] [-jobs N] table1|table2|fig5|fig6|fig7|ablation|all
 //
-// Tiers: "scaled" (seconds), "repro" (paper data sizes, fewer iterations;
-// the default), "paper" (exact Table 2 inputs; slow). Results and the
-// paper's reference numbers are discussed in EXPERIMENTS.md.
+// Tiers: "test" (miniature, for goldens/CI), "scaled" (seconds), "repro"
+// (paper data sizes, fewer iterations; the default), "paper" (exact
+// Table 2 inputs; slow). Independent simulation runs fan out across -jobs
+// worker goroutines (default: all CPUs) without changing any result —
+// every run carries a determinism fingerprint, and sweeps collect results
+// in submission order. A failed run renders as an error cell in its table
+// instead of aborting the sweep; reproduce then exits non-zero after
+// printing everything. Results and the paper's reference numbers are
+// discussed in EXPERIMENTS.md.
 package main
 
 import (
@@ -20,8 +26,10 @@ import (
 )
 
 func main() {
-	tierFlag := flag.String("tier", "repro", "input scale: scaled, repro or paper")
+	tierFlag := flag.String("tier", "repro", "input scale: test, scaled, repro or paper")
 	cores := flag.Int("cores", 32, "number of cores (Table 1 baseline: 32)")
+	jobs := flag.Int("jobs", 0, "parallel simulation runs (0 = all CPUs, 1 = sequential)")
+	failFast := flag.Bool("fail-fast", false, "cancel runs that have not started after the first failure")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|all\n")
@@ -36,6 +44,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast}
 	what := flag.Arg(0)
 	emit := func(name string, t stats.Table) {
 		fmt.Println(t)
@@ -44,6 +53,16 @@ func main() {
 			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
 				fatal(err)
 			}
+		}
+	}
+	// Experiments render failed cells into their tables and return the
+	// aggregated cell errors: report those after the table, keep going,
+	// and exit non-zero at the end.
+	failures := 0
+	cellErrs := func(name string, err error) {
+		if err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", name, err)
 		}
 	}
 	run := func(name string, fn func() error) {
@@ -71,20 +90,16 @@ func main() {
 	})
 	run("table2", func() error {
 		fmt.Printf("== Table 2: benchmark configuration (tier=%s, %d cores, DSW baseline) ==\n", tier, *cores)
-		rows, err := repro.Table2(tier, *cores)
-		if err != nil {
-			return err
-		}
+		rows, err := repro.Table2(tier, *cores, opt)
 		emit("table2", repro.RenderTable2(rows))
+		cellErrs("table2", err)
 		return nil
 	})
 	run("fig5", func() error {
 		fmt.Printf("== Figure 5: average barrier latency (cycles) vs cores (tier=%s) ==\n", tier)
-		points, err := repro.Fig5(tier, coreSweep(*cores))
-		if err != nil {
-			return err
-		}
+		points, err := repro.Fig5(tier, coreSweep(*cores), opt)
 		emit("fig5", repro.RenderFig5(points))
+		cellErrs("fig5", err)
 		return nil
 	})
 	var cmps []repro.Comparison
@@ -93,8 +108,9 @@ func main() {
 			return nil
 		}
 		var err error
-		cmps, err = repro.Fig6And7(tier, *cores)
-		return err
+		cmps, err = repro.Fig6And7(tier, *cores, opt)
+		cellErrs("fig6/7", err)
+		return nil
 	}
 	run("fig6", func() error {
 		if err := fig67(); err != nil {
@@ -120,57 +136,50 @@ func main() {
 	})
 	run("energy", func() error {
 		fmt.Printf("== Interconnect energy, DSW vs GL (tier=%s, %d cores) ==\n", tier, *cores)
-		rows, err := repro.EnergyStudy(tier, *cores)
-		if err != nil {
-			return err
-		}
+		rows, err := repro.EnergyStudy(tier, *cores, opt)
 		emit("energy", repro.RenderEnergy(rows))
+		cellErrs("energy", err)
 		return nil
 	})
 	run("ablation", func() error {
 		iters := 200
+		if tier == repro.TierTest {
+			iters = 30
+		}
 		// Fixed 16-core (4x4, flat) geometry for the network-local
 		// ablations: the paper's ideal 4-cycle dance needs a flat
 		// network, and TDM shares one physical line set.
 		const flatCores = 16
 		fmt.Println("== Ablation: GL software call overhead (flat 4x4; ideal hardware = 4 cycles) ==")
-		t, err := repro.AblationOverhead(flatCores, []uint64{0, 3, 6, 9, 18}, iters)
-		if err != nil {
-			return err
-		}
+		t, err := repro.AblationOverhead(flatCores, []uint64{0, 3, 6, 9, 18}, iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/overhead", err)
 		fmt.Println("== Ablation: flat vs hierarchical G-line network (36 cores) ==")
-		t, err = repro.AblationHierarchy(iters)
-		if err != nil {
-			return err
-		}
+		t, err = repro.AblationHierarchy(iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/hierarchy", err)
 		fmt.Println("== Ablation: time-multiplexed barrier contexts (flat 4x4) ==")
-		t, err = repro.AblationTDM(flatCores, []int{1, 2, 4, 8}, iters)
-		if err != nil {
-			return err
-		}
+		t, err = repro.AblationTDM(flatCores, []int{1, 2, 4, 8}, iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/tdm", err)
 		fmt.Println("== Ablation: S-CSMA counting vs serialized signaling (7x7) ==")
-		t, err = repro.AblationSCSMA(iters)
-		if err != nil {
-			return err
-		}
+		t, err = repro.AblationSCSMA(iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/scsma", err)
 		fmt.Println("== Ablation: router pipeline depth (cycles/barrier) ==")
-		t, err = repro.AblationRouterDepth(*cores, []uint64{1, 2, 3, 4}, iters)
-		if err != nil {
-			return err
-		}
+		t, err = repro.AblationRouterDepth(*cores, []uint64{1, 2, 3, 4}, iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/router", err)
 		fmt.Println("== Ablation: coherence ownership transfer, 4-hop vs 3-hop ==")
-		t, err = repro.AblationProtocol(*cores, iters)
-		if err != nil {
-			return err
-		}
+		t, err = repro.AblationProtocol(*cores, iters, opt)
 		fmt.Println(t)
+		cellErrs("ablation/protocol", err)
 		return nil
 	})
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: %d experiment(s) had failed cells\n", failures)
+		os.Exit(1)
+	}
 }
 
 // coreSweep returns the Figure 5 x-axis: powers of two up to max.

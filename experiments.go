@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/coherence"
@@ -8,8 +9,16 @@ import (
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
+
+// Every experiment in this file is a grid of independent simulation runs.
+// The grids execute through internal/sweep: cells fan out across opt.Jobs
+// worker goroutines, results return in deterministic submission order, and
+// a failing cell is reported in its table row instead of aborting the
+// sweep. Experiments return their rendered data together with the
+// aggregated cell errors (nil when every cell succeeded).
 
 // ---------------------------------------------------------------------------
 // Table 1 — CMP baseline configuration.
@@ -34,40 +43,54 @@ func Table1(cfg Config) stats.Table {
 // Table 2 — benchmark configuration: #barriers and barrier period.
 
 // Table2Row is one benchmark's Table 2 entry, measured under the given
-// baseline barrier.
+// baseline barrier. A failed run leaves the metrics zero and sets Err.
 type Table2Row struct {
 	Name     string
 	Input    string
 	Barriers uint64
 	Period   float64
 	Cycles   uint64
+
+	// Report is the raw run result (nil when the run failed).
+	Report *Report
+	// Err is the run's failure, if any.
+	Err error
 }
 
 // Table2 measures every benchmark's barrier count and period under the DSW
-// baseline (the paper's best software barrier), at the given tier.
-func Table2(tier Tier, cores int) ([]Table2Row, error) {
+// baseline (the paper's best software barrier), at the given tier. The
+// returned error aggregates failed cells; rows cover every benchmark
+// either way.
+func Table2(tier Tier, cores int, opt SweepOptions) ([]Table2Row, error) {
 	benches := append([]Workload{workload.SyntheticFor(tier)}, workload.Suite(tier)...)
-	rows := make([]Table2Row, 0, len(benches))
-	for _, w := range benches {
-		rep, err := runFresh(cores, w, DSW)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, Table2Row{
-			Name:     w.Name(),
-			Input:    w.Input(),
-			Barriers: rep.BarrierEpisodes,
-			Period:   rep.BarrierPeriod,
-			Cycles:   rep.Cycles,
-		})
+	specs := make([]sweep.Spec, len(benches))
+	for i, w := range benches {
+		specs[i] = benchSpec(cores, w, DSW)
 	}
-	return rows, nil
+	results := sweep.Run(opt, specs)
+	rows := make([]Table2Row, len(benches))
+	for i, w := range benches {
+		rows[i] = Table2Row{Name: w.Name(), Input: w.Input(), Err: results[i].Err}
+		if results[i].Err != nil {
+			continue
+		}
+		rep := results[i].Report
+		rows[i].Report = rep
+		rows[i].Barriers = rep.BarrierEpisodes
+		rows[i].Period = rep.BarrierPeriod
+		rows[i].Cycles = rep.Cycles
+	}
+	return rows, sweep.Errs(results)
 }
 
 // RenderTable2 formats Table 2 rows like the paper.
 func RenderTable2(rows []Table2Row) stats.Table {
 	t := stats.Table{Header: []string{"Benchmark", "Input Size", "#Barriers", "Barrier Period"}}
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddRow(r.Name, r.Input, stats.ErrCell(r.Err), "")
+			continue
+		}
 		t.AddRow(r.Name, r.Input, fmt.Sprintf("%d", r.Barriers), fmt.Sprintf("%.0f", r.Period))
 	}
 	return t
@@ -76,40 +99,69 @@ func RenderTable2(rows []Table2Row) stats.Table {
 // ---------------------------------------------------------------------------
 // Figure 5 — average barrier latency vs core count.
 
+// fig5Kinds is the series order of the paper's Figure 5.
+var fig5Kinds = []BarrierKind{CSW, DSW, GL}
+
 // Fig5Point is the measured per-barrier latency of the three barrier
 // implementations at one core count.
 type Fig5Point struct {
 	Cores   int
 	Latency map[BarrierKind]float64
+
+	// Reports holds the raw run results; Errs the per-kind failures.
+	Reports map[BarrierKind]*Report
+	Errs    map[BarrierKind]error
 }
 
 // Fig5 sweeps core counts with the synthetic benchmark, reproducing the
-// paper's Figure 5 series for CSW, DSW and GL.
-func Fig5(tier Tier, coreCounts []int) ([]Fig5Point, error) {
-	synth := workload.SyntheticFor(tier)
-	var points []Fig5Point
+// paper's Figure 5 series for CSW, DSW and GL. All cells of the
+// (cores × kind) grid run through one sweep.
+func Fig5(tier Tier, coreCounts []int, opt SweepOptions) ([]Fig5Point, error) {
+	var specs []sweep.Spec
 	for _, n := range coreCounts {
-		p := Fig5Point{Cores: n, Latency: map[BarrierKind]float64{}}
-		for _, kind := range []BarrierKind{CSW, DSW, GL} {
-			rep, err := runFresh(n, synth, kind)
-			if err != nil {
-				return nil, err
+		for _, kind := range fig5Kinds {
+			specs = append(specs, benchSpec(n, workload.SyntheticFor(tier), kind))
+		}
+	}
+	results := sweep.Run(opt, specs)
+	points := make([]Fig5Point, 0, len(coreCounts))
+	i := 0
+	for _, n := range coreCounts {
+		p := Fig5Point{
+			Cores:   n,
+			Latency: map[BarrierKind]float64{},
+			Reports: map[BarrierKind]*Report{},
+			Errs:    map[BarrierKind]error{},
+		}
+		barriers := workload.SyntheticFor(tier).Barriers(n)
+		for _, kind := range fig5Kinds {
+			res := results[i]
+			i++
+			if res.Err != nil {
+				p.Errs[kind] = res.Err
+				continue
 			}
-			p.Latency[kind] = float64(rep.Cycles) / float64(synth.Barriers(n))
+			p.Reports[kind] = res.Report
+			p.Latency[kind] = float64(res.Report.Cycles) / float64(barriers)
 		}
 		points = append(points, p)
 	}
-	return points, nil
+	return points, sweep.Errs(results)
 }
 
 // RenderFig5 formats the Figure 5 series.
 func RenderFig5(points []Fig5Point) stats.Table {
 	t := stats.Table{Header: []string{"Cores", "CSW", "DSW", "GL"}}
 	for _, p := range points {
-		t.AddRow(fmt.Sprintf("%d", p.Cores),
-			fmt.Sprintf("%.1f", p.Latency[CSW]),
-			fmt.Sprintf("%.1f", p.Latency[DSW]),
-			fmt.Sprintf("%.1f", p.Latency[GL]))
+		cells := []string{fmt.Sprintf("%d", p.Cores)}
+		for _, kind := range fig5Kinds {
+			if err := p.Errs[kind]; err != nil {
+				cells = append(cells, stats.ErrCell(err))
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.1f", p.Latency[kind]))
+		}
+		t.AddRow(cells...)
 	}
 	return t
 }
@@ -118,11 +170,13 @@ func RenderFig5(points []Fig5Point) stats.Table {
 // Figures 6 and 7 — normalized execution time and network traffic, DSW vs GL.
 
 // Comparison holds one benchmark's DSW-vs-GL pair and the derived
-// normalized metrics of Figures 6 and 7.
+// normalized metrics of Figures 6 and 7. A failed run on either side
+// leaves the metrics zero and sets Err.
 type Comparison struct {
 	Name string
 	DSW  *Report
 	GL   *Report
+	Err  error
 
 	// NormTime[kind][region]: execution-time share, normalized so the DSW
 	// total is 1.0 (Figure 6's stacked bars).
@@ -136,20 +190,10 @@ type Comparison struct {
 	TrafficReduction float64
 }
 
-// Compare runs one benchmark under DSW and GL on fresh systems and derives
-// the Figure 6/7 normalized metrics.
-func Compare(w Workload, cores int) (Comparison, error) {
-	cmp := Comparison{Name: w.Name()}
-	dsw, err := runFresh(cores, w, DSW)
-	if err != nil {
-		return cmp, err
-	}
-	gl, err := runFresh(cores, w, GL)
-	if err != nil {
-		return cmp, err
-	}
-	cmp.DSW, cmp.GL = dsw, gl
-
+// newComparison derives the Figure 6/7 normalized metrics from a finished
+// DSW/GL pair.
+func newComparison(name string, dsw, gl *Report) Comparison {
+	cmp := Comparison{Name: name, DSW: dsw, GL: gl}
 	cmp.NormTime = map[BarrierKind][stats.NumRegions]float64{}
 	base := float64(dsw.Breakdown.Total())
 	for kind, rep := range map[BarrierKind]*Report{DSW: dsw, GL: gl} {
@@ -170,31 +214,54 @@ func Compare(w Workload, cores int) (Comparison, error) {
 	}
 	cmp.TimeReduction = stats.Reduction(float64(dsw.Cycles), float64(gl.Cycles))
 	cmp.TrafficReduction = stats.Reduction(float64(dsw.Traffic.TotalMessages()), float64(gl.Traffic.TotalMessages()))
-	return cmp, nil
+	return cmp
+}
+
+// compareAll runs every benchmark under DSW and GL as one flat sweep and
+// assembles the per-benchmark comparisons.
+func compareAll(ws []Workload, cores int, opt SweepOptions) ([]Comparison, error) {
+	specs := make([]sweep.Spec, 0, 2*len(ws))
+	for _, w := range ws {
+		specs = append(specs, benchSpec(cores, w, DSW), benchSpec(cores, w, GL))
+	}
+	results := sweep.Run(opt, specs)
+	cmps := make([]Comparison, len(ws))
+	for i, w := range ws {
+		d, g := results[2*i], results[2*i+1]
+		if err := errors.Join(d.Err, g.Err); err != nil {
+			cmps[i] = Comparison{Name: w.Name(), Err: err}
+			continue
+		}
+		cmps[i] = newComparison(w.Name(), d.Report, g.Report)
+	}
+	return cmps, sweep.Errs(results)
+}
+
+// Compare runs one benchmark under DSW and GL on fresh systems and derives
+// the Figure 6/7 normalized metrics.
+func Compare(w Workload, cores int, opt SweepOptions) (Comparison, error) {
+	cmps, err := compareAll([]Workload{w}, cores, opt)
+	return cmps[0], err
 }
 
 // Fig6And7 runs the full DSW-vs-GL comparison over the tier's suite at the
 // given core count (the paper uses 32), producing both figures' data.
-func Fig6And7(tier Tier, cores int) ([]Comparison, error) {
-	var cmps []Comparison
-	for _, w := range workload.Suite(tier) {
-		cmp, err := Compare(w, cores)
-		if err != nil {
-			return nil, err
-		}
-		cmps = append(cmps, cmp)
-	}
-	return cmps, nil
+func Fig6And7(tier Tier, cores int, opt SweepOptions) ([]Comparison, error) {
+	return compareAll(workload.Suite(tier), cores, opt)
 }
 
 // kernelNames identifies the Livermore kernels for the AVG_K/AVG_A split.
 var kernelNames = map[string]bool{"KERN2": true, "KERN3": true, "KERN6": true}
 
 // Averages returns the mean time and traffic reductions for the kernels
-// (the paper's AVG_K) and the applications (AVG_A).
+// (the paper's AVG_K) and the applications (AVG_A), skipping failed
+// comparisons.
 func Averages(cmps []Comparison) (timeK, timeA, trafK, trafA float64) {
 	var nk, na int
 	for _, c := range cmps {
+		if c.Err != nil {
+			continue
+		}
 		if kernelNames[c.Name] {
 			timeK += c.TimeReduction
 			trafK += c.TrafficReduction
@@ -220,6 +287,10 @@ func Averages(cmps []Comparison) (timeK, timeA, trafK, trafA float64) {
 func RenderFig6(cmps []Comparison) stats.Table {
 	t := stats.Table{Header: []string{"Benchmark", "Barrier", "Busy", "Read", "Write", "Lock", "Total", "Reduction"}}
 	for _, c := range cmps {
+		if c.Err != nil {
+			t.AddRow(c.Name, stats.ErrCell(c.Err), "", "", "", "", "", "")
+			continue
+		}
 		for _, kind := range []BarrierKind{DSW, GL} {
 			n := c.NormTime[kind]
 			total := 0.0
@@ -246,6 +317,10 @@ func RenderFig6(cmps []Comparison) stats.Table {
 func RenderFig7(cmps []Comparison) stats.Table {
 	t := stats.Table{Header: []string{"Benchmark", "Request", "Reply", "Coherence", "Total", "Reduction"}}
 	for _, c := range cmps {
+		if c.Err != nil {
+			t.AddRow(c.Name, stats.ErrCell(c.Err), "", "", "", "")
+			continue
+		}
 		for _, kind := range []BarrierKind{DSW, GL} {
 			n := c.NormTraffic[kind]
 			total := n[stats.ClassRequest] + n[stats.ClassReply] + n[stats.ClassCoherence]
@@ -266,99 +341,121 @@ func RenderFig7(cmps []Comparison) stats.Table {
 // ---------------------------------------------------------------------------
 // Ablations — design-choice studies beyond the paper's figures.
 
+// cellLatency renders one ablation cell: cycles/barrier, or the error.
+func cellLatency(res sweep.Result, barriers uint64) string {
+	if res.Err != nil {
+		return stats.ErrCell(res.Err)
+	}
+	return fmt.Sprintf("%.1f", float64(res.Report.Cycles)/float64(barriers))
+}
+
 // AblationOverhead sweeps the GL software call overhead, isolating the
 // hardware's ideal 4-cycle latency from the library cost (the paper's 13
 // vs 4 discussion in Section 4.3.1).
-func AblationOverhead(cores int, overheads []uint64, iters int) (stats.Table, error) {
+func AblationOverhead(cores int, overheads []uint64, iters int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"CallOverhead", "cycles/barrier"}}
-	synth := &workload.Synthetic{Iters: iters}
-	for _, ov := range overheads {
-		cfg := config.Default(cores)
-		cfg.GLCallOverhead = ov
-		sys, err := sim.New(cfg)
-		if err != nil {
-			return t, err
+	specs := make([]sweep.Spec, len(overheads))
+	for i, ov := range overheads {
+		ov := ov
+		specs[i] = sweep.Spec{
+			Label: fmt.Sprintf("overhead/%d", ov),
+			Run: func() (*sim.Report, error) {
+				cfg := config.Default(cores)
+				cfg.GLCallOverhead = ov
+				sys, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				return workload.Run(sys, &workload.Synthetic{Iters: iters}, GL, cores, defaultCycleBudget)
+			},
 		}
-		rep, err := workload.Run(sys, synth, GL, cores, defaultCycleBudget)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(fmt.Sprintf("%d", ov), fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(cores))))
 	}
-	return t, nil
+	results := sweep.Run(opt, specs)
+	barriers := (&workload.Synthetic{Iters: iters}).Barriers(cores)
+	for i, ov := range overheads {
+		t.AddRow(fmt.Sprintf("%d", ov), cellLatency(results[i], barriers))
+	}
+	return t, sweep.Errs(results)
 }
 
 // AblationHierarchy compares the flat network against forced clustering on
 // a mesh that fits both, quantifying the clustering latency cost (the
 // future-work scaling scheme).
-func AblationHierarchy(iters int) (stats.Table, error) {
+func AblationHierarchy(iters int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"Network", "cycles/barrier"}}
-	synth := &workload.Synthetic{Iters: iters}
 	// 6x6 fits flat (36 cores, 5 transmitters per line needed <= 6).
 	cfg := config.Default(36)
 	if cfg.MeshCols != 6 || cfg.MeshRows != 6 {
 		return t, fmt.Errorf("expected 6x6 mesh for 36 cores, got %dx%d", cfg.MeshCols, cfg.MeshRows)
 	}
-	flatSys, err := sim.New(cfg)
-	if err != nil {
-		return t, err
+	specs := []sweep.Spec{
+		{Label: "hierarchy/flat", Run: func() (*sim.Report, error) {
+			sys, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return workload.Run(sys, &workload.Synthetic{Iters: iters}, GL, 36, defaultCycleBudget)
+		}},
+		{Label: "hierarchy/clustered", Run: func() (*sim.Report, error) {
+			hier, err := core.NewHierarchical(6, 6, 3, cfg.GLMaxTransmitters, 1)
+			if err != nil {
+				return nil, err
+			}
+			sys, err := sim.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			swapGL(sys, hier)
+			return workload.Run(sys, &workload.Synthetic{Iters: iters}, GL, 36, defaultCycleBudget)
+		}},
 	}
-	rep, err := workload.Run(flatSys, synth, GL, 36, defaultCycleBudget)
-	if err != nil {
-		return t, err
-	}
-	t.AddRow("flat 6x6", fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(36))))
-
-	hier, err := core.NewHierarchical(6, 6, 3, cfg.GLMaxTransmitters, 1)
-	if err != nil {
-		return t, err
-	}
-	hierSys, err := sim.New(cfg)
-	if err != nil {
-		return t, err
-	}
-	swapGL(hierSys, hier)
-	rep, err = workload.Run(hierSys, synth, GL, 36, defaultCycleBudget)
-	if err != nil {
-		return t, err
-	}
-	t.AddRow("2x2 clusters of 3x3", fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(36))))
-	return t, nil
+	results := sweep.Run(opt, specs)
+	barriers := (&workload.Synthetic{Iters: iters}).Barriers(36)
+	t.AddRow("flat 6x6", cellLatency(results[0], barriers))
+	t.AddRow("2x2 clusters of 3x3", cellLatency(results[1], barriers))
+	return t, sweep.Errs(results)
 }
 
 // AblationTDM measures time-multiplexed barrier contexts: one physical set
 // of G-lines shared by k contexts, with the synthetic loop running on
 // context 0. Latency grows with the TDM period. The mesh must fit a flat
 // network (TDM shares one physical line set).
-func AblationTDM(cores int, contexts []int, iters int) (stats.Table, error) {
+func AblationTDM(cores int, contexts []int, iters int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"TDM contexts", "cycles/barrier"}}
-	synth := &workload.Synthetic{Iters: iters}
 	cfg := config.Default(cores)
 	if !cfg.GLFitsFlat() {
 		return t, fmt.Errorf("TDM ablation needs a flat-capable mesh; %dx%d exceeds the limit (use <=49 cores)", cfg.MeshCols, cfg.MeshRows)
 	}
-	for _, k := range contexts {
-		net, err := core.NewNetwork(core.NetworkConfig{
-			Cols: cfg.MeshCols, Rows: cfg.MeshRows,
-			MaxTransmitters: cfg.GLMaxTransmitters,
-			Contexts:        k,
-			Mux:             core.MuxTime,
-		})
-		if err != nil {
-			return t, err
+	specs := make([]sweep.Spec, len(contexts))
+	for i, k := range contexts {
+		k := k
+		specs[i] = sweep.Spec{
+			Label: fmt.Sprintf("tdm/%d", k),
+			Run: func() (*sim.Report, error) {
+				net, err := core.NewNetwork(core.NetworkConfig{
+					Cols: cfg.MeshCols, Rows: cfg.MeshRows,
+					MaxTransmitters: cfg.GLMaxTransmitters,
+					Contexts:        k,
+					Mux:             core.MuxTime,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sys, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				swapGL(sys, net)
+				return workload.Run(sys, &workload.Synthetic{Iters: iters}, GL, cores, defaultCycleBudget)
+			},
 		}
-		sys, err := sim.New(cfg)
-		if err != nil {
-			return t, err
-		}
-		swapGL(sys, net)
-		rep, err := workload.Run(sys, synth, GL, cores, defaultCycleBudget)
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(cores))))
 	}
-	return t, nil
+	results := sweep.Run(opt, specs)
+	barriers := (&workload.Synthetic{Iters: iters}).Barriers(cores)
+	for i, k := range contexts {
+		t.AddRow(fmt.Sprintf("%d", k), cellLatency(results[i], barriers))
+	}
+	return t, sweep.Errs(results)
 }
 
 // swapGL replaces a system's barrier network before any program launches.
@@ -369,36 +466,41 @@ func swapGL(s *sim.System, gl sim.GLNetwork) {
 // AblationSCSMA quantifies the paper's key sensing technique: with S-CSMA
 // a master counts all simultaneous arrivals in one cycle; without it
 // (serialized receiver) arrivals queue at the masters.
-func AblationSCSMA(iters int) (stats.Table, error) {
+func AblationSCSMA(iters int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"Signaling", "cycles/barrier"}}
-	synth := &workload.Synthetic{Iters: iters}
 	cfg := config.Default(49) // 7x7: the largest flat mesh, 6 slaves/line
-	for _, serial := range []bool{false, true} {
-		net, err := core.NewNetwork(core.NetworkConfig{
-			Cols: cfg.MeshCols, Rows: cfg.MeshRows,
-			MaxTransmitters: cfg.GLMaxTransmitters,
-			Contexts:        1,
-			SerialSignaling: serial,
-		})
-		if err != nil {
-			return t, err
+	modes := []bool{false, true}
+	specs := make([]sweep.Spec, len(modes))
+	for i, serial := range modes {
+		serial := serial
+		specs[i] = sweep.Spec{
+			Label: fmt.Sprintf("scsma/serial=%v", serial),
+			Run: func() (*sim.Report, error) {
+				net, err := core.NewNetwork(core.NetworkConfig{
+					Cols: cfg.MeshCols, Rows: cfg.MeshRows,
+					MaxTransmitters: cfg.GLMaxTransmitters,
+					Contexts:        1,
+					SerialSignaling: serial,
+				})
+				if err != nil {
+					return nil, err
+				}
+				sys, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				sys.ReplaceGL(net)
+				return workload.Run(sys, &workload.Synthetic{Iters: iters}, GL, 49, defaultCycleBudget)
+			},
 		}
-		sys, err := sim.New(cfg)
-		if err != nil {
-			return t, err
-		}
-		sys.ReplaceGL(net)
-		rep, err := workload.Run(sys, synth, GL, 49, defaultCycleBudget)
-		if err != nil {
-			return t, err
-		}
-		label := "S-CSMA (paper)"
-		if serial {
-			label = "serialized receiver"
-		}
-		t.AddRow(label, fmt.Sprintf("%.1f", float64(rep.Cycles)/float64(synth.Barriers(49))))
 	}
-	return t, nil
+	results := sweep.Run(opt, specs)
+	barriers := (&workload.Synthetic{Iters: iters}).Barriers(49)
+	labels := []string{"S-CSMA (paper)", "serialized receiver"}
+	for i := range modes {
+		t.AddRow(labels[i], cellLatency(results[i], barriers))
+	}
+	return t, sweep.Errs(results)
 }
 
 // EnergyRow is one benchmark's interconnect-energy comparison (the paper's
@@ -408,36 +510,39 @@ type EnergyRow struct {
 	DSWPJ, GLPJ     float64
 	GLofWhichLines  float64
 	EnergyReduction float64
+
+	// DSW and GL are the raw run results; Err the pair's failure, if any.
+	DSW, GL *Report
+	Err     error
 }
 
 // EnergyStudy measures interconnect energy for every benchmark of the
 // tier's suite under both barrier implementations.
-func EnergyStudy(tier Tier, cores int) ([]EnergyRow, error) {
-	var rows []EnergyRow
-	for _, w := range workload.Suite(tier) {
-		dsw, err := runFresh(cores, w, DSW)
-		if err != nil {
-			return nil, err
+func EnergyStudy(tier Tier, cores int, opt SweepOptions) ([]EnergyRow, error) {
+	cmps, err := compareAll(workload.Suite(tier), cores, opt)
+	rows := make([]EnergyRow, len(cmps))
+	for i, c := range cmps {
+		rows[i] = EnergyRow{Name: c.Name, Err: c.Err}
+		if c.Err != nil {
+			continue
 		}
-		gl, err := runFresh(cores, w, GL)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, EnergyRow{
-			Name:            w.Name(),
-			DSWPJ:           dsw.Energy.Total(),
-			GLPJ:            gl.Energy.Total(),
-			GLofWhichLines:  gl.Energy.GLinePJ,
-			EnergyReduction: stats.Reduction(dsw.Energy.Total(), gl.Energy.Total()),
-		})
+		rows[i].DSW, rows[i].GL = c.DSW, c.GL
+		rows[i].DSWPJ = c.DSW.Energy.Total()
+		rows[i].GLPJ = c.GL.Energy.Total()
+		rows[i].GLofWhichLines = c.GL.Energy.GLinePJ
+		rows[i].EnergyReduction = stats.Reduction(c.DSW.Energy.Total(), c.GL.Energy.Total())
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderEnergy formats the energy study.
 func RenderEnergy(rows []EnergyRow) stats.Table {
 	t := stats.Table{Header: []string{"Benchmark", "DSW (nJ)", "GL (nJ)", "G-line part (nJ)", "Reduction"}}
 	for _, r := range rows {
+		if r.Err != nil {
+			t.AddRow(r.Name, stats.ErrCell(r.Err), "", "", "")
+			continue
+		}
 		t.AddRow(r.Name,
 			fmt.Sprintf("%.1f", r.DSWPJ/1000),
 			fmt.Sprintf("%.1f", r.GLPJ/1000),
@@ -450,27 +555,36 @@ func RenderEnergy(rows []EnergyRow) stats.Table {
 // AblationRouterDepth sweeps the mesh router pipeline depth: software
 // barriers ride the data NoC and slow down with it, while the dedicated
 // G-line barrier is untouched — the core argument for a dedicated network.
-func AblationRouterDepth(cores int, depths []uint64, iters int) (stats.Table, error) {
+func AblationRouterDepth(cores int, depths []uint64, iters int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"RouterStages", "DSW", "GL"}}
-	synth := &workload.Synthetic{Iters: iters}
+	kinds := []BarrierKind{DSW, GL}
+	var specs []sweep.Spec
 	for _, d := range depths {
-		var row [2]float64
-		for i, kind := range []BarrierKind{DSW, GL} {
-			cfg := config.Default(cores)
-			cfg.RouterLatency = d
-			sys, err := sim.New(cfg)
-			if err != nil {
-				return t, err
-			}
-			rep, err := workload.Run(sys, synth, kind, cores, defaultCycleBudget)
-			if err != nil {
-				return t, err
-			}
-			row[i] = float64(rep.Cycles) / float64(synth.Barriers(cores))
+		d := d
+		for _, kind := range kinds {
+			kind := kind
+			specs = append(specs, sweep.Spec{
+				Label: fmt.Sprintf("router/%d/%s", d, kind),
+				Run: func() (*sim.Report, error) {
+					cfg := config.Default(cores)
+					cfg.RouterLatency = d
+					sys, err := sim.New(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return workload.Run(sys, &workload.Synthetic{Iters: iters}, kind, cores, defaultCycleBudget)
+				},
+			})
 		}
-		t.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%.1f", row[0]), fmt.Sprintf("%.1f", row[1]))
 	}
-	return t, nil
+	results := sweep.Run(opt, specs)
+	barriers := (&workload.Synthetic{Iters: iters}).Barriers(cores)
+	for i, d := range depths {
+		t.AddRow(fmt.Sprintf("%d", d),
+			cellLatency(results[2*i], barriers),
+			cellLatency(results[2*i+1], barriers))
+	}
+	return t, sweep.Errs(results)
 }
 
 // AblationProtocol compares the calibrated 4-hop home-relay ownership
@@ -480,42 +594,52 @@ func AblationRouterDepth(cores int, depths []uint64, iters int) (stats.Table, er
 // else in flight). Barrier algorithms barely exercise owner-to-owner
 // writes — their hand-offs are read-forwards and upgrades — so this is a
 // substrate ablation, not a barrier result.
-func AblationProtocol(cores int, transfers int) (stats.Table, error) {
+func AblationProtocol(cores int, transfers int, opt SweepOptions) (stats.Table, error) {
 	t := stats.Table{Header: []string{"Ownership transfer", "cycles/transfer"}}
-	for _, threeHop := range []bool{false, true} {
-		cfg := config.Default(cores)
-		cfg.ThreeHopOwnership = threeHop
-		sys, err := sim.New(cfg)
-		if err != nil {
-			return t, err
+	modes := []bool{false, true}
+	specs := make([]sweep.Spec, len(modes))
+	for i, threeHop := range modes {
+		threeHop := threeHop
+		specs[i] = sweep.Spec{
+			Label: fmt.Sprintf("protocol/threeHop=%v", threeHop),
+			Run: func() (*sim.Report, error) {
+				cfg := config.Default(cores)
+				cfg.ThreeHopOwnership = threeHop
+				sys, err := sim.New(cfg)
+				if err != nil {
+					return nil, err
+				}
+				// Writers at opposite mesh corners, with the line homed
+				// midway so both protocols pay full-distance indirections.
+				a, b := 0, cores-1
+				addr := sys.Alloc.Line()
+				for sys.Prot.HomeOf(addr) != cores/2 {
+					addr = sys.Alloc.Line()
+				}
+				left := transfers
+				var ping func(tile int)
+				ping = func(tile int) {
+					if left == 0 {
+						return
+					}
+					left--
+					next := a + b - tile
+					sys.Prot.L1(tile).Access(coherence.Write, addr, 0, uint64(left), true,
+						func(uint64) { ping(next) })
+				}
+				ping(a)
+				end, err := sys.Eng.Run(uint64(transfers)*100_000, func() bool { return left == 0 })
+				if err != nil {
+					return nil, err
+				}
+				return &sim.Report{Cycles: end, Traffic: sys.Prot.Traffic()}, nil
+			},
 		}
-		// Writers at opposite mesh corners, with the line homed midway so
-		// both protocols pay full-distance indirections.
-		a, b := 0, cores-1
-		addr := sys.Alloc.Line()
-		for sys.Prot.HomeOf(addr) != cores/2 {
-			addr = sys.Alloc.Line()
-		}
-		left := transfers
-		var ping func(tile int)
-		ping = func(tile int) {
-			if left == 0 {
-				return
-			}
-			left--
-			next := a + b - tile
-			sys.Prot.L1(tile).Access(coherence.Write, addr, 0, uint64(left), true,
-				func(uint64) { ping(next) })
-		}
-		ping(a)
-		if _, err := sys.Eng.Run(uint64(transfers)*100_000, func() bool { return left == 0 }); err != nil {
-			return t, err
-		}
-		label := "4-hop via home (default)"
-		if threeHop {
-			label = "3-hop direct"
-		}
-		t.AddRow(label, fmt.Sprintf("%.1f", float64(sys.Eng.Now())/float64(transfers)))
 	}
-	return t, nil
+	results := sweep.Run(opt, specs)
+	labels := []string{"4-hop via home (default)", "3-hop direct"}
+	for i := range modes {
+		t.AddRow(labels[i], cellLatency(results[i], uint64(transfers)))
+	}
+	return t, sweep.Errs(results)
 }

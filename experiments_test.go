@@ -22,7 +22,7 @@ func TestTable2ScaledTier(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full scaled suite")
 	}
-	rows, err := Table2(TierScaled, 16)
+	rows, err := Table2(TierScaled, 16, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestTable2ScaledTier(t *testing.T) {
 }
 
 func TestFig5ShapeSmall(t *testing.T) {
-	points, err := Fig5(TierScaled, []int{2, 8})
+	points, err := Fig5(TierScaled, []int{2, 8}, Parallel)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestCompareAndAverages(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full DSW+GL comparison")
 	}
-	cmp, err := Compare(workload.ScaledKernel3(), 16)
+	cmp, err := Compare(workload.ScaledKernel3(), 16, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestCompareAndAverages(t *testing.T) {
 }
 
 func TestAblationOverheadShowsIdealFour(t *testing.T) {
-	tab, err := AblationOverhead(16, []uint64{0, 9}, 50)
+	tab, err := AblationOverhead(16, []uint64{0, 9}, 50, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestAblationOverheadShowsIdealFour(t *testing.T) {
 }
 
 func TestAblationHierarchy(t *testing.T) {
-	tab, err := AblationHierarchy(30)
+	tab, err := AblationHierarchy(30, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestAblationHierarchy(t *testing.T) {
 }
 
 func TestAblationTDM(t *testing.T) {
-	tab, err := AblationTDM(16, []int{1, 2}, 30)
+	tab, err := AblationTDM(16, []int{1, 2}, 30, Sequential)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestAblationTDM(t *testing.T) {
 
 func TestBenchmarkLookup(t *testing.T) {
 	for _, name := range workload.Names() {
-		for _, tier := range []Tier{TierScaled, TierRepro, TierPaper} {
+		for _, tier := range []Tier{TierTest, TierScaled, TierRepro, TierPaper} {
 			w, err := workload.ByName(name, tier)
 			if err != nil {
 				t.Errorf("ByName(%s,%s): %v", name, tier, err)
@@ -195,7 +195,7 @@ func TestFig6ShapeScaled(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite comparison")
 	}
-	cmps, err := Fig6And7(TierScaled, 16)
+	cmps, err := Fig6And7(TierScaled, 16, Parallel)
 	if err != nil {
 		t.Fatal(err)
 	}

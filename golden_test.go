@@ -1,0 +1,143 @@
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// updateGoldens rewrites the committed fingerprints from the current run:
+//
+//	go test -run TestGoldenFingerprints -update .
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/fingerprints.golden from this run")
+
+const (
+	goldenPath  = "testdata/fingerprints.golden"
+	goldenCores = 16
+)
+
+// goldenCell names one pinned run of the test tier.
+type goldenCell struct {
+	key  string
+	w    Workload
+	kind BarrierKind
+}
+
+// goldenCells pins the synthetic workload under all three barrier kinds
+// plus the full test-tier suite under the two Figure 6/7 barriers.
+func goldenCells() []goldenCell {
+	var cells []goldenCell
+	for _, kind := range []BarrierKind{CSW, DSW, GL} {
+		cells = append(cells, goldenCell{
+			key:  fmt.Sprintf("SYNTH/%s/%d", kind, goldenCores),
+			w:    workload.TestSynthetic(),
+			kind: kind,
+		})
+	}
+	for _, w := range workload.TestSuite() {
+		for _, kind := range []BarrierKind{DSW, GL} {
+			cells = append(cells, goldenCell{
+				key:  fmt.Sprintf("%s/%s/%d", w.Name(), kind, goldenCores),
+				w:    w,
+				kind: kind,
+			})
+		}
+	}
+	return cells
+}
+
+// TestDeterminismTwice runs the synthetic workload twice per barrier kind
+// on fresh systems and requires identical fingerprints: the simulator must
+// be a pure function of its inputs.
+func TestDeterminismTwice(t *testing.T) {
+	for _, kind := range []BarrierKind{CSW, DSW, GL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			fp := func() string {
+				rep, err := runFresh(goldenCores, workload.TestSynthetic(), kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep.Fingerprint()
+			}
+			if a, b := fp(), fp(); a != b {
+				t.Errorf("two fresh runs fingerprint differently: %s vs %s", a, b)
+			}
+		})
+	}
+}
+
+// TestGoldenFingerprints regenerates every pinned test-tier run and
+// compares fingerprints against the committed golden file. Run with
+// -update after an intentional behavioral change to refresh the goldens
+// (see EXPERIMENTS.md).
+func TestGoldenFingerprints(t *testing.T) {
+	cells := goldenCells()
+	specs := make([]sweep.Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = benchSpec(goldenCores, c.w, c.kind)
+	}
+	results := sweep.Run(Parallel, specs)
+	got := make(map[string]string, len(cells))
+	var lines []string
+	for i, c := range cells {
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", c.key, results[i].Err)
+		}
+		got[c.key] = results[i].Fingerprint()
+		lines = append(lines, c.key+" "+got[c.key])
+	}
+
+	if *updateGoldens {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		content := "# Determinism fingerprints of the test tier (" +
+			fmt.Sprintf("%d cores", goldenCores) + ").\n" +
+			"# Regenerate with: go test -run TestGoldenFingerprints -update .\n" +
+			strings.Join(lines, "\n") + "\n"
+		if err := os.WriteFile(goldenPath, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d fingerprints", goldenPath, len(lines))
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestGoldenFingerprints -update .` to create it)", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	for key, fp := range got {
+		wantFP, ok := want[key]
+		if !ok {
+			t.Errorf("%s: no golden entry (refresh with -update)", key)
+			continue
+		}
+		if fp != wantFP {
+			t.Errorf("%s: fingerprint %s, golden %s — behavior changed; refresh with -update if intended", key, fp, wantFP)
+		}
+	}
+	for key := range want {
+		if _, ok := got[key]; !ok {
+			t.Errorf("stale golden entry %s (refresh with -update)", key)
+		}
+	}
+}

@@ -66,6 +66,10 @@ type context struct {
 
 	arrivals, episodes uint64
 	lastEpisodeCycle   uint64
+
+	// releasedBuf is per-context scratch reused across steps; it must not
+	// be shared between networks, which may step on parallel goroutines.
+	releasedBuf []int
 }
 
 // NewNetwork builds a flat G-line network. Every context initially includes
@@ -405,7 +409,7 @@ func (c *context) step(cycle uint64) {
 		l.sample()
 	}
 
-	released := releasedBuf[:0]
+	released := c.releasedBuf[:0]
 	collect := func(tile int) { released = append(released, tile) }
 	c.mv.samplePhase()
 	for _, s := range c.slavesV {
@@ -439,8 +443,5 @@ func (c *context) step(cycle uint64) {
 			}
 		}
 	}
-	releasedBuf = released[:0]
+	c.releasedBuf = released[:0]
 }
-
-// releasedBuf is reused across steps; the simulator is single-threaded.
-var releasedBuf = make([]int, 0, 64)

@@ -160,3 +160,113 @@ func TestPropEventTiming(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunFastForwardEdges pins the edge cases of Run's fast-forward path:
+// an event scheduled exactly at maxCycles, a ticker going idle on the same
+// cycle an event fires, and same-cycle re-entrant At ordering.
+func TestRunFastForwardEdges(t *testing.T) {
+	cases := []struct {
+		name    string
+		budget  uint64
+		setup   func(e *Engine, log *[]string) func() bool // returns done()
+		wantEnd uint64
+		wantErr bool
+		wantLog []string
+	}{
+		{
+			// The fast-forward jumps now straight to maxCycles, the
+			// `now < maxCycles` guard exits, and the event never runs:
+			// the budget is exhausted with work still pending.
+			name:   "event exactly at maxCycles never runs",
+			budget: 500,
+			setup: func(e *Engine, log *[]string) func() bool {
+				e.At(500, func() { *log = append(*log, "edge") })
+				return func() bool { return false }
+			},
+			wantEnd: 500,
+			wantErr: true,
+			wantLog: nil,
+		},
+		{
+			// One more cycle of budget and the same event fires.
+			name:   "event at maxCycles-1 runs",
+			budget: 501,
+			setup: func(e *Engine, log *[]string) func() bool {
+				done := false
+				e.At(500, func() { *log = append(*log, "edge"); done = true })
+				return func() bool { return done }
+			},
+			wantEnd: 501,
+			wantLog: []string{"edge"},
+		},
+		{
+			// The ticker's last active tick is cycle 2 — the same cycle
+			// the event fires and completes the run.
+			name:   "ticker idles on the event's cycle",
+			budget: 1000,
+			setup: func(e *Engine, log *[]string) func() bool {
+				e.AddTicker(&countTicker{active: 3})
+				done := false
+				e.At(2, func() { *log = append(*log, "fire"); done = true })
+				return func() bool { return done }
+			},
+			wantEnd: 3,
+			wantLog: []string{"fire"},
+		},
+		{
+			// Same setup but the run never completes: with the ticker idle
+			// and the event queue drained the engine must report deadlock
+			// rather than spin to the budget.
+			name:   "ticker idles on the event's cycle, not done",
+			budget: 1000,
+			setup: func(e *Engine, log *[]string) func() bool {
+				e.AddTicker(&countTicker{active: 3})
+				e.At(2, func() { *log = append(*log, "fire") })
+				return func() bool { return false }
+			},
+			wantEnd: 3,
+			wantErr: true,
+			wantLog: []string{"fire"},
+		},
+		{
+			// A runs first (seq 0) and schedules B for the same cycle
+			// (seq 2), so the already-queued C (seq 1) runs before B.
+			name:   "same-cycle re-entrant At runs after queued peers",
+			budget: 10,
+			setup: func(e *Engine, log *[]string) func() bool {
+				done := false
+				e.At(5, func() {
+					*log = append(*log, "A")
+					e.At(5, func() { *log = append(*log, "B"); done = true })
+				})
+				e.At(5, func() { *log = append(*log, "C") })
+				return func() bool { return done }
+			},
+			wantEnd: 6,
+			wantLog: []string{"A", "C", "B"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			e := New()
+			var log []string
+			done := tc.setup(e, &log)
+			end, err := e.Run(tc.budget, done)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if end != tc.wantEnd {
+				t.Errorf("ended at %d, want %d", end, tc.wantEnd)
+			}
+			if len(log) != len(tc.wantLog) {
+				t.Fatalf("log %v, want %v", log, tc.wantLog)
+			}
+			for i := range log {
+				if log[i] != tc.wantLog[i] {
+					t.Fatalf("log %v, want %v", log, tc.wantLog)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable 64-bit hash (16 hex digits) over the
+// determinism-relevant outputs of a run: the final cycle, the aggregate
+// and per-core time breakdowns, the traffic counters and the barrier
+// episode count. Two runs of the same workload on identically configured
+// fresh systems must produce identical fingerprints — the simulator is a
+// pure function of its inputs — so fingerprints detect both accidental
+// nondeterminism (e.g. after parallelizing a sweep) and unintended
+// behavioral changes against committed goldens.
+func (r *Report) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(r.Cycles)
+	word(r.BarrierEpisodes)
+	for _, v := range r.Breakdown {
+		word(v)
+	}
+	word(uint64(len(r.PerCore)))
+	for _, bd := range r.PerCore {
+		for _, v := range bd {
+			word(v)
+		}
+	}
+	for _, v := range r.Traffic.Messages {
+		word(v)
+	}
+	for _, v := range r.Traffic.Flits {
+		word(v)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

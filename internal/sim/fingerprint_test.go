@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+)
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	base := func() *Report {
+		r := &Report{Cycles: 1000, BarrierEpisodes: 40}
+		r.Breakdown.Add(stats.RegionBusy, 700)
+		r.Breakdown.Add(stats.RegionBarrier, 300)
+		r.PerCore = []stats.TimeBreakdown{{500, 0, 0, 0, 100}, {200, 0, 0, 0, 200}}
+		r.Traffic.Add(stats.ClassRequest, 5)
+		r.Traffic.Add(stats.ClassReply, 9)
+		return r
+	}
+
+	fp := base().Fingerprint()
+	if len(fp) != 16 {
+		t.Fatalf("fingerprint %q: want 16 hex digits", fp)
+	}
+	if again := base().Fingerprint(); again != fp {
+		t.Errorf("identical reports fingerprint differently: %s vs %s", fp, again)
+	}
+
+	// Every hashed dimension must perturb the fingerprint.
+	mutations := map[string]func(*Report){
+		"cycles":    func(r *Report) { r.Cycles++ },
+		"episodes":  func(r *Report) { r.BarrierEpisodes++ },
+		"breakdown": func(r *Report) { r.Breakdown.Add(stats.RegionLock, 1) },
+		"per-core":  func(r *Report) { r.PerCore[1].Add(stats.RegionRead, 1) },
+		"messages":  func(r *Report) { r.Traffic.Add(stats.ClassCoherence, 0) },
+		"flits":     func(r *Report) { r.Traffic.Flits[stats.ClassReply]++ },
+	}
+	for name, mutate := range mutations {
+		r := base()
+		mutate(r)
+		if got := r.Fingerprint(); got == fp {
+			t.Errorf("%s mutation did not change the fingerprint", name)
+		}
+	}
+
+	// Non-hashed derived fields (cache stats, energy) must not matter:
+	// they are functions of the hashed counters.
+	r := base()
+	r.L1Hits = 99999
+	if got := r.Fingerprint(); got != fp {
+		t.Errorf("L1 stats changed the fingerprint: %s vs %s", got, fp)
+	}
+}
+
+// TestFingerprintFreshSystemsAgree runs the same tiny program on two fresh
+// systems and requires identical fingerprints end-to-end.
+func TestFingerprintFreshSystemsAgree(t *testing.T) {
+	run := func() string {
+		s := newTestSystem(t, 16)
+		progs := make([]cpu.Program, 16)
+		for i := range progs {
+			progs[i] = func(c *cpu.Ctx) {
+				c.Work(10)
+				c.GLBarrier(0)
+				c.Store(uint64(0x1000_0000 + 64*c.CoreID()))
+				c.GLBarrier(0)
+			}
+		}
+		if err := s.Launch(progs); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Fingerprint()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("fresh identical systems fingerprint differently: %s vs %s", a, b)
+	}
+}

@@ -293,5 +293,6 @@ func (r *Report) String() string {
 	t.AddRow("gl.toggles", fmt.Sprintf("%d", r.GLToggles))
 	t.AddRow("energy.noc-pJ", fmt.Sprintf("%.0f", r.Energy.NoCPJ))
 	t.AddRow("energy.gl-pJ", fmt.Sprintf("%.1f", r.Energy.GLinePJ))
+	t.AddRow("fingerprint", r.Fingerprint())
 	return t.String()
 }

@@ -247,6 +247,23 @@ func (t Table) CSV() string {
 // Pct formats v as a percentage with one decimal.
 func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
+// ErrCell formats a failed sweep cell for a rendered table: the error's
+// first line, truncated so one bad run cannot wreck column alignment.
+func ErrCell(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
+	}
+	const max = 60
+	if len(msg) > max {
+		msg = msg[:max-1] + "…"
+	}
+	return "error: " + msg
+}
+
 // Reduction returns the relative reduction of with versus base, e.g. 0.68
 // for a 68% improvement. Returns 0 when base is 0.
 func Reduction(base, with float64) float64 {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -143,5 +144,23 @@ func TestSortedKeys(t *testing.T) {
 	keys := SortedKeys(m)
 	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
 		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func TestErrCell(t *testing.T) {
+	if got := ErrCell(nil); got != "" {
+		t.Errorf("ErrCell(nil) = %q", got)
+	}
+	got := ErrCell(fmt.Errorf("boom"))
+	if got != "error: boom" {
+		t.Errorf("ErrCell = %q", got)
+	}
+	multi := ErrCell(fmt.Errorf("first line\nsecond line"))
+	if strings.Contains(multi, "second") || strings.Contains(multi, "\n") {
+		t.Errorf("ErrCell kept extra lines: %q", multi)
+	}
+	long := ErrCell(fmt.Errorf("%s", strings.Repeat("x", 200)))
+	if len(long) > len("error: ")+70 {
+		t.Errorf("ErrCell too long (%d): %q", len(long), long)
 	}
 }

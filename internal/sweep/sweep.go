@@ -1,0 +1,162 @@
+// Package sweep fans independent simulation runs across a bounded worker
+// pool. Every experiment of the paper's evaluation is a grid of pure
+// (workload × barrier kind × core count × config) cells: each cell builds
+// its own sim.System, so cells share no state and can run on any number of
+// goroutines without changing results.
+//
+// The contract callers rely on:
+//
+//   - Results come back in submission order, one per Spec, regardless of
+//     which worker finished first: a parallel sweep renders byte-identical
+//     tables to a sequential one.
+//   - A failing cell (error or panic) never aborts the sweep; its Result
+//     carries the error and every other cell still runs, unless FailFast
+//     asks to cancel cells that have not started yet.
+//   - Determinism is checkable: each cell's Report carries a fingerprint
+//     (sim.Report.Fingerprint) hashed over its final statistics.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// Spec is one independent cell of a sweep: a label for error reporting and
+// a self-contained run building its own fresh system.
+type Spec struct {
+	Label string
+	Run   func() (*sim.Report, error)
+}
+
+// Options configure how a sweep executes. The zero value runs one worker
+// per available CPU and never cancels.
+type Options struct {
+	// Jobs is the worker-goroutine count; <= 0 means GOMAXPROCS.
+	Jobs int
+	// FailFast cancels cells that have not started once any cell fails.
+	// Canceled cells report ErrCanceled.
+	FailFast bool
+}
+
+// jobs resolves the effective worker count.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Result is one cell's outcome, at the same index as its Spec.
+type Result struct {
+	Label  string
+	Report *sim.Report
+	Err    error
+}
+
+// Fingerprint returns the cell's determinism fingerprint, or "" for a
+// failed cell.
+func (r Result) Fingerprint() string {
+	if r.Report == nil {
+		return ""
+	}
+	return r.Report.Fingerprint()
+}
+
+// ErrCanceled marks cells skipped under FailFast after an earlier failure.
+var ErrCanceled = errors.New("sweep: canceled after earlier failure")
+
+// Run executes every spec on opts.jobs() workers and returns one Result
+// per spec, in submission order. It never returns early: with FailFast
+// off, every cell runs to completion; with FailFast on, cells that have
+// not yet started when a failure lands are marked ErrCanceled. A panic
+// inside a cell is recovered into that cell's Err.
+func Run(opts Options, specs []Spec) []Result {
+	results := make([]Result, len(specs))
+	var failed atomic.Bool
+	runOne := func(i int) {
+		r := &results[i]
+		r.Label = specs[i].Label
+		if opts.FailFast && failed.Load() {
+			r.Err = ErrCanceled
+			return
+		}
+		r.Report, r.Err = protect(specs[i].Run)
+		if r.Err != nil {
+			if r.Label != "" {
+				r.Err = fmt.Errorf("%s: %w", r.Label, r.Err)
+			}
+			failed.Store(true)
+		}
+	}
+
+	n := opts.jobs()
+	if n > len(specs) {
+		n = len(specs)
+	}
+	if n <= 1 {
+		// Strictly sequential, in submission order: the reference
+		// execution that parallel runs must match bit-for-bit.
+		for i := range specs {
+			runOne(i)
+		}
+		return results
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// protect runs one cell, converting a panic into an error so a bad cell
+// cannot take down the whole sweep.
+func protect(run func() (*sim.Report, error)) (rep *sim.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("run panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return run()
+}
+
+// Errs joins the errors of all failed cells (nil when every cell
+// succeeded), preserving submission order — the aggregate an experiment
+// returns alongside its fully rendered table.
+func Errs(results []Result) error {
+	var errs []error
+	for _, r := range results {
+		if r.Err != nil {
+			errs = append(errs, r.Err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Failed counts cells that did not produce a report.
+func Failed(results []Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fakeReport builds a distinct deterministic report for cell i.
+func fakeReport(i int) *sim.Report {
+	r := &sim.Report{Cycles: uint64(1000 + i), BarrierEpisodes: uint64(i)}
+	r.Breakdown.Add(stats.RegionBusy, uint64(10*i))
+	r.Traffic.Add(stats.ClassRequest, i)
+	return r
+}
+
+// grid builds n well-behaved cells.
+func grid(n int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		i := i
+		specs[i] = Spec{
+			Label: fmt.Sprintf("cell%d", i),
+			Run:   func() (*sim.Report, error) { return fakeReport(i), nil },
+		}
+	}
+	return specs
+}
+
+// TestParallelMatchesSequential runs the same grid with jobs=1 and jobs=8
+// and requires bit-for-bit identical results in submission order.
+func TestParallelMatchesSequential(t *testing.T) {
+	specs := grid(37)
+	seq := Run(Options{Jobs: 1}, specs)
+	par := Run(Options{Jobs: 8}, specs)
+	if len(seq) != len(specs) || len(par) != len(specs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(seq), len(par), len(specs))
+	}
+	for i := range specs {
+		if seq[i].Label != specs[i].Label || par[i].Label != specs[i].Label {
+			t.Errorf("cell %d: labels out of order (%q / %q)", i, seq[i].Label, par[i].Label)
+		}
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Errorf("cell %d: unexpected errors %v / %v", i, seq[i].Err, par[i].Err)
+		}
+		sf, pf := seq[i].Fingerprint(), par[i].Fingerprint()
+		if sf == "" || sf != pf {
+			t.Errorf("cell %d: fingerprints diverge: seq=%s par=%s", i, sf, pf)
+		}
+		if seq[i].Report.Cycles != par[i].Report.Cycles {
+			t.Errorf("cell %d: cycles diverge", i)
+		}
+	}
+}
+
+// TestPanickingCellIsIsolated requires a panicking run to be recovered and
+// reported as that cell's error while every other cell completes.
+func TestPanickingCellIsIsolated(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		specs := grid(9)
+		specs[4] = Spec{Label: "boom", Run: func() (*sim.Report, error) { panic("kaboom") }}
+		results := Run(Options{Jobs: jobs}, specs)
+		for i, r := range results {
+			if i == 4 {
+				if r.Err == nil || !strings.Contains(r.Err.Error(), "kaboom") {
+					t.Errorf("jobs=%d: panic not reported: %v", jobs, r.Err)
+				}
+				if !strings.Contains(r.Err.Error(), "boom:") {
+					t.Errorf("jobs=%d: error not labeled: %v", jobs, r.Err)
+				}
+				continue
+			}
+			if r.Err != nil || r.Report == nil {
+				t.Errorf("jobs=%d: healthy cell %d affected: %v", jobs, i, r.Err)
+			}
+		}
+		if got := Failed(results); got != 1 {
+			t.Errorf("jobs=%d: Failed() = %d, want 1", jobs, got)
+		}
+		if err := Errs(results); err == nil || !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("jobs=%d: Errs() = %v", jobs, err)
+		}
+	}
+}
+
+// TestFailFastSequential pins the deterministic jobs=1 semantics: after
+// the first failure every remaining cell is canceled.
+func TestFailFastSequential(t *testing.T) {
+	specs := grid(6)
+	sentinel := errors.New("cell died")
+	specs[2] = Spec{Label: "bad", Run: func() (*sim.Report, error) { return nil, sentinel }}
+	results := Run(Options{Jobs: 1, FailFast: true}, specs)
+	for i, r := range results {
+		switch {
+		case i < 2:
+			if r.Err != nil {
+				t.Errorf("cell %d ran before the failure but errored: %v", i, r.Err)
+			}
+		case i == 2:
+			if !errors.Is(r.Err, sentinel) {
+				t.Errorf("failing cell error = %v, want sentinel", r.Err)
+			}
+		default:
+			if !errors.Is(r.Err, ErrCanceled) {
+				t.Errorf("cell %d after failure: err = %v, want ErrCanceled", i, r.Err)
+			}
+		}
+	}
+}
+
+// TestFailFastParallel exercises cancellation across workers: the first
+// cell fails and closes a gate the second cell waits on, so by the time
+// any later cell is pulled the failure has landed and it must be canceled.
+func TestFailFastParallel(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	sentinel := errors.New("first cell died")
+	specs := []Spec{
+		{Label: "fail", Run: func() (*sim.Report, error) {
+			<-started // don't fail until the second cell is in flight
+			defer close(gate)
+			return nil, sentinel
+		}},
+		{Label: "inflight", Run: func() (*sim.Report, error) {
+			close(started)
+			<-gate // started before the failure: must still finish
+			return fakeReport(1), nil
+		}},
+	}
+	for i := 2; i < 10; i++ {
+		i := i
+		specs = append(specs, Spec{
+			Label: fmt.Sprintf("later%d", i),
+			Run:   func() (*sim.Report, error) { <-gate; return fakeReport(i), nil },
+		})
+	}
+	results := Run(Options{Jobs: 2, FailFast: true}, specs)
+	if !errors.Is(results[0].Err, sentinel) {
+		t.Errorf("cell 0: %v, want sentinel", results[0].Err)
+	}
+	if results[1].Err != nil || results[1].Report == nil {
+		t.Errorf("in-flight cell was not allowed to finish: %v", results[1].Err)
+	}
+	// Workers pull cells in order; every cell after the in-flight one was
+	// picked up after the failure landed and must be canceled.
+	for i := 2; i < len(results); i++ {
+		if !errors.Is(results[i].Err, ErrCanceled) {
+			t.Errorf("cell %d: err = %v, want ErrCanceled", i, results[i].Err)
+		}
+	}
+}
+
+// TestWithoutFailFastEverythingRuns is the default contract: one failed
+// cell must not abort the sweep.
+func TestWithoutFailFastEverythingRuns(t *testing.T) {
+	specs := grid(8)
+	specs[0] = Spec{Label: "bad", Run: func() (*sim.Report, error) { return nil, errors.New("nope") }}
+	results := Run(Options{Jobs: 4}, specs)
+	for i := 1; i < len(results); i++ {
+		if results[i].Err != nil || results[i].Report == nil {
+			t.Errorf("cell %d did not run to completion: %v", i, results[i].Err)
+		}
+	}
+}
+
+// TestZeroSpecs and tiny pools must not hang or panic.
+func TestEdgeShapes(t *testing.T) {
+	if got := Run(Options{}, nil); len(got) != 0 {
+		t.Errorf("empty sweep returned %d results", len(got))
+	}
+	one := Run(Options{Jobs: 16}, grid(1)) // more workers than cells
+	if len(one) != 1 || one[0].Err != nil {
+		t.Errorf("single-cell sweep: %+v", one)
+	}
+	if err := Errs(one); err != nil {
+		t.Errorf("Errs on clean sweep: %v", err)
+	}
+}

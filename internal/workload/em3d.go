@@ -52,6 +52,11 @@ func ScaledEM3D() *EM3D {
 	return &EM3D{Nodes: 4800, Degree: 2, PctRemote: 15, Steps: 5, PhasesPerStep: 8, Seed: 11}
 }
 
+// TestEM3D returns the miniature test-tier variant (goldens/CI).
+func TestEM3D() *EM3D {
+	return &EM3D{Nodes: 1600, Degree: 2, PctRemote: 15, Steps: 2, PhasesPerStep: 8, Seed: 11}
+}
+
 // Name returns "EM3D".
 func (w *EM3D) Name() string { return "EM3D" }
 

@@ -30,6 +30,9 @@ func ReproKernel2() *Kernel2 { return &Kernel2{N: 1024, Iters: 50} }
 // ScaledKernel2 returns a fast variant with the same per-pass structure.
 func ScaledKernel2() *Kernel2 { return &Kernel2{N: 256, Iters: 10} }
 
+// TestKernel2 returns the miniature test-tier variant (goldens/CI).
+func TestKernel2() *Kernel2 { return &Kernel2{N: 128, Iters: 3} }
+
 // Name returns "KERN2".
 func (w *Kernel2) Name() string { return "KERN2" }
 
@@ -109,6 +112,9 @@ func ReproKernel3() *Kernel3 { return &Kernel3{N: 1024, Iters: 100} }
 // ScaledKernel3 returns a fast variant.
 func ScaledKernel3() *Kernel3 { return &Kernel3{N: 256, Iters: 20} }
 
+// TestKernel3 returns the miniature test-tier variant (goldens/CI).
+func TestKernel3() *Kernel3 { return &Kernel3{N: 128, Iters: 6} }
+
 // Name returns "KERN3".
 func (w *Kernel3) Name() string { return "KERN3" }
 
@@ -167,6 +173,9 @@ func ReproKernel6() *Kernel6 { return &Kernel6{N: 1024, Iters: 2} }
 
 // ScaledKernel6 returns a fast variant.
 func ScaledKernel6() *Kernel6 { return &Kernel6{N: 64, Iters: 5} }
+
+// TestKernel6 returns the miniature test-tier variant (goldens/CI).
+func TestKernel6() *Kernel6 { return &Kernel6{N: 48, Iters: 2} }
 
 // Name returns "KERN6".
 func (w *Kernel6) Name() string { return "KERN6" }

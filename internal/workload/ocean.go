@@ -44,6 +44,11 @@ func ScaledOcean() *Ocean {
 	return &Ocean{Grid: 66, Steps: 4, PhasesPerStep: 7, InnerSweeps: 2}
 }
 
+// TestOcean returns the miniature test-tier variant (goldens/CI).
+func TestOcean() *Ocean {
+	return &Ocean{Grid: 34, Steps: 2, PhasesPerStep: 7, InnerSweeps: 1}
+}
+
 // Name returns "OCEAN".
 func (w *Ocean) Name() string { return "OCEAN" }
 

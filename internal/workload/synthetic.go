@@ -28,6 +28,9 @@ func ReproSynthetic() *Synthetic { return &Synthetic{Iters: 250} }
 // ScaledSynthetic returns a fast variant with identical structure.
 func ScaledSynthetic() *Synthetic { return &Synthetic{Iters: 500} }
 
+// TestSynthetic returns the miniature test-tier variant (goldens/CI).
+func TestSynthetic() *Synthetic { return &Synthetic{Iters: 50} }
+
 // Name returns "SYNTH".
 func (w *Synthetic) Name() string { return "SYNTH" }
 

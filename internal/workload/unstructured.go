@@ -47,6 +47,11 @@ func ScaledUnstructured() *Unstructured {
 	return &Unstructured{Nodes: 512, EdgeFactor: 5, Phases: 10, Sweeps: 1, Locks: 512, Seed: 7}
 }
 
+// TestUnstructured returns the miniature test-tier variant (goldens/CI).
+func TestUnstructured() *Unstructured {
+	return &Unstructured{Nodes: 256, EdgeFactor: 5, Phases: 4, Sweeps: 1, Locks: 256, Seed: 7}
+}
+
 // Name returns "UNSTR".
 func (w *Unstructured) Name() string { return "UNSTR" }
 

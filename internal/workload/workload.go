@@ -123,11 +123,24 @@ func ScaledSuite() []Benchmark {
 	}
 }
 
+// TestSuite returns the benchmarks at the miniature test tier: the same
+// per-iteration structure at the smallest inputs that still exercise every
+// phase. This is the tier the determinism goldens and the parallel-sweep
+// equivalence tests pin.
+func TestSuite() []Benchmark {
+	return []Benchmark{
+		TestKernel2(), TestKernel3(), TestKernel6(),
+		TestUnstructured(), TestOcean(), TestEM3D(),
+	}
+}
+
 // Tier selects an input scale for the suite.
 type Tier string
 
-// The three input-scale tiers.
+// The four input-scale tiers.
 const (
+	// TierTest: miniature inputs for goldens and CI gates (sub-second).
+	TierTest Tier = "test"
 	// TierScaled: small inputs, seconds per run (tests).
 	TierScaled Tier = "scaled"
 	// TierRepro: the paper's data sizes, reduced iterations (harness
@@ -140,10 +153,10 @@ const (
 // ParseTier validates a tier name.
 func ParseTier(s string) (Tier, error) {
 	switch Tier(s) {
-	case TierScaled, TierRepro, TierPaper:
+	case TierTest, TierScaled, TierRepro, TierPaper:
 		return Tier(s), nil
 	}
-	return "", fmt.Errorf("workload: unknown tier %q (want scaled, repro or paper)", s)
+	return "", fmt.Errorf("workload: unknown tier %q (want test, scaled, repro or paper)", s)
 }
 
 // Extras returns the beyond-the-paper workloads (not part of the paper's
@@ -157,6 +170,8 @@ func Suite(tier Tier) []Benchmark {
 		return PaperSuite()
 	case TierRepro:
 		return ReproSuite()
+	case TierTest:
+		return TestSuite()
 	default:
 		return ScaledSuite()
 	}
@@ -169,6 +184,8 @@ func SyntheticFor(tier Tier) *Synthetic {
 		return PaperSynthetic()
 	case TierRepro:
 		return ReproSynthetic()
+	case TierTest:
+		return TestSynthetic()
 	default:
 		return ScaledSynthetic()
 	}

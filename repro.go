@@ -21,6 +21,7 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/config"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -40,12 +41,24 @@ type (
 	Workload = workload.Benchmark
 )
 
+// SweepOptions configure how an experiment's grid of independent runs
+// executes (worker count, fail-fast); see internal/sweep.
+type SweepOptions = sweep.Options
+
+// Sequential runs an experiment's cells one at a time on the calling
+// goroutine: the reference execution parallel sweeps must match.
+var Sequential = SweepOptions{Jobs: 1}
+
+// Parallel runs an experiment's cells on one worker per available CPU.
+var Parallel = SweepOptions{}
+
 // Barrier kinds and tiers, re-exported.
 const (
 	CSW = barrier.KindCSW
 	DSW = barrier.KindDSW
 	GL  = barrier.KindGL
 
+	TierTest   = workload.TierTest
 	TierScaled = workload.TierScaled
 	TierRepro  = workload.TierRepro
 	TierPaper  = workload.TierPaper
@@ -90,4 +103,13 @@ func runFresh(cores int, w Workload, kind BarrierKind) (*Report, error) {
 		return rep, fmt.Errorf("%s on %d cores with %s: %w", w.Name(), cores, kind, err)
 	}
 	return rep, nil
+}
+
+// benchSpec is the sweep cell for one fresh-system benchmark run: the
+// experiment grids are built from these.
+func benchSpec(cores int, w Workload, kind BarrierKind) sweep.Spec {
+	return sweep.Spec{
+		Label: fmt.Sprintf("%s/%s/%d", w.Name(), kind, cores),
+		Run:   func() (*Report, error) { return runFresh(cores, w, kind) },
+	}
 }

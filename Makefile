@@ -1,14 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench reproduce examples vet
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint
 
-all: build vet test test-race
+all: build lint test test-race
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# Static gate: vet plus a gofmt cleanliness check over the whole tree.
+lint: vet
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	go test ./...
@@ -22,6 +28,15 @@ test-race:
 
 bench:
 	go test -bench=. -benchmem .
+
+# Machine-readable benchmark snapshot: BENCH_<date>.json holds one line of
+# JSON per benchmark result, for diffing runs over time.
+bench-json:
+	go test -bench=. -benchmem -run '^$$' ./... 2>&1 | tee /dev/stderr | \
+		awk 'BEGIN{print "["} /^Benchmark/{ if (n++) printf(",\n"); \
+			printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, $$3, $$5, $$7) } \
+			END{print "\n]"}' > BENCH_$$(date +%Y%m%d).json
+	@echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # Regenerate every paper table/figure at the repro tier (paper data sizes).
 reproduce:

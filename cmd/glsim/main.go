@@ -21,7 +21,6 @@ import (
 	"repro/internal/barrier"
 	"repro/internal/sim"
 	"repro/internal/sweep"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -34,6 +33,7 @@ func main() {
 	maxCycles := flag.Uint64("max-cycles", 4_000_000_000, "simulation cycle budget")
 	traceN := flag.Int("trace", 0, "dump the last N coherence-protocol events after the run")
 	heatmap := flag.Bool("heatmap", false, "print the per-tile link-utilization heatmap")
+	jsonPath := flag.String("json", "", "write the full report as JSON to this file ('-' for stdout)")
 	replicas := flag.Int("replicas", 1, "run N identical fresh-system replicas and verify fingerprints agree")
 	jobs := flag.Int("jobs", 0, "parallel replica runs (0 = all CPUs)")
 	flag.Parse()
@@ -65,19 +65,30 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var ring *trace.Ring
-	if *traceN > 0 {
-		ring = trace.NewRing(*traceN)
-		sys.Prot.SetTracer(ring)
+	// A trace ring is always attached so the hang watchdog has protocol
+	// history to dump; tracing is lazy, so an unread ring costs almost
+	// nothing. -trace N sizes it explicitly and prints it after the run.
+	ringCap := *traceN
+	if ringCap < 256 {
+		ringCap = 256
 	}
+	ring := sys.AttachRing(ringCap)
 	rep, err := workload.Run(sys, bench, kind, *threads, *maxCycles)
-	if ring != nil {
+	if *traceN > 0 {
 		fmt.Fprintf(os.Stderr, "--- last %d protocol events ---\n", ring.Len())
 		if derr := ring.Dump(os.Stderr); derr != nil {
 			fatal(derr)
 		}
 	}
+	if rep != nil && *jsonPath != "" {
+		if jerr := writeJSON(*jsonPath, rep); jerr != nil {
+			fatal(jerr)
+		}
+	}
 	if err != nil {
+		if rep != nil && rep.Hang != nil {
+			fmt.Fprint(os.Stderr, rep.Hang)
+		}
 		fatal(err)
 	}
 	fmt.Printf("%s / %s / %d cores (%s tier)\n\n", bench.Name(), kind, *cores, tier)
@@ -86,6 +97,20 @@ func main() {
 		fmt.Println("\nlink-utilization heatmap:")
 		fmt.Print(sys.Prot.Mesh().Heatmap())
 	}
+}
+
+// writeJSON renders the report to path, or stdout when path is "-".
+func writeJSON(path string, rep *sim.Report) error {
+	raw, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 // verifyReplicas runs the benchmark n times on fresh systems through the

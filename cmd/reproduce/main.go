@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func main() {
 	jobs := flag.Int("jobs", 0, "parallel simulation runs (0 = all CPUs, 1 = sequential)")
 	failFast := flag.Bool("fail-fast", false, "cancel runs that have not started after the first failure")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
+	jsonPath := flag.String("json", "", "write every run's full report as one JSON document to this file ('-' for stdout)")
+	artifacts := flag.String("artifacts", "", "write each sweep cell's report as an individual JSON file into this directory")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|all\n")
 		flag.PrintDefaults()
@@ -44,8 +47,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast}
+	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast, ArtifactDir: *artifacts}
 	what := flag.Arg(0)
+	// jsonRuns collects every experiment's raw reports under stable
+	// "experiment/cell" keys for the -json export.
+	jsonRuns := map[string]*repro.Report{}
+	record := func(key string, rep *repro.Report) {
+		if rep != nil {
+			jsonRuns[key] = rep
+		}
+	}
 	emit := func(name string, t stats.Table) {
 		fmt.Println(t)
 		if *csvDir != "" {
@@ -92,6 +103,9 @@ func main() {
 		fmt.Printf("== Table 2: benchmark configuration (tier=%s, %d cores, DSW baseline) ==\n", tier, *cores)
 		rows, err := repro.Table2(tier, *cores, opt)
 		emit("table2", repro.RenderTable2(rows))
+		for _, r := range rows {
+			record("table2/"+r.Name, r.Report)
+		}
 		cellErrs("table2", err)
 		return nil
 	})
@@ -99,6 +113,11 @@ func main() {
 		fmt.Printf("== Figure 5: average barrier latency (cycles) vs cores (tier=%s) ==\n", tier)
 		points, err := repro.Fig5(tier, coreSweep(*cores), opt)
 		emit("fig5", repro.RenderFig5(points))
+		for _, p := range points {
+			for kind, rep := range p.Reports {
+				record(fmt.Sprintf("fig5/%dc/%s", p.Cores, kind), rep)
+			}
+		}
 		cellErrs("fig5", err)
 		return nil
 	})
@@ -109,6 +128,10 @@ func main() {
 		}
 		var err error
 		cmps, err = repro.Fig6And7(tier, *cores, opt)
+		for _, c := range cmps {
+			record("fig6_7/"+c.Name+"/DSW", c.DSW)
+			record("fig6_7/"+c.Name+"/GL", c.GL)
+		}
 		cellErrs("fig6/7", err)
 		return nil
 	}
@@ -138,6 +161,10 @@ func main() {
 		fmt.Printf("== Interconnect energy, DSW vs GL (tier=%s, %d cores) ==\n", tier, *cores)
 		rows, err := repro.EnergyStudy(tier, *cores, opt)
 		emit("energy", repro.RenderEnergy(rows))
+		for _, r := range rows {
+			record("energy/"+r.Name+"/DSW", r.DSW)
+			record("energy/"+r.Name+"/GL", r.GL)
+		}
 		cellErrs("energy", err)
 		return nil
 	})
@@ -176,10 +203,37 @@ func main() {
 		cellErrs("ablation/protocol", err)
 		return nil
 	})
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, string(tier), *cores, what, jsonRuns); err != nil {
+			fatal(err)
+		}
+	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "reproduce: %d experiment(s) had failed cells\n", failures)
 		os.Exit(1)
 	}
+}
+
+// writeJSON exports every collected run — keyed "experiment/cell", each a
+// full sim.Report document with metrics, NoC stats and fingerprint — to
+// path, or stdout when path is "-".
+func writeJSON(path, tier string, cores int, what string, runs map[string]*repro.Report) error {
+	doc := struct {
+		Tier       string                   `json:"tier"`
+		Cores      int                      `json:"cores"`
+		Experiment string                   `json:"experiment"`
+		Runs       map[string]*repro.Report `json:"runs"`
+	}{Tier: tier, Cores: cores, Experiment: what, Runs: runs}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 // coreSweep returns the Figure 5 x-axis: powers of two up to max.

@@ -81,6 +81,7 @@ type Centralized struct {
 	sense    uint64
 	local    []uint64 // per-thread sense (private, register-resident)
 	episodes *uint64
+	rec      *EpisodeRecorder
 }
 
 // NewCentralized allocates the lock, counter and sense flag on separate
@@ -102,6 +103,7 @@ func (b *Centralized) Name() string { return string(KindCSW) }
 // Wait implements the lock-based sense-reversal barrier.
 func (b *Centralized) Wait(c *cpu.Ctx, tid int) {
 	c.InRegion(stats.RegionBarrier, func() {
+		b.rec.arrive(c.Now())
 		sense := 1 - b.local[tid]
 		b.local[tid] = sense
 		// S1: lock-protected increment of the central counter.
@@ -117,6 +119,7 @@ func (b *Centralized) Wait(c *cpu.Ctx, tid int) {
 				*b.episodes++
 			}
 			c.StoreV(b.sense, sense)
+			b.rec.complete(c.Now())
 			return
 		}
 		c.SpinUntilEq(b.sense, sense) // S2: busy-wait
@@ -144,6 +147,7 @@ type CombiningTree struct {
 	nodes    []treeNode
 	local    []uint64
 	episodes *uint64
+	rec      *EpisodeRecorder
 	// useLLSC switches node increments from lock-protected load/store
 	// (the paper's lock-based software barriers) to a lock-free LL/SC
 	// retry loop — kept as an ablation of the baseline's implementation.
@@ -239,10 +243,12 @@ func (b *CombiningTree) Nodes() int { return len(b.nodes) }
 // Wait implements the combining-tree barrier with sense reversal.
 func (b *CombiningTree) Wait(c *cpu.Ctx, tid int) {
 	c.InRegion(stats.RegionBarrier, func() {
+		b.rec.arrive(c.Now())
 		sense := 1 - b.local[tid]
 		b.local[tid] = sense
 		// Climb while winning; remember the winners' path.
 		var path []int
+		wonRoot := false
 		node := b.leafOf[tid]
 		for {
 			nd := &b.nodes[node]
@@ -260,6 +266,7 @@ func (b *CombiningTree) Wait(c *cpu.Ctx, tid int) {
 				if b.episodes != nil {
 					*b.episodes++
 				}
+				wonRoot = true
 				break
 			}
 			node = nd.parent
@@ -267,6 +274,11 @@ func (b *CombiningTree) Wait(c *cpu.Ctx, tid int) {
 		// Release top-down along the path this thread won (S3).
 		for i := len(path) - 1; i >= 0; i-- {
 			c.StoreV(b.nodes[path[i]].sense, sense)
+		}
+		if wonRoot {
+			// The root winner's final sense store is the release wave's
+			// start; sample the episode here.
+			b.rec.complete(c.Now())
 		}
 	})
 }

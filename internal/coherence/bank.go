@@ -42,6 +42,7 @@ type Bank struct {
 	tile int
 	l2   *cache.Cache
 	dir  map[uint64]*dirEntry
+	src  string // precomputed trace source label ("bank.7")
 
 	busyUntil uint64
 }
@@ -52,10 +53,20 @@ func newBank(p *Protocol, tile int) *Bank {
 		tile: tile,
 		l2:   cache.New(p.cfg.L2SizePerCore, p.cfg.L2Ways, p.cfg.LineSize),
 		dir:  make(map[uint64]*dirEntry),
+		src:  fmt.Sprintf("bank.%d", tile),
 	}
 }
 
 func bit(tile int) uint64 { return 1 << uint(tile) }
+
+// setDir moves the directory entry to state s, counting the transition in
+// the coh.dir.transitions metric when the state actually changes.
+func (b *Bank) setDir(e *dirEntry, s dirState) {
+	if e.state != s {
+		b.p.cDirTrans.Inc()
+	}
+	e.state = s
+}
 
 func (b *Bank) entry(addr uint64) *dirEntry {
 	e := b.dir[addr]
@@ -73,6 +84,7 @@ func (b *Bank) receive(m *msg) {
 		e := b.entry(m.addr)
 		if e.busy {
 			e.waitq = append(e.waitq, m)
+			b.p.cReqQueued.Inc()
 			return
 		}
 		e.busy = true
@@ -101,7 +113,9 @@ func (b *Bank) schedule(m *msg) {
 
 func (b *Bank) process(m *msg) {
 	e := b.entry(m.addr)
-	b.p.tracer.Emit(b.p.eng.Now(), fmt.Sprintf("bank.%d", b.tile), "%v %#x from %d (dir=%v sharers=%b)", m.t, m.addr, m.from, e.state, e.sharers)
+	if b.p.traceOn {
+		b.p.tracer.Emit(b.p.eng.Now(), b.src, "%v %#x from %d (dir=%v sharers=%b)", m.t, m.addr, m.from, e.state, e.sharers)
+	}
 	switch m.t {
 	case msgGetS:
 		b.getS(e, m)
@@ -118,7 +132,7 @@ func (b *Bank) getS(e *dirEntry, m *msg) {
 	switch e.state {
 	case dirInvalid:
 		b.withData(m.addr, func() {
-			e.state = dirOwned
+			b.setDir(e, dirOwned)
 			e.owner = m.from
 			e.sharers = bit(m.from)
 			b.grant(e, m.from, m.addr, grantE, b.p.dataFlits())
@@ -138,19 +152,20 @@ func (b *Bank) getS(e *dirEntry, m *msg) {
 		}
 		owner := e.owner
 		b.expectAcks(e, 1, func() {
-			e.state = dirShared
+			b.setDir(e, dirShared)
 			e.sharers = bit(owner) | bit(m.from)
 			b.afterAckData(m.addr, func() {
 				b.grant(e, m.from, m.addr, grantS, b.p.dataFlits())
 			})
 		})
+		b.p.cFwdSent.Inc()
 		b.p.send(b.tile, owner, &msg{t: msgFwd, addr: m.addr, from: b.tile}, controlFlits)
 	}
 }
 
 func (b *Bank) getX(e *dirEntry, m *msg) {
 	grantTo := func(flits int) {
-		e.state = dirOwned
+		b.setDir(e, dirOwned)
 		e.owner = m.from
 		e.sharers = bit(m.from)
 		b.grant(e, m.from, m.addr, grantM, flits)
@@ -197,7 +212,7 @@ func (b *Bank) getX(e *dirEntry, m *msg) {
 				if e.ackXferred {
 					// Transfer done: directory flips to the requester;
 					// the in-flight Unblock closes the transaction.
-					e.state = dirOwned
+					b.setDir(e, dirOwned)
 					e.owner = m.from
 					e.sharers = bit(m.from)
 					b.maybeFinish(m.addr, e)
@@ -206,12 +221,14 @@ func (b *Bank) getX(e *dirEntry, m *msg) {
 				// Owner had dropped the line: supply it ourselves.
 				b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
 			})
+			b.p.cInvSent.Inc()
 			b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: m.from}, controlFlits)
 			return
 		}
 		b.expectAcks(e, 1, func() {
 			b.afterAckData(m.addr, func() { grantTo(b.p.dataFlits()) })
 		})
+		b.p.cInvSent.Inc()
 		b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: -1}, controlFlits)
 	}
 }
@@ -223,7 +240,7 @@ func (b *Bank) atomic(e *dirEntry, m *msg) {
 	doRMW := func() {
 		b.withData(m.addr, func() {
 			old := b.p.memv.RMW(m.addr, rmwFunc(m.kind, m.operand))
-			e.state = dirInvalid
+			b.setDir(e, dirInvalid)
 			e.sharers = 0
 			b.markDirty(m.addr)
 			b.p.send(b.tile, m.from, &msg{t: msgAtomicAck, addr: m.addr, from: b.tile, val: old}, atomicAckFlits)
@@ -261,6 +278,7 @@ func (b *Bank) invalidateAll(addr uint64, targets uint64) int {
 	n := 0
 	for t := 0; t < b.p.cfg.Cores; t++ {
 		if targets&bit(t) != 0 {
+			b.p.cInvSent.Inc()
 			b.p.send(b.tile, t, &msg{t: msgInv, addr: addr, from: b.tile, xfer: -1}, controlFlits)
 			n++
 		}
@@ -285,6 +303,7 @@ func (b *Bank) expectAcks(e *dirEntry, n int, cont func()) {
 func (b *Bank) ack(m *msg) {
 	e := b.dir[m.addr]
 	if e == nil || !e.busy || e.acksLeft == 0 {
+		b.p.cAckStale.Inc()
 		return
 	}
 	if m.withData {
@@ -322,7 +341,7 @@ func (b *Bank) putM(m *msg) {
 	b.markDirty(m.addr)
 	e := b.dir[m.addr]
 	if e != nil && !e.busy && e.state == dirOwned && e.owner == m.from {
-		e.state = dirInvalid
+		b.setDir(e, dirInvalid)
 		e.sharers = 0
 	}
 }
@@ -355,7 +374,9 @@ func (b *Bank) withData(addr uint64, cont func()) {
 // grant sends a Data reply and holds the line's transaction open until the
 // requester's Unblock confirms receipt.
 func (b *Bank) grant(e *dirEntry, to int, addr uint64, g grantState, flits int) {
-	b.p.tracer.Emit(b.p.eng.Now(), fmt.Sprintf("bank.%d", b.tile), "grant %#x to %d (%d flits)", addr, to, flits)
+	if b.p.traceOn {
+		b.p.tracer.Emit(b.p.eng.Now(), b.src, "grant %#x to %d (%d flits)", addr, to, flits)
+	}
 	e.awaitUnblock = true
 	b.p.send(b.tile, to, &msg{t: msgData, addr: addr, from: b.tile, grant: g}, flits)
 }

@@ -13,6 +13,7 @@ type L1 struct {
 	p    *Protocol
 	tile int
 	c    *cache.Cache
+	src  string // precomputed trace source label ("l1.3")
 
 	pend *l1Pending
 
@@ -39,6 +40,7 @@ func newL1(p *Protocol, tile int) *L1 {
 		p:    p,
 		tile: tile,
 		c:    cache.New(p.cfg.L1Size, p.cfg.L1Ways, p.cfg.LineSize),
+		src:  fmt.Sprintf("l1.%d", tile),
 	}
 }
 
@@ -230,7 +232,9 @@ func (l *L1) finishAtomic(m *msg) {
 // bits at the directory.
 func (l *L1) invalidate(m *msg) {
 	st := l.c.Peek(m.addr)
-	l.p.tracer.Emit(l.p.eng.Now(), fmt.Sprintf("l1.%d", l.tile), "inv %#x (was %v, xfer %d)", m.addr, st, m.xfer)
+	if l.p.traceOn {
+		l.p.tracer.Emit(l.p.eng.Now(), l.src, "inv %#x (was %v, xfer %d)", m.addr, st, m.xfer)
+	}
 	if m.xfer >= 0 && st.Writable() {
 		// 3-hop ownership transfer: hand the line straight to the new
 		// owner, confirm the transfer to the home with a control flit.
@@ -260,6 +264,7 @@ func (l *L1) invalidate(m *msg) {
 func (l *L1) StoreConditional(addr, value uint64) (scWin bool) {
 	line := l.p.LineAddr(addr)
 	if !l.c.Peek(line).Writable() {
+		l.p.cSCFail.Inc()
 		return false
 	}
 	l.c.Lookup(addr)

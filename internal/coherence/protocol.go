@@ -6,6 +6,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
 	"repro/internal/noc"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -25,11 +26,23 @@ type Protocol struct {
 	l1s    []*L1
 	banks  []*Bank
 	tracer trace.Tracer
+	// traceOn caches trace.Enabled(tracer) so hot paths skip the Emit call
+	// (and its variadic boxing) with a single field load.
+	traceOn bool
 
 	lineMask uint64
 
 	// memFetches and memWritebacks count off-chip accesses.
 	memFetches, memWritebacks uint64
+
+	reg *metrics.Registry
+	// Protocol-event counters, shared by every bank and L1.
+	cDirTrans  *metrics.Counter // directory state transitions
+	cInvSent   *metrics.Counter // invalidations sent to L1s
+	cFwdSent   *metrics.Counter // owner forwards (downgrades) sent
+	cAckStale  *metrics.Counter // stale acks dropped (silent-evict races)
+	cReqQueued *metrics.Counter // requests NACK-queued behind a busy line
+	cSCFail    *metrics.Counter // failed store-conditionals (lock retries)
 }
 
 // New builds the coherent memory system for the given configuration.
@@ -43,7 +56,14 @@ func New(eng *engine.Engine, cfg config.Config, memv *mem.Store) *Protocol {
 		memv:     memv,
 		tracer:   trace.Nop{},
 		lineMask: ^uint64(cfg.LineSize - 1),
+		reg:      metrics.NewRegistry(),
 	}
+	p.cDirTrans = p.reg.Counter("coh.dir.transitions")
+	p.cInvSent = p.reg.Counter("coh.inv.sent")
+	p.cFwdSent = p.reg.Counter("coh.fwd.sent")
+	p.cAckStale = p.reg.Counter("coh.ack.stale")
+	p.cReqQueued = p.reg.Counter("coh.req.queued")
+	p.cSCFail = p.reg.Counter("coh.sc.failures")
 	p.mesh = noc.New(eng, cfg.MeshCols, cfg.MeshRows, cfg.RouterLatency, cfg.LinkLatency, p.sink)
 	p.l1s = make([]*L1, cfg.Cores)
 	p.banks = make([]*Bank, cfg.Cores)
@@ -60,7 +80,12 @@ func (p *Protocol) SetTracer(t trace.Tracer) {
 		t = trace.Nop{}
 	}
 	p.tracer = t
+	p.traceOn = trace.Enabled(t)
 }
+
+// Metrics returns the protocol's metric registry (directory transitions,
+// invalidations, forwards, queued requests, stale acks, SC failures).
+func (p *Protocol) Metrics() *metrics.Registry { return p.reg }
 
 // Mesh exposes the data network for traffic accounting.
 func (p *Protocol) Mesh() *noc.Mesh { return p.mesh }

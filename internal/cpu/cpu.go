@@ -80,6 +80,11 @@ type Core struct {
 
 	pendingGL *op // outstanding G-line barrier, waiting for GLRelease
 	pendStart uint64
+
+	// Last-dispatched-op bookkeeping for hang post-mortems.
+	curKind  opKind
+	curStart uint64
+	curValid bool
 }
 
 // NewCore builds a core. be may be nil if the configuration has no G-line
@@ -141,6 +146,13 @@ func (c *Core) Start(prog Program) {
 	c.running = true
 	c.startCycle = c.eng.Now()
 	ctx := &Ctx{core: c, region: stats.RegionBusy}
+	// The program goroutine waits for the engine's first next-op event
+	// before running. This start gate extends the op-handshake
+	// serialization to the program's very first instructions: code a
+	// program runs before its first operation (e.g. a barrier recorder
+	// stamping an arrival) is ordered after everything the engine ran
+	// earlier, so programs never execute concurrently with each other.
+	gate := make(chan struct{})
 	go func() {
 		defer close(c.opCh)
 		defer func() {
@@ -151,9 +163,17 @@ func (c *Core) Start(prog Program) {
 				c.err = fmt.Errorf("cpu: core %d program panic: %v", c.id, r)
 			}
 		}()
+		select {
+		case <-gate:
+		case <-c.abort:
+			return
+		}
 		prog(ctx)
 	}()
-	c.eng.At(c.eng.Now(), c.nextOp)
+	c.eng.At(c.eng.Now(), func() {
+		close(gate)
+		c.nextOp()
+	})
 }
 
 // Abort tears the core down mid-run (watchdog/error paths). The program
@@ -182,6 +202,7 @@ func (c *Core) nextOp() {
 	}
 	start := c.eng.Now()
 	c.opCounts[o.kind]++
+	c.curKind, c.curStart, c.curValid = o.kind, start, true
 	complete := func(val uint64) {
 		c.breakdown.Add(o.region, c.eng.Now()-start)
 		select {
@@ -317,6 +338,81 @@ func (c *Core) GLRelease() {
 
 // WaitingAtBarrier reports whether the core has a G-line barrier pending.
 func (c *Core) WaitingAtBarrier() bool { return c.pendingGL != nil }
+
+// String names the op kind for post-mortem dumps.
+func (k opKind) String() string {
+	switch k {
+	case opCompute:
+		return "compute"
+	case opLoad:
+		return "load"
+	case opStore:
+		return "store"
+	case opAtomic:
+		return "atomic"
+	case opGLBarrier:
+		return "gl-barrier"
+	case opSpin:
+		return "spin"
+	case opLoadRange:
+		return "load-range"
+	case opStoreRange:
+		return "store-range"
+	case opLoadLinked:
+		return "load-linked"
+	case opStoreCond:
+		return "store-cond"
+	}
+	return fmt.Sprintf("op(%d)", int(k))
+}
+
+// Status is a point-in-time snapshot of a core's execution state, the
+// per-core line of the hang watchdog's post-mortem dump.
+type Status struct {
+	ID        int    `json:"id"`
+	Done      bool   `json:"done"`
+	AtBarrier bool   `json:"at_barrier"`        // blocked on a pending G-line barrier
+	LastOp    string `json:"last_op,omitempty"` // most recently dispatched op kind
+	OpStart   uint64 `json:"op_start"`          // cycle the op was dispatched
+	TotalOps  uint64 `json:"total_ops"`         // operations executed so far
+	Err       string `json:"err,omitempty"`     // program failure, if any
+}
+
+// Status snapshots the core's current execution state.
+func (c *Core) Status() Status {
+	s := Status{
+		ID:        c.id,
+		Done:      c.done,
+		AtBarrier: c.pendingGL != nil,
+	}
+	if c.curValid {
+		s.LastOp = c.curKind.String()
+		s.OpStart = c.curStart
+	}
+	for _, n := range c.opCounts {
+		s.TotalOps += n
+	}
+	if c.err != nil {
+		s.Err = c.err.Error()
+	}
+	return s
+}
+
+// String renders the status as one dump line.
+func (s Status) String() string {
+	state := "running"
+	switch {
+	case s.Done:
+		state = "done"
+	case s.AtBarrier:
+		state = "at-barrier"
+	}
+	line := fmt.Sprintf("core %3d: %-10s last-op %s@%d ops=%d", s.ID, state, s.LastOp, s.OpStart, s.TotalOps)
+	if s.Err != "" {
+		line += " err=" + s.Err
+	}
+	return line
+}
 
 func (c *Core) finishProgram() {
 	if !c.done {

@@ -10,6 +10,9 @@ package engine
 import (
 	"container/heap"
 	"fmt"
+	"sort"
+
+	"repro/internal/metrics"
 )
 
 // Event is a callback scheduled to run at a specific cycle.
@@ -48,10 +51,32 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	tickers []Ticker
+
+	// StallLimit arms the hang watchdog: if tickers stay active but no
+	// event executes for this many consecutive cycles, Run aborts with a
+	// stall error instead of burning the whole cycle budget. 0 disables.
+	StallLimit uint64
+
+	reg       *metrics.Registry
+	executed  *metrics.Counter
+	peakQueue *metrics.Gauge
+	ffJumps   *metrics.Counter
+	ffCycles  *metrics.Counter
 }
 
 // New returns an Engine at cycle 0 with an empty event queue.
-func New() *Engine { return &Engine{} }
+func New() *Engine {
+	e := &Engine{reg: metrics.NewRegistry()}
+	e.executed = e.reg.Counter("engine.events.executed")
+	e.peakQueue = e.reg.Gauge("engine.queue.depth")
+	e.ffJumps = e.reg.Counter("engine.fastforward.jumps")
+	e.ffCycles = e.reg.Counter("engine.fastforward.cycles")
+	return e
+}
+
+// Metrics returns the engine's metric registry (event counts, queue depth,
+// fast-forward statistics).
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
@@ -64,6 +89,7 @@ func (e *Engine) At(cycle uint64, fn func()) {
 	}
 	heap.Push(&e.events, event{cycle: cycle, seq: e.seq, fn: fn})
 	e.seq++
+	e.peakQueue.Set(uint64(len(e.events)))
 }
 
 // After schedules fn to run delay cycles from now.
@@ -76,6 +102,38 @@ func (e *Engine) AddTicker(t Ticker) { e.tickers = append(e.tickers, t) }
 // Pending reports the number of queued events.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// CyclePending summarizes queued events grouped by due cycle.
+type CyclePending struct {
+	Cycle uint64 `json:"cycle"`
+	Count int    `json:"count"`
+}
+
+// PendingByCycle returns up to limit (cycle, count) groups of queued events
+// in ascending cycle order — the raw material of a hang post-mortem. A
+// limit <= 0 returns every group.
+func (e *Engine) PendingByCycle(limit int) []CyclePending {
+	if len(e.events) == 0 {
+		return nil
+	}
+	cycles := make([]uint64, len(e.events))
+	for i, ev := range e.events {
+		cycles[i] = ev.cycle
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	var out []CyclePending
+	for _, c := range cycles {
+		if n := len(out); n > 0 && out[n-1].Cycle == c {
+			out[n-1].Count++
+			continue
+		}
+		if limit > 0 && len(out) == limit {
+			break
+		}
+		out = append(out, CyclePending{Cycle: c, Count: 1})
+	}
+	return out
+}
+
 // Step advances the simulation by exactly one cycle: it runs every event due
 // at the current cycle (including events those events schedule for the same
 // cycle), then ticks all registered tickers, then advances the clock.
@@ -84,6 +142,7 @@ func (e *Engine) Step() (tickersActive bool) {
 	for len(e.events) > 0 && e.events[0].cycle == e.now {
 		ev := heap.Pop(&e.events).(event)
 		ev.fn()
+		e.executed.Inc()
 	}
 	for _, t := range e.tickers {
 		if t.Tick(e.now) {
@@ -97,15 +156,29 @@ func (e *Engine) Step() (tickersActive bool) {
 // Run drives the simulation until done() reports true or no work remains or
 // maxCycles elapses. It fast-forwards over cycles where all tickers are idle
 // and no events are due. It returns the cycle at which it stopped and an
-// error if the cycle budget was exhausted with work still pending.
+// error if the cycle budget was exhausted with work still pending, or — when
+// StallLimit is set — if tickers stayed active without a single event
+// executing for StallLimit consecutive cycles (a livelocked spin).
 func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
+	var idle uint64 // consecutive active-ticker cycles with no event executed
 	for e.now < maxCycles {
 		if done() {
 			return e.now, nil
 		}
+		before := e.executed.Value()
 		active := e.Step()
+		if e.executed.Value() != before {
+			idle = 0
+		} else if active {
+			idle++
+			if e.StallLimit > 0 && idle >= e.StallLimit {
+				return e.now, fmt.Errorf("engine: stall at cycle %d: no event executed for %d cycles with tickers active", e.now, idle)
+			}
+		}
 		if !active && len(e.events) > 0 && e.events[0].cycle > e.now {
 			// Nothing happens until the next event: jump.
+			e.ffJumps.Inc()
+			e.ffCycles.Add(e.events[0].cycle - e.now)
 			e.now = e.events[0].cycle
 		}
 		if !active && len(e.events) == 0 {

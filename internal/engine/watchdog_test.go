@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// alwaysActiveTicker claims work every cycle without ever scheduling an
+// event — the shape of a livelocked spin.
+type alwaysActiveTicker struct{}
+
+func (alwaysActiveTicker) Tick(uint64) bool { return true }
+
+func TestStallWatchdogFires(t *testing.T) {
+	e := New()
+	e.StallLimit = 100
+	e.AddTicker(alwaysActiveTicker{})
+	end, err := e.Run(1_000_000, func() bool { return false })
+	if err == nil {
+		t.Fatal("expected stall error")
+	}
+	if !strings.Contains(err.Error(), "stall") {
+		t.Fatalf("error %q does not mention stall", err)
+	}
+	if end >= 1_000_000 {
+		t.Fatalf("watchdog should abort well before the budget, stopped at %d", end)
+	}
+}
+
+func TestStallWatchdogResetsOnProgress(t *testing.T) {
+	e := New()
+	e.StallLimit = 50
+	e.AddTicker(alwaysActiveTicker{})
+	// An event every 40 cycles keeps resetting the idle counter; the run
+	// must reach its natural end (done at cycle 200) without a stall error.
+	var schedule func()
+	schedule = func() {
+		if e.Now() < 200 {
+			e.After(40, schedule)
+		}
+	}
+	e.After(40, schedule)
+	done := func() bool { return e.Now() > 220 }
+	if _, err := e.Run(10_000, done); err != nil {
+		t.Fatalf("watchdog fired despite periodic progress: %v", err)
+	}
+}
+
+func TestStallWatchdogDisabledByDefault(t *testing.T) {
+	e := New()
+	e.AddTicker(alwaysActiveTicker{})
+	_, err := e.Run(5_000, func() bool { return false })
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("with StallLimit 0 the run must only stop on budget exhaustion, got %v", err)
+	}
+}
+
+func TestPendingByCycle(t *testing.T) {
+	e := New()
+	if got := e.PendingByCycle(0); got != nil {
+		t.Fatalf("empty queue: %v", got)
+	}
+	for _, c := range []uint64{7, 3, 7, 7, 12, 3} {
+		e.At(c, func() {})
+	}
+	got := e.PendingByCycle(0)
+	want := []CyclePending{{3, 2}, {7, 3}, {12, 1}}
+	if len(got) != len(want) {
+		t.Fatalf("groups %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("groups %v, want %v", got, want)
+		}
+	}
+	if lim := e.PendingByCycle(2); len(lim) != 2 || lim[1].Cycle != 7 {
+		t.Fatalf("limited groups %v", lim)
+	}
+}
+
+func TestEngineMetrics(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.At(uint64(i*10), func() {})
+	}
+	done := false
+	e.At(100, func() { done = true })
+	if _, err := e.Run(1_000, func() bool { return done }); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Metrics().Snapshot()
+	if s.Counters["engine.events.executed"] != 6 {
+		t.Errorf("events executed = %d, want 6", s.Counters["engine.events.executed"])
+	}
+	if g := s.Gauges["engine.queue.depth"]; g.Peak < 6 {
+		t.Errorf("peak queue depth = %d, want >= 6", g.Peak)
+	}
+	if s.Counters["engine.fastforward.jumps"] == 0 {
+		t.Error("expected fast-forward jumps over the idle gaps")
+	}
+	if s.Counters["engine.fastforward.cycles"] < 90 {
+		t.Errorf("fast-forwarded cycles = %d, want >= 90", s.Counters["engine.fastforward.cycles"])
+	}
+}

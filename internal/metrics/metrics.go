@@ -1,0 +1,379 @@
+// Package metrics is the simulator's cycle-level observability core: named
+// counters, gauges and fixed-bucket histograms that components register once
+// and update on hot paths with no allocation, no map lookup and no locking
+// (the simulated system is single-threaded; sweeps give every system its own
+// registry).
+//
+// At the end of a run every component registry is snapshotted and merged
+// into sim.Report.Metrics, which renders in the plain-text report and
+// serializes to JSON — the data behind per-episode barrier latency
+// distributions, NoC hot-spot analysis and coherence event accounting.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// usable, but components normally obtain counters from a Registry so the
+// value appears in snapshots.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge tracks a level (queue depth, in-flight count) plus its peak.
+type Gauge struct{ v, peak uint64 }
+
+// Set records the current level and updates the peak.
+func (g *Gauge) Set(v uint64) {
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
+}
+
+// Value returns the most recently set level.
+func (g *Gauge) Value() uint64 { return g.v }
+
+// Peak returns the maximum level ever set.
+func (g *Gauge) Peak() uint64 { return g.peak }
+
+// Histogram is a fixed-bucket distribution of uint64 samples (cycle counts).
+// Bucket i counts samples v <= bounds[i]; one implicit overflow bucket
+// catches the rest. Observe is allocation-free.
+type Histogram struct {
+	bounds []uint64 // ascending upper bounds
+	counts []uint64 // len(bounds)+1, last = overflow
+	count  uint64
+	sum    uint64
+	min    uint64
+	max    uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds. It panics on an empty or non-ascending bound list: histogram
+// shapes are compile-time decisions, never data-dependent.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d: %d <= %d", i, bounds[i], bounds[i-1]))
+		}
+	}
+	b := make([]uint64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// CycleBuckets returns the default exponential bucket bounds for cycle-count
+// samples: powers of two from 1 to 2^26 (~67M cycles), covering everything
+// from a single-cycle hit to the longest paper-tier run.
+func CycleBuckets() []uint64 {
+	b := make([]uint64, 27)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	// Branchless-ish binary search over the (small, fixed) bound list.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() uint64 { return h.min }
+
+// Quantile returns an upper bound on the q-quantile (0 < q <= 1): the bucket
+// bound below which at least q of the samples fall, sharpened to the exact
+// min/max where the distribution's edge makes them tighter. Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.count))
+	if float64(target) < q*float64(h.count) || target == 0 {
+		target++
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i == len(h.bounds) {
+				return h.max // overflow bucket: max is the only bound we have
+			}
+			b := h.bounds[i]
+			if b > h.max {
+				b = h.max
+			}
+			if b < h.min {
+				b = h.min
+			}
+			return b
+		}
+	}
+	return h.max
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:  h.count,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+		P50:    h.Quantile(0.50),
+		P95:    h.Quantile(0.95),
+		P99:    h.Quantile(0.99),
+		Bounds: append([]uint64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+	}
+	if h.count > 0 {
+		s.Mean = float64(h.sum) / float64(h.count)
+	}
+	return s
+}
+
+// HistogramSnapshot is the serializable state of one histogram. Bounds are
+// bucket upper bounds; Counts has one extra trailing overflow bucket.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	Min   uint64  `json:"min"`
+	Max   uint64  `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   uint64  `json:"p50"`
+	P95   uint64  `json:"p95"`
+	P99   uint64  `json:"p99"`
+
+	Bounds []uint64 `json:"bounds,omitempty"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// Plus merges two histogram snapshots. Bucket counts merge only when the
+// bucket bounds are identical; otherwise the scalar summaries still merge
+// and the receiver's buckets are kept. Percentiles are recomputed from the
+// merged buckets when possible, else conservatively upper-bounded by Max.
+func (s HistogramSnapshot) Plus(o HistogramSnapshot) HistogramSnapshot {
+	if s.Count == 0 {
+		return o
+	}
+	if o.Count == 0 {
+		return s
+	}
+	m := HistogramSnapshot{
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Min:    min(s.Min, o.Min),
+		Max:    max(s.Max, o.Max),
+		Bounds: s.Bounds,
+	}
+	m.Mean = float64(m.Sum) / float64(m.Count)
+	if boundsEqual(s.Bounds, o.Bounds) {
+		m.Counts = make([]uint64, len(s.Counts))
+		for i := range s.Counts {
+			m.Counts[i] = s.Counts[i] + o.Counts[i]
+		}
+		h := &Histogram{bounds: m.Bounds, counts: m.Counts, count: m.Count, sum: m.Sum, min: m.Min, max: m.Max}
+		m.P50, m.P95, m.P99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	} else {
+		m.Counts = s.Counts
+		m.P50, m.P95, m.P99 = m.Max, m.Max, m.Max
+	}
+	return m
+}
+
+func boundsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GaugeSnapshot is the serializable state of one gauge.
+type GaugeSnapshot struct {
+	Value uint64 `json:"value"`
+	Peak  uint64 `json:"peak"`
+}
+
+// Snapshot is the serializable state of one registry (or a merge of
+// several). Maps serialize with sorted keys, so JSON output is stable.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Plus merges two snapshots: counters add, gauges keep the element-wise
+// maximum (peaks stay peaks), histograms merge per HistogramSnapshot.Plus.
+// Neither receiver nor argument is mutated.
+func (s Snapshot) Plus(o Snapshot) Snapshot {
+	m := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)+len(o.Counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(s.Gauges)+len(o.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)+len(o.Histograms)),
+	}
+	for k, v := range s.Counters {
+		m.Counters[k] = v
+	}
+	for k, v := range o.Counters {
+		m.Counters[k] += v
+	}
+	for k, v := range s.Gauges {
+		m.Gauges[k] = v
+	}
+	for k, v := range o.Gauges {
+		if prev, ok := m.Gauges[k]; ok {
+			m.Gauges[k] = GaugeSnapshot{Value: max(prev.Value, v.Value), Peak: max(prev.Peak, v.Peak)}
+		} else {
+			m.Gauges[k] = v
+		}
+	}
+	for k, v := range s.Histograms {
+		m.Histograms[k] = v
+	}
+	for k, v := range o.Histograms {
+		if prev, ok := m.Histograms[k]; ok {
+			m.Histograms[k] = prev.Plus(v)
+		} else {
+			m.Histograms[k] = v
+		}
+	}
+	return m
+}
+
+// SortedCounterNames returns the counter names in sorted order, for
+// deterministic rendering.
+func (s Snapshot) SortedCounterNames() []string { return sortedKeys(s.Counters) }
+
+// SortedGaugeNames returns the gauge names in sorted order.
+func (s Snapshot) SortedGaugeNames() []string { return sortedKeys(s.Gauges) }
+
+// SortedHistogramNames returns the histogram names in sorted order.
+func (s Snapshot) SortedHistogramNames() []string { return sortedKeys(s.Histograms) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Registry holds one component's named metrics. Registration happens at
+// construction time; hot paths touch only the returned pointers. Registry is
+// not safe for concurrent use — every simulated system owns its own.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter registers (or returns the already-registered) counter name.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge registers (or returns the already-registered) gauge name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram registers (or returns the already-registered) histogram name.
+// bounds apply only on first registration; a later caller gets the existing
+// histogram regardless of the bounds it passes.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot captures every registered metric's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]GaugeSnapshot, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = GaugeSnapshot{Value: g.Value(), Peak: g.Peak()}
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}

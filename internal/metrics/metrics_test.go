@@ -1,0 +1,230 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("re-registering a counter name must return the same counter")
+	}
+
+	g := r.Gauge("q")
+	g.Set(7)
+	g.Set(3)
+	if g.Value() != 3 || g.Peak() != 7 {
+		t.Fatalf("gauge value/peak = %d/%d, want 3/7", g.Value(), g.Peak())
+	}
+	if r.Gauge("q") != g {
+		t.Fatal("re-registering a gauge name must return the same gauge")
+	}
+}
+
+// Bucket edges: a sample exactly on a bound lands in that bound's bucket,
+// one past it lands in the next, and anything beyond the last bound lands in
+// the overflow bucket.
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewHistogram([]uint64{1, 2, 4, 8})
+	for _, v := range []uint64{0, 1, 2, 3, 4, 5, 8, 9, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []uint64{
+		2, // <=1: 0, 1
+		1, // <=2: 2
+		2, // <=4: 3, 4
+		2, // <=8: 5, 8
+		2, // overflow: 9, 1000
+	}
+	if len(s.Counts) != len(want) {
+		t.Fatalf("len(Counts) = %d, want %d", len(s.Counts), len(want))
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Min != 0 || s.Max != 1000 || s.Count != 9 || s.Sum != 1032 {
+		t.Errorf("min/max/count/sum = %d/%d/%d/%d, want 0/1000/9/1032", s.Min, s.Max, s.Count, s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(CycleBuckets())
+	// 100 samples of value 10 → every quantile sits in the <=16 bucket but
+	// is sharpened to the exact max, 10.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %d, want 10", q, got)
+		}
+	}
+
+	h2 := NewHistogram([]uint64{10, 20, 30})
+	for i := 0; i < 90; i++ {
+		h2.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(25)
+	}
+	if got := h2.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %d, want 10 (bucket bound)", got)
+	}
+	if got := h2.Quantile(0.95); got != 25 {
+		t.Errorf("p95 = %d, want 25 (bound 30 sharpened to max)", got)
+	}
+	if got := h2.Quantile(0.99); got != 25 {
+		t.Errorf("p99 = %d, want 25", got)
+	}
+
+	// Overflow-bucket quantile reports the observed max.
+	h3 := NewHistogram([]uint64{1})
+	h3.Observe(50)
+	if got := h3.Quantile(0.99); got != 50 {
+		t.Errorf("overflow p99 = %d, want 50", got)
+	}
+}
+
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	h := NewHistogram(CycleBuckets())
+	s := h.Snapshot()
+	if s.Count != 0 || s.P50 != 0 || s.P95 != 0 || s.P99 != 0 || s.Max != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot should be all zero, got %+v", s)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty bounds", func() { NewHistogram(nil) })
+	mustPanic("non-ascending", func() { NewHistogram([]uint64{1, 1}) })
+}
+
+func TestSnapshotPlus(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("c").Add(3)
+	a.Gauge("g").Set(5)
+	ha := a.Histogram("h", []uint64{1, 2, 4})
+	ha.Observe(1)
+	ha.Observe(3)
+
+	b := NewRegistry()
+	b.Counter("c").Add(4)
+	b.Counter("only-b").Inc()
+	gb := b.Gauge("g")
+	gb.Set(9)
+	gb.Set(2)
+	hb := b.Histogram("h", []uint64{1, 2, 4})
+	hb.Observe(100)
+
+	m := a.Snapshot().Plus(b.Snapshot())
+	if m.Counters["c"] != 7 {
+		t.Errorf("merged counter = %d, want 7", m.Counters["c"])
+	}
+	if m.Counters["only-b"] != 1 {
+		t.Errorf("only-b = %d, want 1", m.Counters["only-b"])
+	}
+	if g := m.Gauges["g"]; g.Value != 5 || g.Peak != 9 {
+		t.Errorf("merged gauge = %+v, want value 5 peak 9", g)
+	}
+	h := m.Histograms["h"]
+	if h.Count != 3 || h.Min != 1 || h.Max != 100 || h.Sum != 104 {
+		t.Errorf("merged histogram count/min/max/sum = %d/%d/%d/%d, want 3/1/100/104", h.Count, h.Min, h.Max, h.Sum)
+	}
+	wantCounts := []uint64{1, 0, 1, 1} // 1 | (2,4] | overflow
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("merged bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.P99 != 100 {
+		t.Errorf("merged p99 = %d, want 100", h.P99)
+	}
+}
+
+func TestSnapshotPlusMismatchedBounds(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", []uint64{1, 2}).Observe(1)
+	b := NewRegistry()
+	b.Histogram("h", []uint64{10, 20}).Observe(15)
+
+	h := a.Snapshot().Plus(b.Snapshot()).Histograms["h"]
+	if h.Count != 2 || h.Min != 1 || h.Max != 15 || h.Sum != 16 {
+		t.Errorf("scalar merge count/min/max/sum = %d/%d/%d/%d, want 2/1/15/16", h.Count, h.Min, h.Max, h.Sum)
+	}
+	// Percentiles fall back to the conservative upper bound.
+	if h.P50 != 15 || h.P99 != 15 {
+		t.Errorf("fallback percentiles = %d/%d, want 15/15", h.P50, h.P99)
+	}
+}
+
+func TestSnapshotPlusEmptySides(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []uint64{1}).Observe(1)
+	s := r.Snapshot()
+	empty := NewRegistry().Snapshot()
+	if got := s.Plus(empty).Histograms["h"]; got.Count != 1 {
+		t.Errorf("s+empty count = %d, want 1", got.Count)
+	}
+	if got := empty.Plus(s).Histograms["h"]; got.Count != 1 {
+		t.Errorf("empty+s count = %d, want 1", got.Count)
+	}
+	if !empty.Empty() {
+		t.Error("empty snapshot should report Empty()")
+	}
+	if s.Empty() {
+		t.Error("non-empty snapshot should not report Empty()")
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b")
+	r.Counter("a")
+	r.Gauge("z")
+	r.Histogram("m", []uint64{1})
+	s := r.Snapshot()
+	cn := s.SortedCounterNames()
+	if len(cn) != 2 || cn[0] != "a" || cn[1] != "b" {
+		t.Errorf("sorted counters = %v", cn)
+	}
+	if gn := s.SortedGaugeNames(); len(gn) != 1 || gn[0] != "z" {
+		t.Errorf("sorted gauges = %v", gn)
+	}
+	if hn := s.SortedHistogramNames(); len(hn) != 1 || hn[0] != "m" {
+		t.Errorf("sorted histograms = %v", hn)
+	}
+}
+
+// The hot path — Observe on a registered histogram — must not allocate.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(CycleBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i) & 0xffff)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

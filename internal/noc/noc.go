@@ -12,8 +12,10 @@ package noc
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -71,6 +73,10 @@ type Mesh struct {
 	delivered uint64
 	latSum    [stats.NumMsgClasses]uint64
 	latCount  [stats.NumMsgClasses]uint64
+
+	reg       *metrics.Registry
+	latHist   [stats.NumMsgClasses]*metrics.Histogram
+	queuePeak *metrics.Gauge
 }
 
 // New creates a cols x rows mesh. Delivered packets are handed to sink.
@@ -86,10 +92,19 @@ func New(eng *engine.Engine, cols, rows int, routerLat, linkLat uint64, sink fun
 		eng:       eng,
 		routers:   make([]router, cols*rows),
 		sink:      sink,
+		reg:       metrics.NewRegistry(),
 	}
+	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
+		m.latHist[c] = m.reg.Histogram("noc.latency."+strings.ToLower(c.String()), metrics.CycleBuckets())
+	}
+	m.queuePeak = m.reg.Gauge("noc.queue.depth")
 	eng.AddTicker(m)
 	return m
 }
+
+// Metrics returns the mesh's metric registry (per-class latency histograms
+// and router queue depth).
+func (m *Mesh) Metrics() *metrics.Registry { return m.reg }
 
 // Nodes returns the number of tiles.
 func (m *Mesh) Nodes() int { return m.cols * m.rows }
@@ -110,6 +125,7 @@ func (m *Mesh) Inject(p *Packet) {
 	m.inFlight++
 	r := &m.routers[p.Src]
 	r.in[portLocal] = append(r.in[portLocal], entry{p: p, readyAt: m.eng.Now()})
+	m.queuePeak.Set(uint64(len(r.in[portLocal])))
 }
 
 // Traffic returns the accumulated per-class message/flit counters.
@@ -193,6 +209,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			r.in[port] = q[1:]
 			outPort := m.route(node, e.p.Dst)
 			r.out[outPort] = append(r.out[outPort], entry{p: e.p, readyAt: cycle + m.routerLat})
+			m.queuePeak.Set(uint64(len(r.out[outPort])))
 		}
 		for port := 0; port < numPorts; port++ {
 			q := r.out[port]
@@ -217,6 +234,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			// downstream router already routes the head.
 			m.eng.At(cycle+1+m.linkLat, func() {
 				nr.in[inPort] = append(nr.in[inPort], entry{p: p, readyAt: m.eng.Now()})
+				m.queuePeak.Set(uint64(len(nr.in[inPort])))
 			})
 		}
 	}
@@ -226,9 +244,31 @@ func (m *Mesh) Tick(cycle uint64) bool {
 func (m *Mesh) deliver(node int, p *Packet) {
 	m.inFlight--
 	m.delivered++
-	m.latSum[p.Class] += m.eng.Now() - p.InjectedAt
+	lat := m.eng.Now() - p.InjectedAt
+	m.latSum[p.Class] += lat
 	m.latCount[p.Class]++
+	m.latHist[p.Class].Observe(lat)
 	m.sink(node, p)
+}
+
+// Stats is a serializable summary of the mesh's link-level activity: the
+// grid shape, per-tile per-port flit-cycle counts (ports in Local,N,S,E,W
+// order) and the peak router queue depth observed during the run.
+type Stats struct {
+	Cols      int                `json:"cols"`
+	Rows      int                `json:"rows"`
+	LinkFlits [][numPorts]uint64 `json:"link_flits"`
+	PeakQueue uint64             `json:"peak_queue"`
+}
+
+// Stats captures the mesh's current link-utilization summary.
+func (m *Mesh) Stats() Stats {
+	return Stats{
+		Cols:      m.cols,
+		Rows:      m.rows,
+		LinkFlits: m.LinkUtilization(),
+		PeakQueue: m.queuePeak.Peak(),
+	}
 }
 
 // Heatmap renders per-tile link utilization (total flit-cycles transmitted

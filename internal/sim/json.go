@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"encoding/json"
+
+	"repro/internal/metrics"
+	"repro/internal/noc"
+	"repro/internal/stats"
+)
+
+// reportJSON is the machine-readable shape of a Report. Regions and message
+// classes serialize under their paper names instead of array indices, so
+// downstream tooling never depends on internal enum ordering.
+type reportJSON struct {
+	Cycles          uint64              `json:"cycles"`
+	TimeBreakdown   map[string]uint64   `json:"time_breakdown"`
+	PerCore         []map[string]uint64 `json:"per_core,omitempty"`
+	Traffic         map[string]flows    `json:"traffic"`
+	BarrierEpisodes uint64              `json:"barrier_episodes"`
+	BarrierPeriod   float64             `json:"barrier_period"`
+
+	L1Hits        uint64 `json:"l1_hits"`
+	L1Misses      uint64 `json:"l1_misses"`
+	L2Hits        uint64 `json:"l2_hits"`
+	L2Misses      uint64 `json:"l2_misses"`
+	MemFetches    uint64 `json:"mem_fetches"`
+	MemWritebacks uint64 `json:"mem_writebacks"`
+
+	FlitHops       uint64  `json:"flit_hops"`
+	GLLines        int     `json:"gl_lines"`
+	GLToggles      uint64  `json:"gl_toggles"`
+	GLActiveCycles uint64  `json:"gl_active_cycles"`
+	EnergyNoCPJ    float64 `json:"energy_noc_pj"`
+	EnergyGLinePJ  float64 `json:"energy_gline_pj"`
+
+	Metrics     metrics.Snapshot `json:"metrics"`
+	NoC         noc.Stats        `json:"noc"`
+	Hang        *HangDump        `json:"hang,omitempty"`
+	Fingerprint string           `json:"fingerprint"`
+}
+
+type flows struct {
+	Messages uint64 `json:"messages"`
+	Flits    uint64 `json:"flits"`
+}
+
+func breakdownMap(b stats.TimeBreakdown) map[string]uint64 {
+	m := make(map[string]uint64, stats.NumRegions)
+	for reg := stats.Region(0); reg < stats.NumRegions; reg++ {
+		m[reg.String()] = b[reg]
+	}
+	return m
+}
+
+// MarshalJSON serializes the report with named regions, traffic classes and
+// the full metrics snapshot.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{
+		Cycles:          r.Cycles,
+		TimeBreakdown:   breakdownMap(r.Breakdown),
+		Traffic:         make(map[string]flows, stats.NumMsgClasses),
+		BarrierEpisodes: r.BarrierEpisodes,
+		BarrierPeriod:   r.BarrierPeriod,
+		L1Hits:          r.L1Hits,
+		L1Misses:        r.L1Misses,
+		L2Hits:          r.L2Hits,
+		L2Misses:        r.L2Misses,
+		MemFetches:      r.MemFetches,
+		MemWritebacks:   r.MemWritebacks,
+		FlitHops:        r.FlitHops,
+		GLLines:         r.GLLines,
+		GLToggles:       r.GLToggles,
+		GLActiveCycles:  r.GLActiveCycles,
+		EnergyNoCPJ:     r.Energy.NoCPJ,
+		EnergyGLinePJ:   r.Energy.GLinePJ,
+		Metrics:         r.Metrics,
+		NoC:             r.NoC,
+		Hang:            r.Hang,
+		Fingerprint:     r.Fingerprint(),
+	}
+	for _, bd := range r.PerCore {
+		out.PerCore = append(out.PerCore, breakdownMap(bd))
+	}
+	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
+		out.Traffic[c.String()] = flows{Messages: r.Traffic.Messages[c], Flits: r.Traffic.Flits[c]}
+	}
+	return json.Marshal(out)
+}
+
+// JSON renders the report as an indented JSON document.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// DefaultStallLimit is the engine watchdog default installed by New: abort
+// when tickers stay active but no event executes for this many consecutive
+// cycles. It must exceed any legitimate event-free active-ticker stretch —
+// a G-line context stays "active" from the first arrival until the release,
+// which spans the longest compute phase of any participant — so the limit
+// is set far above the workloads' phase lengths while still cutting a real
+// livelock ~1000x earlier than the 4G-cycle default budget.
+const DefaultStallLimit = 5_000_000
+
+// glMeter sits between the cores' bar_reg and the G-line network, stamping
+// per-episode arrival and release cycles into latency/skew histograms. It
+// is pure observation: every Arrive is forwarded unchanged and releases are
+// metered on their way to the cores, so simulated timing is untouched.
+//
+// Releases can straggle (a hierarchical network releases clusters over
+// several cycles) and a released core may re-arrive before the last
+// straggler, so the meter samples at the FIRST release of an episode —
+// latency = firstRelease-lastArrival — and drains the remaining releases
+// without restarting the episode.
+type glMeter struct {
+	gl    GLNetwork
+	eng   *engine.Engine
+	cores []*cpu.Core
+	lat   *metrics.Histogram
+	skew  *metrics.Histogram
+
+	eps   map[int]*glEpisode
+	ctxOf []int // last barrier context each core arrived on
+}
+
+type glEpisode struct {
+	arrived     int
+	first, last uint64
+	outstanding int // releases still due from the already-sampled episode
+}
+
+func newGLMeter(gl GLNetwork, eng *engine.Engine, cores []*cpu.Core, reg *metrics.Registry) *glMeter {
+	m := &glMeter{
+		gl:    gl,
+		eng:   eng,
+		cores: cores,
+		lat:   reg.Histogram("barrier.gl.latency", metrics.CycleBuckets()),
+		skew:  reg.Histogram("barrier.gl.skew", metrics.CycleBuckets()),
+		eps:   make(map[int]*glEpisode),
+		ctxOf: make([]int, len(cores)),
+	}
+	return m
+}
+
+// Arrive implements cpu.BarrierEngine: meter the arrival, forward it.
+func (m *glMeter) Arrive(core, barrierCtx int) {
+	ep := m.eps[barrierCtx]
+	if ep == nil {
+		ep = &glEpisode{}
+		m.eps[barrierCtx] = ep
+	}
+	now := m.eng.Now()
+	if ep.arrived == 0 {
+		ep.first, ep.last = now, now
+	} else if now > ep.last {
+		ep.last = now
+	}
+	ep.arrived++
+	m.ctxOf[core] = barrierCtx
+	m.gl.Arrive(core, barrierCtx)
+}
+
+// release is the network's release callback: sample the episode at its
+// first release, then hand the release to the core.
+func (m *glMeter) release(core int) {
+	ep := m.eps[m.ctxOf[core]]
+	if ep != nil {
+		if ep.outstanding == 0 {
+			// First release of this episode closes it.
+			now := m.eng.Now()
+			m.lat.Observe(now - ep.last)
+			m.skew.Observe(ep.last - ep.first)
+			ep.outstanding = ep.arrived - 1
+			ep.arrived = 0
+		} else {
+			ep.outstanding--
+		}
+	}
+	m.cores[core].GLRelease()
+}
+
+// AttachRing installs a trace ring of the given capacity as the coherence
+// protocol's tracer and keeps it for the hang watchdog's post-mortem dump.
+// Returns the ring so callers can dump it on demand.
+func (s *System) AttachRing(capacity int) *trace.Ring {
+	s.ring = trace.NewRing(capacity)
+	s.Prot.SetTracer(s.ring)
+	return s.ring
+}
+
+// HangDump is the post-mortem a failed run carries in its report: where the
+// simulation stopped, what was queued, what every core was doing, and the
+// tail of the protocol trace (when a ring was attached).
+type HangDump struct {
+	Cycle         uint64                `json:"cycle"`
+	Reason        string                `json:"reason"`
+	PendingEvents int                   `json:"pending_events"`
+	NextEvents    []engine.CyclePending `json:"next_events,omitempty"`
+	Cores         []cpu.Status          `json:"cores"`
+	Trace         []string              `json:"trace,omitempty"`
+}
+
+// hangDump snapshots the system state after an engine error.
+func (s *System) hangDump(err error) *HangDump {
+	d := &HangDump{
+		Cycle:         s.Eng.Now(),
+		Reason:        err.Error(),
+		PendingEvents: s.Eng.Pending(),
+		NextEvents:    s.Eng.PendingByCycle(16),
+	}
+	for i := 0; i < s.launched; i++ {
+		d.Cores = append(d.Cores, s.Cores[i].Status())
+	}
+	if s.ring != nil {
+		for _, e := range s.ring.Events() {
+			d.Trace = append(d.Trace, e.String())
+		}
+	}
+	return d
+}
+
+// String renders the dump in the shape of a crash report.
+func (d *HangDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "--- watchdog dump at cycle %d ---\n", d.Cycle)
+	fmt.Fprintf(&b, "reason: %s\n", d.Reason)
+	fmt.Fprintf(&b, "pending events: %d\n", d.PendingEvents)
+	for _, cp := range d.NextEvents {
+		fmt.Fprintf(&b, "  cycle %12d: %d event(s)\n", cp.Cycle, cp.Count)
+	}
+	for _, cs := range d.Cores {
+		fmt.Fprintf(&b, "%s\n", cs)
+	}
+	if len(d.Trace) > 0 {
+		fmt.Fprintf(&b, "last %d protocol events:\n", len(d.Trace))
+		for _, line := range d.Trace {
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+	}
+	return b.String()
+}

@@ -14,7 +14,10 @@ import (
 	"repro/internal/energy"
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/metrics"
+	"repro/internal/noc"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // heapBase is where workload allocations start; any non-zero line-aligned
@@ -49,6 +52,14 @@ type System struct {
 	// counts hardware episodes itself).
 	SWEpisodes uint64
 
+	// Metrics is the system-level registry: barrier episode latency and
+	// skew histograms for both hardware and software barriers. Component
+	// registries (engine, protocol, mesh) are merged into the report's
+	// snapshot alongside it.
+	Metrics *metrics.Registry
+
+	glm      *glMeter
+	ring     *trace.Ring
 	launched int
 }
 
@@ -73,19 +84,29 @@ func New(cfg config.Config) (*System, error) {
 	}
 
 	s := &System{
-		Cfg:   cfg,
-		Eng:   eng,
-		Prot:  prot,
-		Memv:  memv,
-		Alloc: mem.NewAllocator(heapBase, cfg.LineSize),
-		GL:    gl,
+		Cfg:     cfg,
+		Eng:     eng,
+		Prot:    prot,
+		Memv:    memv,
+		Alloc:   mem.NewAllocator(heapBase, cfg.LineSize),
+		GL:      gl,
+		Metrics: metrics.NewRegistry(),
 	}
+	eng.StallLimit = DefaultStallLimit
 	s.Cores = make([]*cpu.Core, cfg.Cores)
+	// The meter wraps the G-line network as the cores' BarrierEngine; with
+	// no network the cores get a true nil interface (a nil *glMeter would
+	// defeat the core's nil check).
+	var be cpu.BarrierEngine
+	if gl != nil {
+		s.glm = newGLMeter(gl, eng, s.Cores, s.Metrics)
+		be = s.glm
+	}
 	for i := 0; i < cfg.Cores; i++ {
-		s.Cores[i] = cpu.NewCore(i, eng, cfg.IssueWidth, cfg.GLCallOverhead, prot.L1(i), gl)
+		s.Cores[i] = cpu.NewCore(i, eng, cfg.IssueWidth, cfg.GLCallOverhead, prot.L1(i), be)
 	}
 	if gl != nil {
-		gl.OnRelease(eng.After, func(c int) { s.Cores[c].GLRelease() })
+		gl.OnRelease(eng.After, s.glm.release)
 		eng.AddTicker(gl)
 	}
 	return s, nil
@@ -130,10 +151,15 @@ func (s *System) ReplaceGL(gl GLNetwork) {
 		panic("sim: ReplaceGL after Launch")
 	}
 	s.GL = gl
-	gl.OnRelease(s.Eng.After, func(c int) { s.Cores[c].GLRelease() })
+	if s.glm == nil {
+		s.glm = newGLMeter(gl, s.Eng, s.Cores, s.Metrics)
+	} else {
+		s.glm.gl = gl
+	}
+	gl.OnRelease(s.Eng.After, s.glm.release)
 	s.Eng.AddTicker(gl)
 	for _, c := range s.Cores {
-		c.SetBarrierEngine(gl)
+		c.SetBarrierEngine(s.glm)
 	}
 }
 
@@ -150,7 +176,17 @@ func (s *System) NewBarrier(kind barrier.Kind, n int) (barrier.Barrier, error) {
 			}
 		}
 	}
-	return barrier.New(kind, s.Alloc, n, &s.SWEpisodes, 0)
+	b, err := barrier.New(kind, s.Alloc, n, &s.SWEpisodes, 0)
+	if err != nil {
+		return nil, err
+	}
+	if rb, ok := b.(barrier.Recordable); ok {
+		rb.SetRecorder(&barrier.EpisodeRecorder{
+			Latency: s.Metrics.Histogram("barrier.sw.latency", metrics.CycleBuckets()),
+			Skew:    s.Metrics.Histogram("barrier.sw.skew", metrics.CycleBuckets()),
+		})
+	}
+	return b, nil
 }
 
 func firstN(n int) []int {
@@ -192,7 +228,8 @@ func (s *System) Run(maxCycles uint64) (*Report, error) {
 		}
 		return true
 	}
-	endCycle, err := s.Eng.Run(maxCycles, done)
+	endCycle, engErr := s.Eng.Run(maxCycles, done)
+	err := engErr
 	if err == nil {
 		for i := 0; i < s.launched; i++ {
 			if cerr := s.Cores[i].Err(); cerr != nil {
@@ -202,6 +239,10 @@ func (s *System) Run(maxCycles uint64) (*Report, error) {
 		}
 	}
 	rep := s.report(endCycle)
+	if engErr != nil {
+		// Budget exhaustion or stall: attach the post-mortem.
+		rep.Hang = s.hangDump(engErr)
+	}
 	return rep, err
 }
 
@@ -233,6 +274,17 @@ type Report struct {
 	GLLines        int
 	GLActiveCycles uint64
 	Energy         energy.Estimate
+
+	// Metrics is the merged snapshot of every component registry: barrier
+	// episode latency histograms, coherence event counters, NoC latency
+	// distributions, engine queue statistics. Observability only — none of
+	// these feed Fingerprint.
+	Metrics metrics.Snapshot
+	// NoC summarizes per-link flit occupancy and peak queue depth.
+	NoC noc.Stats
+	// Hang carries the watchdog post-mortem when the run stalled or ran
+	// out of cycle budget; nil on clean runs.
+	Hang *HangDump
 }
 
 func (s *System) report(endCycle uint64) *Report {
@@ -269,6 +321,11 @@ func (s *System) report(endCycle uint64) *Report {
 		r.BarrierPeriod = float64(r.Cycles) / float64(r.BarrierEpisodes)
 	}
 	r.Energy = energy.New(r.FlitHops, r.GLToggles)
+	r.Metrics = s.Metrics.Snapshot().
+		Plus(s.Eng.Metrics().Snapshot()).
+		Plus(s.Prot.Metrics().Snapshot()).
+		Plus(s.Prot.Mesh().Metrics().Snapshot())
+	r.NoC = s.Prot.Mesh().Stats()
 	return r
 }
 
@@ -293,6 +350,18 @@ func (r *Report) String() string {
 	t.AddRow("gl.toggles", fmt.Sprintf("%d", r.GLToggles))
 	t.AddRow("energy.noc-pJ", fmt.Sprintf("%.0f", r.Energy.NoCPJ))
 	t.AddRow("energy.gl-pJ", fmt.Sprintf("%.1f", r.Energy.GLinePJ))
+	for _, name := range r.Metrics.SortedHistogramNames() {
+		h := r.Metrics.Histograms[name]
+		if h.Count == 0 {
+			continue
+		}
+		t.AddRow(name, fmt.Sprintf("n=%d p50=%d p95=%d p99=%d max=%d", h.Count, h.P50, h.P95, h.P99, h.Max))
+	}
+	for _, name := range r.Metrics.SortedCounterNames() {
+		if v := r.Metrics.Counters[name]; v > 0 {
+			t.AddRow(name, fmt.Sprintf("%d", v))
+		}
+	}
 	t.AddRow("fingerprint", r.Fingerprint())
 	return t.String()
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Region classifies what a core is doing on a given cycle. The categories
@@ -259,7 +260,13 @@ func ErrCell(err error) string {
 	}
 	const max = 60
 	if len(msg) > max {
-		msg = msg[:max-1] + "…"
+		// Back the cut point up to a rune boundary so a multi-byte
+		// character is dropped whole rather than split into mojibake.
+		cut := max - 1
+		for cut > 0 && !utf8.RuneStart(msg[cut]) {
+			cut--
+		}
+		msg = msg[:cut] + "…"
 	}
 	return "error: " + msg
 }

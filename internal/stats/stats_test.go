@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestTimeBreakdownTotalsAndFractions(t *testing.T) {
@@ -162,5 +163,24 @@ func TestErrCell(t *testing.T) {
 	long := ErrCell(fmt.Errorf("%s", strings.Repeat("x", 200)))
 	if len(long) > len("error: ")+70 {
 		t.Errorf("ErrCell too long (%d): %q", len(long), long)
+	}
+}
+
+func TestErrCellRuneSafeTruncation(t *testing.T) {
+	// A multi-byte rune straddling the 60-byte cut must be dropped whole,
+	// never split: the result has to stay valid UTF-8.
+	for pad := 55; pad < 62; pad++ {
+		msg := strings.Repeat("x", pad) + "日本語テキスト"
+		got := ErrCell(fmt.Errorf("%s", msg))
+		if !utf8.ValidString(got) {
+			t.Errorf("pad=%d: truncation split a rune: %q", pad, got)
+		}
+		if !strings.HasSuffix(got, "…") {
+			t.Errorf("pad=%d: missing ellipsis: %q", pad, got)
+		}
+	}
+	// Short multi-byte messages pass through untouched.
+	if got := ErrCell(fmt.Errorf("état invalide")); got != "error: état invalide" {
+		t.Errorf("short UTF-8 message mangled: %q", got)
 	}
 }

@@ -19,8 +19,11 @@ package sweep
 import (
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -42,6 +45,11 @@ type Options struct {
 	// FailFast cancels cells that have not started once any cell fails.
 	// Canceled cells report ErrCanceled.
 	FailFast bool
+	// ArtifactDir, when non-empty, writes each successful cell's report as
+	// an indented-JSON file <dir>/<index>_<label>.json (the label sanitized
+	// to filename-safe characters). The directory is created if missing; a
+	// write failure is recorded on the cell's Err without stopping others.
+	ArtifactDir string
 }
 
 // jobs resolves the effective worker count.
@@ -78,6 +86,15 @@ var ErrCanceled = errors.New("sweep: canceled after earlier failure")
 // inside a cell is recovered into that cell's Err.
 func Run(opts Options, specs []Spec) []Result {
 	results := make([]Result, len(specs))
+	if opts.ArtifactDir != "" {
+		if err := os.MkdirAll(opts.ArtifactDir, 0o755); err != nil {
+			for i := range results {
+				results[i].Label = specs[i].Label
+				results[i].Err = fmt.Errorf("sweep: artifact dir: %w", err)
+			}
+			return results
+		}
+	}
 	var failed atomic.Bool
 	runOne := func(i int) {
 		r := &results[i]
@@ -87,6 +104,9 @@ func Run(opts Options, specs []Spec) []Result {
 			return
 		}
 		r.Report, r.Err = protect(specs[i].Run)
+		if r.Err == nil && opts.ArtifactDir != "" && r.Report != nil {
+			r.Err = writeArtifact(opts.ArtifactDir, i, r.Label, r.Report)
+		}
 		if r.Err != nil {
 			if r.Label != "" {
 				r.Err = fmt.Errorf("%s: %w", r.Label, r.Err)
@@ -124,6 +144,42 @@ func Run(opts Options, specs []Spec) []Result {
 	close(idx)
 	wg.Wait()
 	return results
+}
+
+// writeArtifact serializes one cell's report to <dir>/<index>_<label>.json.
+// Workers call it concurrently, which is safe: every cell owns its own file.
+func writeArtifact(dir string, index int, label string, rep *sim.Report) error {
+	raw, err := rep.JSON()
+	if err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	name := fmt.Sprintf("%03d_%s.json", index, sanitizeLabel(label))
+	if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+		return fmt.Errorf("artifact: %w", err)
+	}
+	return nil
+}
+
+// sanitizeLabel maps a human-facing cell label to a filename-safe slug.
+func sanitizeLabel(label string) string {
+	if label == "" {
+		return "cell"
+	}
+	mapped := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		case r == '.', r == '-', r == '_':
+			return r
+		default:
+			return '-'
+		}
+	}, label)
+	const maxLen = 80
+	if len(mapped) > maxLen {
+		mapped = mapped[:maxLen]
+	}
+	return mapped
 }
 
 // protect runs one cell, converting a panic into an error so a bad cell

@@ -1,8 +1,12 @@
 package sweep
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 
@@ -178,5 +182,81 @@ func TestEdgeShapes(t *testing.T) {
 	}
 	if err := Errs(one); err != nil {
 		t.Errorf("Errs on clean sweep: %v", err)
+	}
+}
+
+func TestArtifactDirWritesPerCellJSON(t *testing.T) {
+	dir := t.TempDir()
+	specs := grid(3)
+	specs = append(specs, Spec{
+		Label: "weird / label:v2",
+		Run:   func() (*sim.Report, error) { return fakeReport(99), nil },
+	})
+	res := Run(Options{Jobs: 2, ArtifactDir: dir}, specs)
+	if err := Errs(res); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(specs) {
+		t.Fatalf("%d artifacts, want %d", len(entries), len(specs))
+	}
+	// Index prefix keeps submission order; labels are filename-safe.
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	if names[0] != "000_cell0.json" {
+		t.Errorf("first artifact %q, want 000_cell0.json", names[0])
+	}
+	if names[3] != "003_weird---label-v2.json" {
+		t.Errorf("sanitized artifact %q", names[3])
+	}
+	// Each artifact is parseable JSON whose fingerprint matches its cell.
+	for i, name := range names {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Fatalf("%s: bad JSON: %v", name, err)
+		}
+		if fp, _ := doc["fingerprint"].(string); fp != res[i].Fingerprint() {
+			t.Errorf("%s: fingerprint %q, want %q", name, fp, res[i].Fingerprint())
+		}
+	}
+}
+
+func TestArtifactDirCreationFailure(t *testing.T) {
+	// A file where the artifact dir should be makes MkdirAll fail; every
+	// cell must report the error instead of silently dropping artifacts.
+	blocker := filepath.Join(t.TempDir(), "flat")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := Run(Options{ArtifactDir: blocker}, grid(2))
+	for i, r := range res {
+		if r.Err == nil {
+			t.Errorf("cell %d: no error despite unusable artifact dir", i)
+		}
+	}
+}
+
+func TestSanitizeLabel(t *testing.T) {
+	cases := map[string]string{
+		"":                       "cell",
+		"gl 16c":                 "gl-16c",
+		"a/b\\c:d":               "a-b-c-d",
+		"ok-name_1.2":            "ok-name_1.2",
+		strings.Repeat("x", 200): strings.Repeat("x", 80),
+	}
+	for in, want := range cases {
+		if got := sanitizeLabel(in); got != want {
+			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// countingStringer counts how many times it is formatted, proving the ring
+// defers Sprintf until read time.
+type countingStringer struct{ formats int }
+
+func (c *countingStringer) String() string {
+	c.formats++
+	return "x"
+}
+
+func TestRingFormatsLazily(t *testing.T) {
+	r := NewRing(4)
+	c := &countingStringer{}
+	for i := 0; i < 100; i++ {
+		r.Emit(uint64(i), "src", "v=%v", c)
+	}
+	if c.formats != 0 {
+		t.Fatalf("Emit formatted %d times; formatting must be deferred to read time", c.formats)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len=%d, want 4", len(evs))
+	}
+	// Only the 4 surviving entries get formatted, not all 100 emits.
+	if c.formats != 4 {
+		t.Fatalf("read formatted %d entries, want 4", c.formats)
+	}
+	if evs[0].Msg != "v=x" {
+		t.Errorf("msg = %q", evs[0].Msg)
+	}
+}
+
+func TestRingNoArgsSkipsSprintf(t *testing.T) {
+	r := NewRing(2)
+	r.Emit(1, "src", "literal %d percent-d stays literal")
+	if got := r.Events()[0].Msg; got != "literal %d percent-d stays literal" {
+		t.Errorf("no-arg emit must not be reformatted, got %q", got)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if Enabled(nil) {
+		t.Error("nil tracer must be disabled")
+	}
+	if Enabled(Nop{}) {
+		t.Error("Nop must be disabled")
+	}
+	if !Enabled(NewRing(1)) {
+		t.Error("Ring must be enabled")
+	}
+	if Enabled(Filtered{}) {
+		t.Error("Filtered with nil Next must be disabled")
+	}
+	if !Enabled(Filtered{Next: NewRing(1)}) {
+		t.Error("Filtered with a live Next must be enabled")
+	}
+}
+
+func TestEmitf(t *testing.T) {
+	r := NewRing(4)
+	Emitf(r, 5, "src", "n=%d", 9)
+	if r.Len() != 1 || r.Events()[0].Msg != "n=9" {
+		t.Errorf("Emitf to ring: %v", r.Events())
+	}
+	Emitf(Nop{}, 5, "src", "dropped %d", 1) // must not panic, must be a no-op
+	Emitf(nil, 5, "src", "dropped %d", 1)   // nil tracer tolerated
+}
+
+func TestFilteredNilNext(t *testing.T) {
+	f := Filtered{Keep: func(string) bool { return true }}
+	f.Emit(1, "src", "must not panic") // nil Next: silently dropped
+	var asTracer Tracer = Filtered{}
+	asTracer.Emit(2, "src", "also fine")
+}
+
+type failingWriter struct {
+	failAfter int
+	writes    int
+	err       error
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.failAfter {
+		return 0, w.err
+	}
+	return len(p), nil
+}
+
+func TestWriterErrorPropagation(t *testing.T) {
+	wantErr := errors.New("disk full")
+	fw := &failingWriter{failAfter: 1, err: wantErr}
+	w := &Writer{W: fw}
+	w.Emit(1, "a", "ok")
+	if w.Err() != nil {
+		t.Fatalf("unexpected early error: %v", w.Err())
+	}
+	w.Emit(2, "b", "boom")
+	if !errors.Is(w.Err(), wantErr) {
+		t.Fatalf("Err() = %v, want %v", w.Err(), wantErr)
+	}
+	// The sticky error suppresses further writes.
+	before := fw.writes
+	w.Emit(3, "c", "suppressed")
+	if fw.writes != before {
+		t.Error("Writer kept writing after a sticky error")
+	}
+}
+
+func TestWriterStream(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	w.Emit(42, "bank.3", "grant %#x", 0x100)
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	if !strings.Contains(sb.String(), "bank.3") || !strings.Contains(sb.String(), "0x100") {
+		t.Errorf("writer output: %q", sb.String())
+	}
+}
+
+// The disabled hot path — Enabled guard around an Emit — must cost ~nothing:
+// no allocation (the variadic args are never boxed) and ~1ns of branching.
+func BenchmarkEmitDisabledGuarded(b *testing.B) {
+	var tr Tracer = Nop{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Enabled(tr) {
+			tr.Emit(uint64(i), "bank.0", "get %#x from %d", uintptr(i), i&7)
+		}
+	}
+}
+
+// Baseline: the old pattern, emitting into a Nop without a guard — the
+// variadic boxing alone allocates.
+func BenchmarkEmitDisabledUnguarded(b *testing.B) {
+	var tr Tracer = Nop{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(uint64(i), "bank.0", "get %#x from %d", uintptr(i), i&7)
+	}
+}
+
+// Lazy ring emit: args are captured but never formatted unless read.
+func BenchmarkRingEmitLazy(b *testing.B) {
+	r := NewRing(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(uint64(i), "bank.0", "get %#x from %d", uintptr(i), i&7)
+	}
+}

@@ -2,6 +2,16 @@
 // emit formatted events tagged with cycle and source; sinks either stream
 // them to a writer or keep the last N in a ring buffer for post-mortem
 // dumps (the default for debugging protocol hangs).
+//
+// Tracing sits on simulation hot paths, so the cost model matters:
+//
+//   - Guard call sites with Enabled(t) — when it returns false the variadic
+//     arguments are never boxed and the emit costs one branch.
+//   - Ring.Emit captures cycle/source/format/args and defers the Sprintf to
+//     Events/Dump time, so an attached ring never formats messages that are
+//     overwritten before anyone looks.
+//   - Emitf bundles the Enabled check and the forward for call sites that
+//     prefer one line over the guard-plus-call pair.
 package trace
 
 import (
@@ -14,8 +24,36 @@ import (
 // disabled: the simulator calls Emit on hot paths.
 type Tracer interface {
 	// Emit records one event at the given cycle from the named source
-	// ("l1.3", "bank.7", "gline", ...).
+	// ("l1.3", "bank.7", "gline", ...). Implementations may retain args
+	// and format lazily, so callers must pass values (or pointers they
+	// will not mutate afterwards).
 	Emit(cycle uint64, source, format string, args ...any)
+}
+
+// Enabled reports whether emitting to t can have any effect. It is the
+// hot-path guard: when false, skipping the Emit call avoids boxing the
+// variadic arguments entirely. nil and Nop tracers are disabled; tracers
+// exposing an `Enabled() bool` method (such as Filtered) are consulted;
+// anything else is assumed enabled.
+func Enabled(t Tracer) bool {
+	switch v := t.(type) {
+	case nil:
+		return false
+	case Nop:
+		return false
+	case interface{ Enabled() bool }:
+		return v.Enabled()
+	}
+	return true
+}
+
+// Emitf forwards one event to t if Enabled(t). It trades the explicit
+// two-line guard for convenience; the variadic arguments are still boxed at
+// this call site, so the hottest paths should keep the `if Enabled` guard.
+func Emitf(t Tracer, cycle uint64, source, format string, args ...any) {
+	if Enabled(t) {
+		t.Emit(cycle, source, format, args...)
+	}
 }
 
 // Nop discards all events; the zero value is ready to use.
@@ -36,14 +74,33 @@ func (e Event) String() string {
 	return fmt.Sprintf("%10d %-8s %s", e.Cycle, e.Source, e.Msg)
 }
 
-// Ring keeps the most recent events in a fixed-size circular buffer. The
-// zero value is unusable; call NewRing. Ring is safe for the simulator's
-// single-threaded use plus concurrent Dump calls.
+// record is a not-yet-formatted ring entry; the Sprintf happens only when
+// the entry survives until Events/Dump.
+type record struct {
+	cycle  uint64
+	source string
+	format string
+	args   []any
+}
+
+func (rec record) event() Event {
+	msg := rec.format
+	if len(rec.args) > 0 {
+		msg = fmt.Sprintf(rec.format, rec.args...)
+	}
+	return Event{Cycle: rec.cycle, Source: rec.source, Msg: msg}
+}
+
+// Ring keeps the most recent events in a fixed-size circular buffer,
+// formatting them only when read — events that are overwritten before a
+// Dump never pay for their Sprintf. The zero value is unusable; call
+// NewRing. Ring is safe for the simulator's single-threaded use plus
+// concurrent Dump calls.
 type Ring struct {
-	mu     sync.Mutex
-	events []Event
-	next   int
-	filled bool
+	mu      sync.Mutex
+	records []record
+	next    int
+	filled  bool
 }
 
 // NewRing builds a ring holding up to capacity events.
@@ -51,15 +108,17 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	return &Ring{events: make([]Event, capacity)}
+	return &Ring{records: make([]record, capacity)}
 }
 
-// Emit implements Tracer.
+// Emit implements Tracer. The args are retained until the entry is
+// overwritten or formatted; callers must not mutate pointed-to values they
+// pass here.
 func (r *Ring) Emit(cycle uint64, source, format string, args ...any) {
 	r.mu.Lock()
-	r.events[r.next] = Event{Cycle: cycle, Source: source, Msg: fmt.Sprintf(format, args...)}
+	r.records[r.next] = record{cycle: cycle, source: source, format: format, args: args}
 	r.next++
-	if r.next == len(r.events) {
+	if r.next == len(r.records) {
 		r.next = 0
 		r.filled = true
 	}
@@ -71,20 +130,24 @@ func (r *Ring) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.filled {
-		return len(r.events)
+		return len(r.records)
 	}
 	return r.next
 }
 
-// Events returns the held events, oldest first.
+// Events returns the held events, oldest first, formatting each on demand.
 func (r *Ring) Events() []Event {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []Event
+	out := make([]Event, 0, len(r.records))
 	if r.filled {
-		out = append(out, r.events[r.next:]...)
+		for _, rec := range r.records[r.next:] {
+			out = append(out, rec.event())
+		}
 	}
-	out = append(out, r.events[:r.next]...)
+	for _, rec := range r.records[:r.next] {
+		out = append(out, rec.event())
+	}
 	return out
 }
 
@@ -98,24 +161,40 @@ func (r *Ring) Dump(w io.Writer) error {
 	return nil
 }
 
-// Writer streams every event to an io.Writer as it is emitted.
+// Writer streams every event to an io.Writer as it is emitted. The first
+// write error sticks and suppresses all further output; check Err after the
+// run.
 type Writer struct {
-	W io.Writer
+	W   io.Writer
+	err error
 }
 
 // Emit implements Tracer.
-func (t Writer) Emit(cycle uint64, source, format string, args ...any) {
-	fmt.Fprintf(t.W, "%10d %-8s %s\n", cycle, source, fmt.Sprintf(format, args...))
+func (t *Writer) Emit(cycle uint64, source, format string, args ...any) {
+	if t.err != nil {
+		return
+	}
+	_, t.err = fmt.Fprintf(t.W, "%10d %-8s %s\n", cycle, source, fmt.Sprintf(format, args...))
 }
 
-// Filtered forwards events whose source passes Keep.
+// Err returns the first write error encountered, or nil.
+func (t *Writer) Err() error { return t.err }
+
+// Filtered forwards events whose source passes Keep. A nil Next makes the
+// filter a disabled no-op rather than a panic.
 type Filtered struct {
 	Next Tracer
 	Keep func(source string) bool
 }
 
+// Enabled reports whether the downstream tracer can receive anything.
+func (f Filtered) Enabled() bool { return Enabled(f.Next) }
+
 // Emit implements Tracer.
 func (f Filtered) Emit(cycle uint64, source, format string, args ...any) {
+	if f.Next == nil {
+		return
+	}
 	if f.Keep == nil || f.Keep(source) {
 		f.Next.Emit(cycle, source, format, args...)
 	}

@@ -1,0 +1,80 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// runObserved is runFresh with every observability feature turned on: a
+// trace ring on the coherence protocol, the JSON export and the link
+// heatmap both rendered after the run. Instrumentation must be pure
+// observation — none of it may perturb simulated timing.
+func runObserved(cores int, w Workload, kind BarrierKind) (*Report, error) {
+	sys, err := sim.New(config.Default(cores))
+	if err != nil {
+		return nil, err
+	}
+	sys.AttachRing(256)
+	rep, err := workload.Run(sys, w, kind, cores, defaultCycleBudget)
+	if err != nil {
+		return rep, err
+	}
+	if _, jerr := rep.JSON(); jerr != nil {
+		return rep, fmt.Errorf("JSON export: %w", jerr)
+	}
+	_ = sys.Prot.Mesh().Heatmap()
+	return rep, nil
+}
+
+// TestObservabilityDoesNotChangeFingerprints reruns every golden cell with
+// full observability enabled and requires each determinism fingerprint to
+// match the committed golden value: metrics, tracing and report export must
+// never alter a run's behavior.
+func TestObservabilityDoesNotChangeFingerprints(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Skipf("no golden file: %v", err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 {
+			want[fields[0]] = fields[1]
+		}
+	}
+
+	cells := goldenCells()
+	specs := make([]sweep.Spec, len(cells))
+	for i, c := range cells {
+		c := c
+		specs[i] = sweep.Spec{
+			Label: c.key,
+			Run:   func() (*Report, error) { return runObserved(goldenCores, c.w, c.kind) },
+		}
+	}
+	results := sweep.Run(Parallel, specs)
+	for i, c := range cells {
+		if results[i].Err != nil {
+			t.Fatalf("%s: %v", c.key, results[i].Err)
+		}
+		wantFP, ok := want[c.key]
+		if !ok {
+			t.Errorf("%s: no golden entry", c.key)
+			continue
+		}
+		if got := results[i].Fingerprint(); got != wantFP {
+			t.Errorf("%s: observed run fingerprint %s != golden %s — instrumentation changed behavior", c.key, got, wantFP)
+		}
+	}
+}

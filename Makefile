@@ -30,13 +30,21 @@ bench:
 	go test -bench=. -benchmem .
 
 # Machine-readable benchmark snapshot: BENCH_<date>.json holds one line of
-# JSON per benchmark result, for diffing runs over time.
+# JSON per benchmark result, for diffing runs over time. The bench run
+# lands in a temp file first so a failing `go test -bench` propagates its
+# exit code instead of leaving a truncated JSON behind.
 bench-json:
-	go test -bench=. -benchmem -run '^$$' ./... 2>&1 | tee /dev/stderr | \
-		awk 'BEGIN{print "["} /^Benchmark/{ if (n++) printf(",\n"); \
-			printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, $$3, $$5, $$7) } \
-			END{print "\n]"}' > BENCH_$$(date +%Y%m%d).json
-	@echo "wrote BENCH_$$(date +%Y%m%d).json"
+	@tmp=$$(mktemp); \
+	if ! go test -bench=. -benchmem -run '^$$' ./... >"$$tmp" 2>&1; then \
+		cat "$$tmp"; rm -f "$$tmp"; \
+		echo "bench-json: benchmark run failed; no JSON written" >&2; exit 1; \
+	fi; \
+	cat "$$tmp"; \
+	awk 'BEGIN{print "["} /^Benchmark/{ if (n++) printf(",\n"); \
+		printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, $$3, $$5, $$7) } \
+		END{print "\n]"}' "$$tmp" > BENCH_$$(date +%Y%m%d).json; \
+	rm -f "$$tmp"; \
+	echo "wrote BENCH_$$(date +%Y%m%d).json"
 
 # Regenerate every paper table/figure at the repro tier (paper data sizes).
 reproduce:

@@ -10,6 +10,13 @@
 // With -replicas N the same run executes N times on fresh systems across
 // -jobs worker goroutines and glsim verifies all determinism fingerprints
 // agree — the quick way to prove a configuration simulates reproducibly.
+//
+// -faults installs a deterministic fault-injection plan (and, unless the
+// plan says recovery.off, the recovering barrier guard):
+//
+//	glsim -bench SYNTH -barrier GL -faults 'seed=7,gl.drop=1e-4,noc.corrupt=1e-4'
+//
+// The plan grammar is documented in internal/fault (ParsePlan).
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 
 	repro "repro"
 	"repro/internal/barrier"
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workload"
@@ -36,6 +44,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write the full report as JSON to this file ('-' for stdout)")
 	replicas := flag.Int("replicas", 1, "run N identical fresh-system replicas and verify fingerprints agree")
 	jobs := flag.Int("jobs", 0, "parallel replica runs (0 = all CPUs)")
+	faultsSpec := flag.String("faults", "", "fault-injection plan, e.g. 'seed=7,gl.drop=1e-4,@100-200:noc.linkdown:3' (see internal/fault)")
 	flag.Parse()
 
 	kind, err := barrier.ParseKind(*barrierName)
@@ -57,6 +66,11 @@ func main() {
 	if bench.Name() == "PIPE" {
 		cfg.GLContexts = 2 // the pipeline runs two concurrent barrier groups
 	}
+	plan, err := fault.ParsePlan(*faultsSpec)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Faults = plan
 	if *replicas > 1 {
 		verifyReplicas(cfg, tier, *benchName, kind, *threads, *maxCycles, *replicas, *jobs)
 		return

@@ -1,7 +1,7 @@
 // Command reproduce regenerates every table and figure of the paper's
 // evaluation:
 //
-//	reproduce [-tier repro] [-cores 32] [-jobs N] table1|table2|fig5|fig6|fig7|ablation|all
+//	reproduce [-tier repro] [-cores 32] [-jobs N] table1|table2|fig5|fig6|fig7|ablation|energy|faults|all
 //
 // Tiers: "test" (miniature, for goldens/CI), "scaled" (seconds), "repro"
 // (paper data sizes, fewer iterations; the default), "paper" (exact
@@ -35,7 +35,7 @@ func main() {
 	jsonPath := flag.String("json", "", "write every run's full report as one JSON document to this file ('-' for stdout)")
 	artifacts := flag.String("artifacts", "", "write each sweep cell's report as an individual JSON file into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|all\n")
+		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|faults|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -84,7 +84,7 @@ func main() {
 		}
 	}
 	ran := false
-	for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "ablation", "energy"} {
+	for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "ablation", "energy", "faults"} {
 		if what == name || what == "all" {
 			ran = true
 		}
@@ -166,6 +166,22 @@ func main() {
 			record("energy/"+r.Name+"/GL", r.GL)
 		}
 		cellErrs("energy", err)
+		return nil
+	})
+	run("faults", func() error {
+		fmt.Printf("== Resilience: barrier degradation under injected G-line/NoC faults (tier=%s, %d cores) ==\n", tier, *cores)
+		fmt.Println("(cycles/barrier per series; a wedged GL-raw cell is the expected deadlock of the unguarded protocol)")
+		points, err := repro.FaultStudy(tier, *cores, repro.DefaultFaultRates, opt)
+		barriers := workload.SyntheticFor(tier).Barriers(*cores)
+		emit("faults", repro.RenderFaults(points, barriers))
+		for _, p := range points {
+			for series, c := range p.Cells {
+				if c.Err == nil {
+					record(fmt.Sprintf("faults/%g/%s", p.Rate, series), c.Report)
+				}
+			}
+		}
+		cellErrs("faults", err)
 		return nil
 	})
 	run("ablation", func() error {

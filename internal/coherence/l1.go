@@ -289,6 +289,14 @@ func (l *L1) fireWatch(line uint64) {
 	if l.watchFn != nil && l.watchLine == line {
 		fn := l.watchFn
 		l.watchFn = nil
+		// A faulty wakeup is delayed (or dropped and recovered by the
+		// spinning core's periodic re-check, which the injector models as a
+		// longer delay); liveness is preserved either way, exactly as a
+		// real spin loop re-polling the line would behave.
+		if d := l.p.inj.WatchPerturb(l.p.eng.Now(), l.tile); d > 0 {
+			l.p.eng.After(d, fn)
+			return
+		}
 		fn()
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -29,6 +30,10 @@ type Protocol struct {
 	// traceOn caches trace.Enabled(tracer) so hot paths skip the Emit call
 	// (and its variadic boxing) with a single field load.
 	traceOn bool
+
+	// inj, when set, injects faults into the memory system: mesh link
+	// faults and perturbed L1 spin-watch wakeups. Nil in fault-free runs.
+	inj *fault.Injector
 
 	lineMask uint64
 
@@ -72,6 +77,13 @@ func New(eng *engine.Engine, cfg config.Config, memv *mem.Store) *Protocol {
 		p.banks[i] = newBank(p, i)
 	}
 	return p
+}
+
+// SetInjector installs a fault injector across the memory system: the mesh
+// gets link-level faults, the L1s get perturbed spin-watch wakeups.
+func (p *Protocol) SetInjector(inj *fault.Injector) {
+	p.inj = inj
+	p.mesh.SetInjector(inj)
 }
 
 // SetTracer installs an event tracer (trace.Nop by default).

@@ -5,7 +5,11 @@
 // core with 6+2-cycle access, a 400-cycle memory, and a 2D-mesh network.
 package config
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // Config holds every tunable parameter of the simulated system.
 type Config struct {
@@ -56,6 +60,12 @@ type Config struct {
 	// ownership changes (SGI-Origin-style 3-hop) instead of relaying the
 	// line through the home bank (4-hop, the calibrated default).
 	ThreeHopOwnership bool
+
+	// Faults, when non-nil, enables deterministic fault injection driven by
+	// the plan's seed and schedule, and (unless the plan disables it) wraps
+	// the G-line network in the recovering barrier protocol. Nil runs are
+	// bit-identical to builds without the fault subsystem.
+	Faults *fault.Plan
 }
 
 // Default32 returns the paper's Table 1 baseline: a 32-core, 8x4-mesh CMP.
@@ -147,6 +157,11 @@ func (c Config) Validate() error {
 	}
 	if c.GLContexts < 0 {
 		return fmt.Errorf("config: GLContexts must be >=0, got %d", c.GLContexts)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

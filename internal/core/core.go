@@ -31,7 +31,11 @@
 // scale past the 7x7 electrical limit.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // Line is one G-line: a shared wire broadcasting one bit across a chip
 // dimension per cycle. S-CSMA lets the single receiver count simultaneous
@@ -42,6 +46,12 @@ type Line struct {
 	tx      int    // assertions during the current cycle
 	sampled int    // count observed by the receiver at end of cycle
 	toggles uint64 // total assertions ever, for the energy model
+
+	// id and inj are set by SetInjector: the fault injector perturbs the
+	// S-CSMA sample of line id. inj stays nil in fault-free systems, so the
+	// hot path pays one nil check.
+	id  uint64
+	inj *fault.Injector
 }
 
 // NewLine builds a G-line supporting up to maxTx transmitters.
@@ -61,10 +71,15 @@ func (l *Line) Assert() {
 }
 
 // sample latches the cycle's transmitter count for the receiver and clears
-// the wire for the next cycle.
-func (l *Line) sample() {
-	l.sampled = l.tx
+// the wire for the next cycle. An installed fault injector may perturb the
+// observed count (drops, spurious assertions, miscounts, stuck-at).
+func (l *Line) sample(cycle uint64) {
+	n := l.tx
 	l.tx = 0
+	if l.inj.GLActive() {
+		n = l.inj.SampleLine(l.id, cycle, n)
+	}
+	l.sampled = n
 }
 
 // Count returns the S-CSMA count the receiver observed for the last
@@ -145,6 +160,10 @@ type masterH struct {
 	relPend bool // release requested by the vertical layer
 	drove   bool // asserted the release line this cycle
 	enabled bool // row has at least one participant
+	// tolerant clamps over-counts instead of panicking: with a fault
+	// injector wired, spurious assertions make scnt>scntMax a modeled
+	// hardware fault rather than a simulator bug.
+	tolerant bool
 }
 
 func (m *masterH) assertPhase() {
@@ -170,7 +189,10 @@ func (m *masterH) samplePhase(release func(tile int)) {
 			m.scnt += m.arr.Count()
 		}
 		if m.scnt > m.scntMax {
-			panic(fmt.Sprintf("gline barrier: row master %d counted %d arrivals, expected at most %d", m.tile, m.scnt, m.scntMax))
+			if !m.tolerant {
+				panic(fmt.Sprintf("gline barrier: row master %d counted %d arrivals, expected at most %d", m.tile, m.scnt, m.scntMax))
+			}
+			m.scnt = m.scntMax
 		}
 		if m.regs.barReg {
 			m.mcnt = true
@@ -244,6 +266,7 @@ type masterV struct {
 	row0Req  bool // whether row 0 participates (via MasterH's flag)
 	relPend  bool
 	drove    bool
+	tolerant bool // clamp over-counts under fault injection (see masterH)
 	// gated defers the release phase: on completion the barrier is
 	// reported via episodeDone but the vertical release pulse waits for
 	// an external trigger (the hierarchical network's global layer).
@@ -272,7 +295,10 @@ func (m *masterV) samplePhase() {
 			m.scnt += m.arr.Count()
 		}
 		if m.scnt > m.scntMax {
-			panic(fmt.Sprintf("gline barrier: vertical master counted %d arrivals, expected at most %d", m.scnt, m.scntMax))
+			if !m.tolerant {
+				panic(fmt.Sprintf("gline barrier: vertical master counted %d arrivals, expected at most %d", m.scnt, m.scntMax))
+			}
+			m.scnt = m.scntMax
 		}
 		if m.scnt == m.scntMax && (m.regs.flagH || !m.row0Req) {
 			m.state = masterWaiting

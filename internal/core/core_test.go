@@ -235,7 +235,7 @@ func TestSCSMACountsSimultaneousTransmitters(t *testing.T) {
 		for i := 0; i < k; i++ {
 			l.Assert()
 		}
-		l.sample()
+		l.sample(0)
 		if l.Count() != k {
 			t.Errorf("S-CSMA count %d, want %d", l.Count(), k)
 		}

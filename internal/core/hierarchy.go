@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
 
 // Hierarchical implements the paper's future-work extension for CMPs larger
 // than the flat network's electrical limit (7x7 with 6 transmitters per
@@ -158,6 +162,53 @@ func NewHierarchical(cols, rows, span, maxTransmitters, contexts int) (*Hierarch
 // Clusters returns the number of first-level networks.
 func (h *Hierarchical) Clusters() int { return len(h.clusters) }
 
+// Contexts returns the number of logical barrier contexts.
+func (h *Hierarchical) Contexts() int { return h.contexts }
+
+// SetInjector installs a fault injector on every G-line of the hierarchy.
+// Each cluster network gets a disjoint line-id range (in cluster order),
+// followed by the global arrival/release pair of each context, so fault
+// decisions stay deterministic per line across runs.
+func (h *Hierarchical) SetInjector(inj *fault.Injector) {
+	id := uint64(0)
+	for _, slot := range h.clusters {
+		id = slot.net.setInjectorFrom(inj, id)
+	}
+	for _, l := range h.layers {
+		l.gArr.inj, l.gArr.id = inj, id
+		id++
+		l.gRel.inj, l.gRel.id = inj, id
+		id++
+	}
+}
+
+// ResetContext re-arms one context across the whole hierarchy: every
+// cluster's controllers plus the global layer's registered completion
+// state. Participant masks survive, as for Network.ResetContext.
+func (h *Hierarchical) ResetContext(ctxID int) error {
+	if ctxID < 0 || ctxID >= h.contexts {
+		return fmt.Errorf("gline: context %d out of range [0,%d)", ctxID, h.contexts)
+	}
+	for _, slot := range h.clusters {
+		if err := slot.net.ResetContext(ctxID); err != nil {
+			return err
+		}
+	}
+	l := h.layers[ctxID]
+	for i := range l.complete {
+		l.complete[i] = false
+		l.sent[i] = false
+		l.flagCycle[i] = 0
+	}
+	l.gCount = 0
+	l.gComplete = false
+	l.relPending = false
+	l.drove = 0
+	l.gArr.tx, l.gArr.sampled = 0, 0
+	l.gRel.tx, l.gRel.sampled = 0, 0
+	return nil
+}
+
 // clusterOf maps a global core id to its cluster index and local tile.
 func (h *Hierarchical) clusterOf(core int) (clusterIdx, localTile int) {
 	col := core % h.cols
@@ -300,8 +351,8 @@ func (l *globalLayer) step(cycle uint64) bool {
 		l.relPending = false
 		busy = true
 	}
-	l.gArr.sample()
-	l.gRel.sample()
+	l.gArr.sample(cycle)
+	l.gRel.sample(cycle)
 
 	// Observe phase: the global master counts arrivals.
 	if !l.gComplete {

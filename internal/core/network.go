@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/fault"
 )
 
 // MuxMode selects how multiple barrier contexts share the chip's G-lines.
@@ -224,6 +226,86 @@ func (c *context) recomputeExpectations() {
 	c.mv.scntMax = vMax
 }
 
+// Contexts returns the number of logical barrier contexts.
+func (n *Network) Contexts() int { return len(n.contexts) }
+
+// SetInjector installs a fault injector on every G-line of the network and
+// switches the masters to tolerant counting (injected spurious assertions
+// may over-count). Line ids are assigned deterministically from the
+// network's own layout, so fault decisions never depend on how many other
+// networks exist in the process.
+func (n *Network) SetInjector(inj *fault.Injector) {
+	n.setInjectorFrom(inj, 0)
+}
+
+// setInjectorFrom assigns line ids starting at base and returns the next
+// free id; the hierarchical network uses it to give every cluster a
+// disjoint id range.
+func (n *Network) setInjectorFrom(inj *fault.Injector, base uint64) uint64 {
+	id := base
+	seen := map[*Line]bool{}
+	for _, c := range n.contexts {
+		for _, l := range c.lines {
+			if !seen[l] {
+				seen[l] = true
+				l.inj = inj
+				l.id = id
+				id++
+			}
+		}
+		for _, m := range c.mastersH {
+			m.tolerant = true
+		}
+		c.mv.tolerant = true
+	}
+	return id
+}
+
+// ResetContext re-arms one context's controllers to their pristine state:
+// all bar_regs cleared, counts zeroed, state machines back to their initial
+// states. Participant masks and multiplexing slots survive. The recovery
+// layer calls this on a wedged context before replaying arrivals.
+func (n *Network) ResetContext(ctxID int) error {
+	ctx, err := n.ctx(ctxID)
+	if err != nil {
+		return err
+	}
+	if ctx.pending > 0 {
+		n.activeCtxs--
+	}
+	ctx.pending = 0
+	for i := range ctx.regs {
+		ctx.regs[i] = tileRegs{}
+	}
+	for _, s := range ctx.slavesH {
+		s.state = slaveSignaling
+	}
+	for _, m := range ctx.mastersH {
+		m.state = masterAccounting
+		m.scnt = 0
+		m.backlog = 0
+		m.mcnt = false
+		m.relPend = false
+		m.drove = false
+	}
+	for _, s := range ctx.slavesV {
+		s.state = slaveSignaling
+	}
+	mv := ctx.mv
+	mv.state = masterAccounting
+	mv.scnt = 0
+	mv.backlog = 0
+	mv.relPend = false
+	mv.drove = false
+	// Lines are idle between ticks (tx drains every sample), but clear them
+	// anyway so a reset mid-wedge can never carry a stale pulse over.
+	for _, l := range ctx.lines {
+		l.tx = 0
+		l.sampled = 0
+	}
+	return nil
+}
+
 // GateRelease configures a context so that barrier completion does not
 // immediately start the release phase; TriggerRelease must be called to
 // release the waiting cores. Used by the hierarchical network's global
@@ -406,7 +488,7 @@ func (c *context) step(cycle uint64) {
 	c.mv.assertPhase()
 
 	for _, l := range c.lines {
-		l.sample()
+		l.sample(cycle)
 	}
 
 	released := c.releasedBuf[:0]

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// guardRig drives a Recovering-wrapped flat network with a miniature event
+// loop standing in for the engine: schedule/now mirror engine.After/Now.
+type guardRig struct {
+	t      *testing.T
+	cycle  uint64
+	events map[uint64][]func()
+
+	net   *Network
+	guard *Recovering
+
+	releasedAt map[int]uint64
+	releases   int
+}
+
+func newGuardRig(t *testing.T, plan *fault.Plan) *guardRig {
+	t.Helper()
+	net, err := NewNetwork(NetworkConfig{Cols: 4, Rows: 2, MaxTransmitters: 6, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &guardRig{
+		t:          t,
+		events:     map[uint64][]func(){},
+		net:        net,
+		releasedAt: map[int]uint64{},
+	}
+	if inj := fault.NewInjector(plan); inj != nil {
+		net.SetInjector(inj)
+	}
+	rig.guard = NewRecovering(net, 8, plan.Recovery, func() uint64 { return rig.cycle })
+	rig.guard.OnRelease(rig.schedule, func(core int) {
+		if _, dup := rig.releasedAt[core]; dup {
+			t.Fatalf("core %d released twice in one episode (cycle %d)", core, rig.cycle)
+		}
+		rig.releasedAt[core] = rig.cycle
+		rig.releases++
+	})
+	return rig
+}
+
+func (r *guardRig) schedule(d uint64, fn func()) {
+	r.events[r.cycle+d] = append(r.events[r.cycle+d], fn)
+}
+
+func (r *guardRig) step() {
+	r.cycle++
+	for _, fn := range r.events[r.cycle] {
+		fn()
+	}
+	delete(r.events, r.cycle)
+	r.guard.Tick(r.cycle)
+}
+
+// runEpisode arrives all 8 cores at the given cycles (index = core) and
+// steps until every core is released or the budget expires.
+func (r *guardRig) runEpisode(arriveAt [8]uint64, budget uint64) bool {
+	r.t.Helper()
+	for core, at := range arriveAt {
+		core := core
+		r.events[at] = append(r.events[at], func() { r.guard.Arrive(core, 0) })
+	}
+	r.releasedAt = map[int]uint64{}
+	start := r.cycle
+	for r.cycle-start < budget {
+		r.step()
+		if len(r.releasedAt) == 8 {
+			return true
+		}
+	}
+	return false
+}
+
+func uniformArrivals(at uint64) [8]uint64 {
+	var a [8]uint64
+	for i := range a {
+		a[i] = at
+	}
+	return a
+}
+
+func TestRecoveringPassthroughNoFaults(t *testing.T) {
+	plan := &fault.Plan{Seed: 1, Recovery: fault.Recovery{Timeout: 100}}
+	rig := newGuardRig(t, plan)
+	if !rig.runEpisode(uniformArrivals(5), 1000) {
+		t.Fatalf("fault-free episode did not complete")
+	}
+	if rig.guard.Retries() != 0 || rig.guard.Fallbacks() != 0 {
+		t.Fatalf("fault-free episode used recovery: retries=%d fallbacks=%d",
+			rig.guard.Retries(), rig.guard.Fallbacks())
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+	// Ideal dance: all arrive at 5, release callbacks land ~6 cycles later
+	// (4-cycle dance + scheduling). Sanity-bound it.
+	for core, at := range rig.releasedAt {
+		if at < 8 || at > 15 {
+			t.Fatalf("core %d released at cycle %d, outside the ideal window", core, at)
+		}
+	}
+}
+
+func TestRecoveringRetriesThroughDroppedArrivals(t *testing.T) {
+	// Drop every assertion on row 0's arrival line (id 0) for cycles 0-200:
+	// the row never gathers, the barrier wedges, and the guard's retry
+	// replays the arrivals after the window closes.
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLDrop, From: 0, Until: 200, Loc: 0}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 4},
+	}
+	rig := newGuardRig(t, plan)
+	if !rig.runEpisode(uniformArrivals(5), 5000) {
+		t.Fatalf("episode did not recover from dropped arrivals")
+	}
+	if rig.guard.Retries() == 0 {
+		t.Fatalf("expected at least one retry")
+	}
+	if rig.guard.Fallbacks() != 0 {
+		t.Fatalf("transient drop should not need the fallback, got %d", rig.guard.Fallbacks())
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+}
+
+func TestRecoveringFallbackOnPersistentFault(t *testing.T) {
+	// Stuck-low vertical arrival line (id 4, after 2 rows x 2 lines): the
+	// global gather can never complete in hardware, so retries exhaust and
+	// the guard completes the episode in software.
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLStuckLow, From: 0, Until: 1 << 40, Loc: 4}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 2, FallbackPenalty: 10, StickyAfter: -1},
+	}
+	rig := newGuardRig(t, plan)
+	if !rig.runEpisode(uniformArrivals(5), 20000) {
+		t.Fatalf("episode did not complete via fallback")
+	}
+	if rig.guard.Retries() != 2 {
+		t.Fatalf("retries = %d, want MaxRetries=2", rig.guard.Retries())
+	}
+	if rig.guard.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", rig.guard.Fallbacks())
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+}
+
+func TestRecoveringGoesStickyAfterConsecutiveFallbacks(t *testing.T) {
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLStuckLow, From: 0, Until: 1 << 40, Loc: 4}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 1, FallbackPenalty: 10, StickyAfter: 2},
+	}
+	rig := newGuardRig(t, plan)
+	for ep := 1; ep <= 4; ep++ {
+		if !rig.runEpisode(uniformArrivals(rig.cycle+5), 20000) {
+			t.Fatalf("episode %d did not complete", ep)
+		}
+	}
+	if rig.guard.Fallbacks() != 4 {
+		t.Fatalf("fallbacks = %d, want 4 (one per episode)", rig.guard.Fallbacks())
+	}
+	// Episodes 1-2 each retry once before falling back; 3-4 are sticky and
+	// never touch the hardware again.
+	if rig.guard.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2 (sticky mode must stop hardware retries)", rig.guard.Retries())
+	}
+	if rig.guard.Episodes() != 4 {
+		t.Fatalf("episodes = %d, want 4", rig.guard.Episodes())
+	}
+}
+
+func TestRecoveringSuppressesEarlyRelease(t *testing.T) {
+	// Spuriously assert row 0's release line (id 1) while its slaves wait
+	// but before the rest of the chip arrives: the raw hardware would let
+	// cores 1-3 run through an incomplete barrier. The guard must hold
+	// every core until all 8 arrived.
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLSpurious, From: 10, Until: 12, Loc: 1}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 4},
+	}
+	rig := newGuardRig(t, plan)
+	// Cores 1-3 (row 0 slaves) arrive early; the others at cycle 50.
+	arrivals := [8]uint64{50, 5, 5, 5, 50, 50, 50, 50}
+	if !rig.runEpisode(arrivals, 5000) {
+		t.Fatalf("episode did not complete")
+	}
+	for core, at := range rig.releasedAt {
+		if at < 50 {
+			t.Fatalf("core %d released at cycle %d, before all cores arrived (safety violation)", core, at)
+		}
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+}
+
+func TestResetContextPreservesParticipants(t *testing.T) {
+	net, err := NewNetwork(NetworkConfig{Cols: 4, Rows: 2, MaxTransmitters: 6, Contexts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetParticipants(0, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	net.Arrive(0, 0)
+	net.Arrive(1, 0)
+	if err := net.ResetContext(0); err != nil {
+		t.Fatal(err)
+	}
+	if net.BarRegSet(0, 0) || net.BarRegSet(1, 0) {
+		t.Fatalf("bar_regs survived reset")
+	}
+	// The context must accept the same arrivals again and complete with the
+	// restricted participant set.
+	released := map[int]bool{}
+	net.OnRelease(nil, func(core int) { released[core] = true })
+	for _, c := range []int{0, 1, 2} {
+		net.Arrive(c, 0)
+	}
+	for cycle := uint64(1); cycle < 50 && len(released) < 3; cycle++ {
+		net.Tick(cycle)
+	}
+	if len(released) != 3 {
+		t.Fatalf("released %v after reset, want cores 0-2", released)
+	}
+}

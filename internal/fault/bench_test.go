@@ -1,0 +1,60 @@
+package fault
+
+import "testing"
+
+// BenchmarkFaultHooks_Disabled measures the cost of the injection hooks on
+// the hot simulation paths when no faults are configured — the price every
+// fault-free run pays. Both shapes must stay in the low single-digit
+// nanoseconds: a nil injector (Config.Faults == nil, the default) and an
+// armed injector whose plan has no rates or events.
+func BenchmarkFaultHooks_Disabled(b *testing.B) {
+	bench := func(b *testing.B, j *Injector) {
+		var sink int
+		var sunk bool
+		for i := 0; i < b.N; i++ {
+			cycle := uint64(i)
+			if j.GLActive() {
+				sink += j.SampleLine(3, cycle, 2)
+			}
+			sunk = j.LinkDown(cycle, 5, 1) || j.Corrupt(cycle, 5, 1) || sunk
+			sink += int(j.WatchPerturb(cycle, 7))
+		}
+		if sink != 0 || sunk {
+			b.Fatalf("dormant hooks produced effects: sink=%d sunk=%v", sink, sunk)
+		}
+	}
+	b.Run("nil-injector", func(b *testing.B) {
+		bench(b, nil)
+	})
+	b.Run("empty-plan", func(b *testing.B) {
+		bench(b, NewInjector(&Plan{Seed: 1}))
+	})
+}
+
+// BenchmarkFaultHooks_Enabled is the armed counterpart: every site carries a
+// rate, so each hook call pays the full hash-based decision.
+func BenchmarkFaultHooks_Enabled(b *testing.B) {
+	p := &Plan{Seed: 1}
+	for s := Site(0); s < NumSites; s++ {
+		if s.eventOnly() {
+			continue
+		}
+		p.Rates[s] = 1e-4
+	}
+	j := NewInjector(p)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		cycle := uint64(i)
+		sink += j.SampleLine(3, cycle, 2)
+		if j.LinkDown(cycle, 5, 1) {
+			sink++
+		}
+		if j.Corrupt(cycle, 5, 1) {
+			sink++
+		}
+		sink += int(j.WatchPerturb(cycle, 7))
+	}
+	if sink < 0 {
+		b.Fatal("impossible")
+	}
+}

@@ -1,0 +1,269 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestNilAndEmptyPlan(t *testing.T) {
+	if inj := NewInjector(nil); inj != nil {
+		t.Fatalf("nil plan must compile to nil injector")
+	}
+	p := &Plan{}
+	if !p.Empty() {
+		t.Fatalf("zero plan must be Empty")
+	}
+	inj := NewInjector(p)
+	if inj.GLActive() {
+		t.Fatalf("empty plan must leave GL sites inactive")
+	}
+	for cycle := uint64(0); cycle < 100; cycle++ {
+		if got := inj.SampleLine(3, cycle, 5); got != 5 {
+			t.Fatalf("empty plan perturbed sample at cycle %d: got %d", cycle, got)
+		}
+		if inj.LinkDown(cycle, 2, 1) || inj.Corrupt(cycle, 2, 1) {
+			t.Fatalf("empty plan injected NoC fault at cycle %d", cycle)
+		}
+		if d := inj.WatchPerturb(cycle, 4); d != 0 {
+			t.Fatalf("empty plan perturbed watch at cycle %d: %d", cycle, d)
+		}
+	}
+}
+
+func TestNilInjectorHooks(t *testing.T) {
+	var inj *Injector
+	if inj.GLActive() {
+		t.Fatalf("nil injector must report GL inactive")
+	}
+	if inj.LinkDown(1, 0, 0) || inj.Corrupt(1, 0, 0) || inj.WatchPerturb(1, 0) != 0 {
+		t.Fatalf("nil injector hooks must be no-ops")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := &Plan{Seed: 42}
+	p.Rates[GLDrop] = 0.05
+	p.Rates[GLSpurious] = 0.02
+	p.Rates[NoCCorrupt] = 0.03
+	a, b := NewInjector(p), NewInjector(p)
+	for cycle := uint64(0); cycle < 5000; cycle++ {
+		for line := uint64(0); line < 8; line++ {
+			if a.SampleLine(line, cycle, 3) != b.SampleLine(line, cycle, 3) {
+				t.Fatalf("decision diverged at cycle %d line %d", cycle, line)
+			}
+		}
+		if a.Corrupt(cycle, 1, 2) != b.Corrupt(cycle, 1, 2) {
+			t.Fatalf("NoC decision diverged at cycle %d", cycle)
+		}
+	}
+}
+
+func TestDecisionsAreOrderIndependent(t *testing.T) {
+	p := &Plan{Seed: 9}
+	p.Rates[GLDrop] = 0.1
+	a, b := NewInjector(p), NewInjector(p)
+	// Query b at the same coordinates in reverse order; decisions must match
+	// a's, proving there is no hidden PRNG stream.
+	fwd := make(map[[2]uint64]int)
+	for cycle := uint64(0); cycle < 200; cycle++ {
+		for line := uint64(0); line < 4; line++ {
+			fwd[[2]uint64{cycle, line}] = a.SampleLine(line, cycle, 2)
+		}
+	}
+	for cycle := uint64(199); ; cycle-- {
+		for line := uint64(3); ; line-- {
+			if got := b.SampleLine(line, cycle, 2); got != fwd[[2]uint64{cycle, line}] {
+				t.Fatalf("order-dependent decision at cycle %d line %d", cycle, line)
+			}
+			if line == 0 {
+				break
+			}
+		}
+		if cycle == 0 {
+			break
+		}
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	p := &Plan{Seed: 3}
+	p.Rates[GLDrop] = 0.1
+	inj := NewInjector(p)
+	drops := 0
+	const trials = 200_000
+	for cycle := uint64(0); cycle < trials; cycle++ {
+		if inj.SampleLine(0, cycle, 1) == 0 {
+			drops++
+		}
+	}
+	frac := float64(drops) / trials
+	if frac < 0.08 || frac > 0.12 {
+		t.Fatalf("drop rate %g far from configured 0.1", frac)
+	}
+}
+
+func TestStuckAtWindows(t *testing.T) {
+	p := &Plan{
+		Seed: 1,
+		Events: []Event{
+			{Site: GLStuckLow, From: 100, Until: 200, Loc: 2},
+			{Site: GLStuckHigh, From: 300, Until: 400, Loc: -1},
+		},
+	}
+	inj := NewInjector(p)
+	if got := inj.SampleLine(2, 150, 4); got != 0 {
+		t.Fatalf("stuck-low line read %d, want 0", got)
+	}
+	if got := inj.SampleLine(1, 150, 4); got != 4 {
+		t.Fatalf("stuck-low must not leak to other lines: got %d", got)
+	}
+	if got := inj.SampleLine(2, 99, 4); got != 4 {
+		t.Fatalf("stuck-low active before window: got %d", got)
+	}
+	if got := inj.SampleLine(5, 350, 0); got != 1 {
+		t.Fatalf("stuck-high idle line read %d, want 1", got)
+	}
+	if got := inj.SampleLine(5, 350, 3); got != 3 {
+		t.Fatalf("stuck-high must not reduce a live count: got %d", got)
+	}
+}
+
+func TestMiscountEventK(t *testing.T) {
+	p := &Plan{
+		Seed:   1,
+		Events: []Event{{Site: SCSMAMiscount, From: 10, Until: 10, Loc: 0, K: 3}},
+	}
+	inj := NewInjector(p)
+	got := inj.SampleLine(0, 10, 5)
+	if got != 2 && got != 8 {
+		t.Fatalf("miscount k=3 on count 5 gave %d, want 2 or 8", got)
+	}
+}
+
+func TestMetricsBinding(t *testing.T) {
+	p := &Plan{Seed: 1, Events: []Event{{Site: GLDrop, From: 0, Until: 50, Loc: -1}}}
+	inj := NewInjector(p)
+	reg := metrics.NewRegistry()
+	inj.Bind(reg)
+	for cycle := uint64(0); cycle <= 50; cycle++ {
+		inj.SampleLine(0, cycle, 1)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["fault.injected"] != 51 {
+		t.Fatalf("fault.injected = %d, want 51", snap.Counters["fault.injected"])
+	}
+	if snap.Counters["fault.injected.gl.drop"] != 51 {
+		t.Fatalf("per-site counter = %d, want 51", snap.Counters["fault.injected.gl.drop"])
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	src := "seed=7,gl.drop=0.0001,scsma.miscount=0.001,miscount.k=2,watch.recheck=512," +
+		"recovery.timeout=4000,recovery.retries=2,recovery.penalty=900,recovery.sticky=3," +
+		"@5000-9000:gl.stuckhigh:3,@100:scsma.miscount:0:4"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	if p.Seed != 7 || p.Rates[GLDrop] != 1e-4 || p.MiscountK != 2 {
+		t.Fatalf("parsed plan wrong: %+v", p)
+	}
+	if len(p.Events) != 2 || p.Events[0].Site != GLStuckHigh || p.Events[0].Loc != 3 ||
+		p.Events[1].K != 4 {
+		t.Fatalf("parsed events wrong: %+v", p.Events)
+	}
+	if p.Recovery.Timeout != 4000 || p.Recovery.MaxRetries != 2 || p.Recovery.StickyAfter != 3 {
+		t.Fatalf("parsed recovery wrong: %+v", p.Recovery)
+	}
+	rt, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", p.String(), err)
+	}
+	if rt.String() != p.String() {
+		t.Fatalf("round trip unstable: %q vs %q", rt.String(), p.String())
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"nope=1",
+		"gl.drop=banana",
+		"gl.drop=1.5",
+		"gl.stucklow=0.1",     // event-only site with a rate
+		"@9-3:gl.drop",        // inverted window
+		"@x:gl.drop",          // bad cycle
+		"@5:unknown.site",     // unknown site
+		"@5:gl.drop:1:2:3",    // too many fields
+		"recovery.timeout=10", // below the hardware dance length
+		"seed",                // not key=value
+	}
+	for _, s := range bad {
+		if _, err := ParsePlan(s); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", s)
+		}
+	}
+	p, err := ParsePlan("")
+	if err != nil || p != nil {
+		t.Fatalf("empty string must yield nil plan, got %v, %v", p, err)
+	}
+}
+
+func TestRecoveryDefaults(t *testing.T) {
+	r := Recovery{}.WithDefaults()
+	if r.Timeout != DefaultTimeout || r.MaxRetries != DefaultMaxRetries ||
+		r.FallbackPenalty != DefaultFallbackPenalty || r.StickyAfter != DefaultStickyAfter {
+		t.Fatalf("defaults not applied: %+v", r)
+	}
+	r = Recovery{Timeout: 999, StickyAfter: -1}.WithDefaults()
+	if r.Timeout != 999 || r.StickyAfter != -1 {
+		t.Fatalf("explicit values clobbered: %+v", r)
+	}
+}
+
+func FuzzParsePlan(f *testing.F) {
+	f.Add("seed=7,gl.drop=1e-4")
+	f.Add("@5000-9000:gl.stuckhigh:3,recovery.off")
+	f.Add("scsma.miscount=0.5,miscount.k=2,@1:scsma.miscount:0:9")
+	f.Add("recovery.timeout=70,recovery.retries=1,watch.drop=0.1")
+	f.Add(",,,")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			if strings.TrimSpace(s) != "" && strings.Trim(strings.TrimSpace(s), ",") != "" &&
+				!allBlankTokens(s) {
+				t.Fatalf("nil plan from non-empty input %q", s)
+			}
+			return
+		}
+		// Accepted plans must validate, compile, and round-trip stably.
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted plan fails Validate: %v (input %q)", err, s)
+		}
+		if inj := NewInjector(p); inj == nil {
+			t.Fatalf("accepted plan compiled to nil injector (input %q)", s)
+		}
+		canon := p.String()
+		rt, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q rejected: %v (input %q)", canon, err, s)
+		}
+		if rt.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q (input %q)", canon, rt.String(), s)
+		}
+	})
+}
+
+// allBlankTokens reports whether s splits into only empty directives.
+func allBlankTokens(s string) bool {
+	for _, tok := range strings.Split(s, ",") {
+		if strings.TrimSpace(tok) != "" {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan parses the -faults flag syntax: a comma-separated list of
+// directives. An empty string yields a nil plan (faults disabled).
+//
+//	seed=N                    hash seed (default 1)
+//	<site>=<rate>             per-opportunity rate, e.g. gl.drop=1e-4
+//	miscount.k=N              S-CSMA miscount magnitude
+//	watch.delay.cycles=N      WatchDelay perturbation
+//	watch.recheck=N           spin re-check period for dropped wakeups
+//	recovery.off              run the bare protocol unguarded
+//	recovery.timeout=N        episode timeout before retry
+//	recovery.retries=N        hardware retries before fallback
+//	recovery.penalty=N        software-fallback per-core latency
+//	recovery.sticky=N         consecutive fallbacks before going sticky
+//	@from[-until]:site[:loc[:k]]   explicit event / stuck-at window
+//
+// Example: "seed=7,gl.drop=1e-4,@5000-9000:gl.stuckhigh:3,recovery.retries=2"
+func ParsePlan(s string) (*Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &Plan{Seed: 1}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if strings.HasPrefix(tok, "@") {
+			ev, err := parseEvent(tok)
+			if err != nil {
+				return nil, err
+			}
+			p.Events = append(p.Events, ev)
+			continue
+		}
+		if tok == "recovery.off" {
+			p.Recovery.Disabled = true
+			continue
+		}
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: directive %q is not key=value", tok)
+		}
+		if site, isSite := siteByName(key); isSite {
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: rate for %s: %v", key, err)
+			}
+			p.Rates[site] = rate
+			continue
+		}
+		// Counted fields (retries, k, sticky) live in ints; cap them at 31
+		// bits so huge inputs fail cleanly instead of wrapping negative.
+		bits := 64
+		switch key {
+		case "miscount.k", "recovery.retries", "recovery.sticky":
+			bits = 31
+		}
+		n, err := strconv.ParseUint(val, 10, bits)
+		if err != nil {
+			return nil, fmt.Errorf("fault: value for %s: %v", key, err)
+		}
+		switch key {
+		case "seed":
+			p.Seed = n
+		case "miscount.k":
+			p.MiscountK = int(n)
+		case "watch.delay.cycles":
+			p.WatchDelayCycles = n
+		case "watch.recheck":
+			p.WatchRecheckCycles = n
+		case "recovery.timeout":
+			p.Recovery.Timeout = n
+		case "recovery.retries":
+			p.Recovery.MaxRetries = int(n)
+		case "recovery.penalty":
+			p.Recovery.FallbackPenalty = n
+		case "recovery.sticky":
+			p.Recovery.StickyAfter = int(n)
+		default:
+			return nil, fmt.Errorf("fault: unknown directive %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseEvent parses "@from[-until]:site[:loc[:k]]".
+func parseEvent(tok string) (Event, error) {
+	parts := strings.Split(tok[1:], ":")
+	if len(parts) < 2 || len(parts) > 4 {
+		return Event{}, fmt.Errorf("fault: event %q is not @from[-until]:site[:loc[:k]]", tok)
+	}
+	var ev Event
+	window := parts[0]
+	from, until, ranged := strings.Cut(window, "-")
+	f, err := strconv.ParseUint(from, 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("fault: event %q: from cycle: %v", tok, err)
+	}
+	ev.From, ev.Until = f, f
+	if ranged {
+		u, err := strconv.ParseUint(until, 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("fault: event %q: until cycle: %v", tok, err)
+		}
+		ev.Until = u
+	}
+	site, ok := siteByName(parts[1])
+	if !ok {
+		return Event{}, fmt.Errorf("fault: event %q: unknown site %q", tok, parts[1])
+	}
+	ev.Site = site
+	ev.Loc = -1
+	if len(parts) >= 3 {
+		loc, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil || loc < -1 {
+			return Event{}, fmt.Errorf("fault: event %q: bad location %q", tok, parts[2])
+		}
+		ev.Loc = loc
+	}
+	if len(parts) == 4 {
+		k, err := strconv.ParseInt(parts[3], 10, 32)
+		if err != nil || k < 0 {
+			return Event{}, fmt.Errorf("fault: event %q: bad k %q", tok, parts[3])
+		}
+		ev.K = int(k)
+	}
+	return ev, nil
+}
+
+// siteByName resolves a plan-syntax site key.
+func siteByName(name string) (Site, bool) {
+	for s := Site(0); s < NumSites; s++ {
+		if siteNames[s] == name {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the plan back into canonical -faults syntax;
+// ParsePlan(p.String()) reproduces an equivalent plan.
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var toks []string
+	toks = append(toks, fmt.Sprintf("seed=%d", p.Seed))
+	var sites []Site
+	for s := Site(0); s < NumSites; s++ {
+		if p.Rates[s] > 0 {
+			sites = append(sites, s)
+		}
+	}
+	sort.Slice(sites, func(i, k int) bool { return sites[i] < sites[k] })
+	for _, s := range sites {
+		toks = append(toks, fmt.Sprintf("%s=%g", s, p.Rates[s]))
+	}
+	if p.MiscountK != 0 {
+		toks = append(toks, fmt.Sprintf("miscount.k=%d", p.MiscountK))
+	}
+	if p.WatchDelayCycles != 0 {
+		toks = append(toks, fmt.Sprintf("watch.delay.cycles=%d", p.WatchDelayCycles))
+	}
+	if p.WatchRecheckCycles != 0 {
+		toks = append(toks, fmt.Sprintf("watch.recheck=%d", p.WatchRecheckCycles))
+	}
+	if p.Recovery.Disabled {
+		toks = append(toks, "recovery.off")
+	}
+	if p.Recovery.Timeout != 0 {
+		toks = append(toks, fmt.Sprintf("recovery.timeout=%d", p.Recovery.Timeout))
+	}
+	if p.Recovery.MaxRetries != 0 {
+		toks = append(toks, fmt.Sprintf("recovery.retries=%d", p.Recovery.MaxRetries))
+	}
+	if p.Recovery.FallbackPenalty != 0 {
+		toks = append(toks, fmt.Sprintf("recovery.penalty=%d", p.Recovery.FallbackPenalty))
+	}
+	if p.Recovery.StickyAfter > 0 {
+		toks = append(toks, fmt.Sprintf("recovery.sticky=%d", p.Recovery.StickyAfter))
+	}
+	for _, e := range p.Events {
+		tok := fmt.Sprintf("@%d", e.From)
+		if e.Until != e.From {
+			tok += fmt.Sprintf("-%d", e.Until)
+		}
+		tok += ":" + e.Site.String()
+		if e.Loc >= 0 || e.K > 0 {
+			tok += fmt.Sprintf(":%d", e.Loc)
+		}
+		if e.K > 0 {
+			tok += fmt.Sprintf(":%d", e.K)
+		}
+		toks = append(toks, tok)
+	}
+	return strings.Join(toks, ",")
+}

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/stats"
 )
@@ -77,6 +78,11 @@ type Mesh struct {
 	reg       *metrics.Registry
 	latHist   [stats.NumMsgClasses]*metrics.Histogram
 	queuePeak *metrics.Gauge
+
+	// inj, when set, injects link-level faults (transient link-down
+	// windows, flit corruption forcing a retransmission). Nil in
+	// fault-free systems.
+	inj *fault.Injector
 }
 
 // New creates a cols x rows mesh. Delivered packets are handed to sink.
@@ -105,6 +111,9 @@ func New(eng *engine.Engine, cols, rows int, routerLat, linkLat uint64, sink fun
 // Metrics returns the mesh's metric registry (per-class latency histograms
 // and router queue depth).
 func (m *Mesh) Metrics() *metrics.Registry { return m.reg }
+
+// SetInjector installs a fault injector on the mesh's links.
+func (m *Mesh) SetInjector(inj *fault.Injector) { m.inj = inj }
 
 // Nodes returns the number of tiles.
 func (m *Mesh) Nodes() int { return m.cols * m.rows }
@@ -216,23 +225,36 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			if len(q) == 0 || q[0].readyAt > cycle || r.busyUntil[port] > cycle {
 				continue
 			}
+			if port != portLocal && m.inj.LinkDown(cycle, node, port) {
+				// Transient outage: the port cannot start a transmission
+				// this cycle; the packet retries on the next one.
+				continue
+			}
 			e := q[0]
 			r.out[port] = q[1:]
 			flits := uint64(e.p.Flits)
-			r.busyUntil[port] = cycle + flits
-			r.txFlits[port] += flits
 			if port == portLocal {
+				r.busyUntil[port] = cycle + flits
+				r.txFlits[port] += flits
 				// Ejection: the packet fully drains into the node.
 				m.eng.At(cycle+flits, func() { m.deliver(node, e.p) })
 				continue
 			}
+			// Corruption caught by the link-level CRC costs one full
+			// retransmission of the packet on this link.
+			var extra uint64
+			if m.inj.Corrupt(cycle, node, port) {
+				extra = flits
+			}
+			r.busyUntil[port] = cycle + flits + extra
+			r.txFlits[port] += flits + extra
 			next, inPort := m.neighbor(node, port)
 			nr := &m.routers[next]
 			p := e.p
 			// Cut-through: the head flit reaches the neighbor after one
 			// flit time plus the wire delay; the tail follows while the
 			// downstream router already routes the head.
-			m.eng.At(cycle+1+m.linkLat, func() {
+			m.eng.At(cycle+1+m.linkLat+extra, func() {
 				nr.in[inPort] = append(nr.in[inPort], entry{p: p, readyAt: m.eng.Now()})
 				m.queuePeak.Set(uint64(len(nr.in[inPort])))
 			})

@@ -13,6 +13,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/energy"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/mem"
 	"repro/internal/metrics"
 	"repro/internal/noc"
@@ -60,6 +61,7 @@ type System struct {
 
 	glm      *glMeter
 	ring     *trace.Ring
+	inj      *fault.Injector
 	launched int
 }
 
@@ -73,6 +75,12 @@ func New(cfg config.Config) (*System, error) {
 	eng := engine.New()
 	memv := mem.NewStore()
 	prot := coherence.New(eng, cfg, memv)
+
+	var inj *fault.Injector
+	if cfg.Faults != nil {
+		inj = fault.NewInjector(cfg.Faults)
+		prot.SetInjector(inj)
+	}
 
 	var gl GLNetwork
 	if cfg.GLContexts > 0 {
@@ -91,6 +99,14 @@ func New(cfg config.Config) (*System, error) {
 		Alloc:   mem.NewAllocator(heapBase, cfg.LineSize),
 		GL:      gl,
 		Metrics: metrics.NewRegistry(),
+		inj:     inj,
+	}
+	if inj != nil {
+		inj.Bind(s.Metrics)
+		if gl != nil {
+			gl = s.instrumentGL(gl)
+			s.GL = gl
+		}
 	}
 	eng.StallLimit = DefaultStallLimit
 	s.Cores = make([]*cpu.Core, cfg.Cores)
@@ -110,6 +126,29 @@ func New(cfg config.Config) (*System, error) {
 		eng.AddTicker(gl)
 	}
 	return s, nil
+}
+
+// instrumentGL hooks the fault injector into a G-line network and, unless
+// the plan opts out, wraps it in the recovering barrier protocol.
+func (s *System) instrumentGL(gl GLNetwork) GLNetwork {
+	switch g := gl.(type) {
+	case *core.Network:
+		g.SetInjector(s.inj)
+	case *core.Hierarchical:
+		g.SetInjector(s.inj)
+	}
+	if s.Cfg.Faults.Recovery.Disabled {
+		return gl
+	}
+	bn, ok := gl.(core.BarrierNetwork)
+	if !ok {
+		// A custom network without ResetContext can be injected into but
+		// not guarded.
+		return gl
+	}
+	guard := core.NewRecovering(bn, s.Cfg.Cores, s.Cfg.Faults.Recovery, s.Eng.Now)
+	guard.SetMetrics(s.Metrics)
+	return guard
 }
 
 // buildGL constructs the barrier network matching the mesh size.
@@ -149,6 +188,9 @@ func ChooseSpan(cols, rows, maxTx int) (int, error) {
 func (s *System) ReplaceGL(gl GLNetwork) {
 	if s.launched > 0 {
 		panic("sim: ReplaceGL after Launch")
+	}
+	if s.inj != nil {
+		gl = s.instrumentGL(gl)
 	}
 	s.GL = gl
 	if s.glm == nil {

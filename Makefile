@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke
 
 all: build lint test test-race
 
@@ -10,11 +10,22 @@ build:
 vet:
 	go vet ./...
 
-# Static gate: vet plus a gofmt cleanliness check over the whole tree.
-lint: vet
+# The repo's own analyzer suite (cmd/glvet): determinism, cycle-path purity,
+# metric-name and fault-site hygiene. See DESIGN.md §8.
+glvet:
+	go run ./cmd/glvet ./...
+
+# Static gate: vet, the glvet suite, and a gofmt cleanliness check over the
+# whole tree.
+lint: vet glvet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Ten-second fuzz smoke over the fault-plan parser: catches grammar
+# regressions without a dedicated fuzzing job.
+fuzz-smoke:
+	go test -fuzz=FuzzParsePlan -fuzztime=10s -run '^$$' ./internal/fault
 
 test:
 	go test ./...

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGlvetClean is the repo gate: the full analyzer suite over every
+// package in the module must report nothing. A failure here means a change
+// introduced a nondeterminism source, an impure cycle-path construct, or a
+// metrics/fault-site hygiene violation — fix it or justify a
+// `//lint:allow <analyzer> <reason>`.
+func TestGlvetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module analysis is not short")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"../..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("glvet exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if errOut.Len() != 0 {
+		t.Fatalf("glvet reported load problems:\n%s", errOut.String())
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("glvet -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"detrand", "cyclepure", "metricname", "faultsite"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-only", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("glvet -only nosuch exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("missing unknown-analyzer message: %s", errOut.String())
+	}
+}

@@ -114,8 +114,12 @@ func main() {
 		points, err := repro.Fig5(tier, coreSweep(*cores), opt)
 		emit("fig5", repro.RenderFig5(points))
 		for _, p := range points {
-			for kind, rep := range p.Reports {
-				record(fmt.Sprintf("fig5/%dc/%s", p.Cores, kind), rep)
+			// Fixed series order: artifact recording must not depend on map
+			// iteration order.
+			for _, kind := range []repro.BarrierKind{repro.CSW, repro.DSW, repro.GL} {
+				if rep, ok := p.Reports[kind]; ok {
+					record(fmt.Sprintf("fig5/%dc/%s", p.Cores, kind), rep)
+				}
 			}
 		}
 		cellErrs("fig5", err)
@@ -175,8 +179,8 @@ func main() {
 		barriers := workload.SyntheticFor(tier).Barriers(*cores)
 		emit("faults", repro.RenderFaults(points, barriers))
 		for _, p := range points {
-			for series, c := range p.Cells {
-				if c.Err == nil {
+			for _, series := range repro.FaultSeries() {
+				if c, ok := p.Cells[series]; ok && c.Err == nil {
 					record(fmt.Sprintf("faults/%g/%s", p.Rate, series), c.Report)
 				}
 			}

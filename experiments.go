@@ -194,23 +194,30 @@ type Comparison struct {
 // DSW/GL pair.
 func newComparison(name string, dsw, gl *Report) Comparison {
 	cmp := Comparison{Name: name, DSW: dsw, GL: gl}
+	// Iterate the kinds in fixed order, not over a map literal: ranging a
+	// map here is needless nondeterminism (and the glvet detrand analyzer's
+	// first scalp).
+	kindReports := []struct {
+		kind BarrierKind
+		rep  *Report
+	}{{DSW, dsw}, {GL, gl}}
 	cmp.NormTime = map[BarrierKind][stats.NumRegions]float64{}
 	base := float64(dsw.Breakdown.Total())
-	for kind, rep := range map[BarrierKind]*Report{DSW: dsw, GL: gl} {
+	for _, kr := range kindReports {
 		var norm [stats.NumRegions]float64
-		for r := range rep.Breakdown {
-			norm[r] = float64(rep.Breakdown[r]) / base
+		for r := range kr.rep.Breakdown {
+			norm[r] = float64(kr.rep.Breakdown[r]) / base
 		}
-		cmp.NormTime[kind] = norm
+		cmp.NormTime[kr.kind] = norm
 	}
 	cmp.NormTraffic = map[BarrierKind][stats.NumMsgClasses]float64{}
 	tbase := float64(dsw.Traffic.TotalMessages())
-	for kind, rep := range map[BarrierKind]*Report{DSW: dsw, GL: gl} {
+	for _, kr := range kindReports {
 		var norm [stats.NumMsgClasses]float64
-		for c := range rep.Traffic.Messages {
-			norm[c] = float64(rep.Traffic.Messages[c]) / tbase
+		for c := range kr.rep.Traffic.Messages {
+			norm[c] = float64(kr.rep.Traffic.Messages[c]) / tbase
 		}
-		cmp.NormTraffic[kind] = norm
+		cmp.NormTraffic[kr.kind] = norm
 	}
 	cmp.TimeReduction = stats.Reduction(float64(dsw.Cycles), float64(gl.Cycles))
 	cmp.TrafficReduction = stats.Reduction(float64(dsw.Traffic.TotalMessages()), float64(gl.Traffic.TotalMessages()))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/config"
+	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -31,6 +32,13 @@ import (
 
 // faultSeries is the column order of the resilience study.
 var faultSeries = []string{"GL", "GL-raw", "DSW", "CSW"}
+
+// FaultSeries returns the study's series names in column order, so callers
+// rendering per-series artifacts iterate deterministically instead of
+// ranging over FaultPoint.Cells.
+func FaultSeries() []string {
+	return append([]string(nil), faultSeries...)
+}
 
 // DefaultFaultRates is the study's fault-rate ladder (per sample-point
 // probability; 0 is the fault-free baseline).
@@ -169,9 +177,9 @@ func RenderFaults(points []FaultPoint, barriers uint64) stats.Table {
 			row = append(row, "", "", "")
 		} else {
 			row = append(row,
-				fmt.Sprintf("%d", gl.counter("gl.retries")),
-				fmt.Sprintf("%d", gl.counter("gl.fallbacks")),
-				fmt.Sprintf("%d", gl.counter("fault.injected")))
+				fmt.Sprintf("%d", gl.counter(core.MetricGLRetries)),
+				fmt.Sprintf("%d", gl.counter(core.MetricGLFallbacks)),
+				fmt.Sprintf("%d", gl.counter(fault.MetricInjected)))
 		}
 		if dsw := p.Cells["DSW"]; dsw.Err != nil {
 			row = append(row, "")

@@ -1,0 +1,189 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modeled on golang.org/x/tools/go/analysis. The container this repo builds
+// in has no module proxy access, so instead of vendoring x/tools the repo
+// carries the ~minimal subset the glvet suite needs: an Analyzer/Pass pair,
+// a module-aware source loader built on go/types plus the stdlib source
+// importer, `// want`-style fixture testing (internal/analysis/analysistest)
+// and `//lint:allow` suppressions.
+//
+// The suite enforces the invariants the reproduction's methodology rests
+// on: bit-identical seed-deterministic runs (detrand), a pure per-cycle hot
+// path (cyclepure), const-declared metric names (metricname) and verifiable
+// fault-plan site keys (faultsite). See DESIGN.md §8 "Static invariants".
+//
+// Suppression: a diagnostic is suppressed by a comment
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the same line as the diagnostic or on the line directly above it; an
+// allow comment inside a function's doc comment covers the whole function.
+// The reason is mandatory; an allow comment without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Unlike x/tools, every analyzer
+// runs over the whole target package set at once: per-package checks loop
+// over pass.Packages, whole-program checks (call graphs, cross-package
+// duplicate detection) see everything they need without a facts mechanism.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is the one-paragraph help text shown by `glvet -help`.
+	Doc string
+	// Run performs the analysis and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects one analyzer run to the loaded program.
+type Pass struct {
+	Analyzer *Analyzer
+	// Prog is the full load result, including dependency packages
+	// (Prog.ByPath) for interface lookups and call-graph construction.
+	Prog *Program
+	// Packages are the target packages the analyzer must check; analyzers
+	// report only into these (dependencies outside the target set are
+	// context, not subjects).
+	Packages []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one reported finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run executes the analyzers over the program's target packages and returns
+// the surviving (unsuppressed) diagnostics in file/line order, plus any
+// analyzer errors.
+func Run(prog *Program, targets []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Prog: prog, Packages: targets, diags: &diags}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = filterSuppressed(prog, targets, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowDirective is the suppression comment prefix.
+const allowDirective = "//lint:allow "
+
+// allowRange is one parsed allow comment's effect: diagnostics from the
+// named analyzer are suppressed on lines [start, end] of file.
+type allowRange struct {
+	analyzer   string
+	start, end int
+}
+
+// filterSuppressed drops diagnostics covered by a `//lint:allow` comment on
+// the same or preceding line (or, for a comment in a function's doc comment,
+// anywhere in that function), and reports malformed allow comments (missing
+// reason) as diagnostics of their own.
+func filterSuppressed(prog *Program, targets []*Package, diags []Diagnostic) []Diagnostic {
+	allowed := map[string][]allowRange{}
+	var out []Diagnostic
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			// Doc-comment groups cover their whole declaration.
+			docSpan := map[*ast.CommentGroup][2]int{}
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+					docSpan[fd.Doc] = [2]int{
+						prog.Fset.Position(fd.Pos()).Line,
+						prog.Fset.Position(fd.End()).Line,
+					}
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowDirective) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowDirective))
+					name, reason, _ := strings.Cut(rest, " ")
+					if name == "" || strings.TrimSpace(reason) == "" {
+						out = append(out, Diagnostic{
+							Pos:      pos,
+							Analyzer: "glvet",
+							Message:  "allow comment needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+						})
+						continue
+					}
+					span := [2]int{pos.Line, pos.Line + 1}
+					if s, ok := docSpan[cg]; ok {
+						span = s
+					}
+					allowed[pos.Filename] = append(allowed[pos.Filename],
+						allowRange{analyzer: name, start: span[0], end: span[1]})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		suppressed := false
+		for _, r := range allowed[d.Pos.Filename] {
+			if r.analyzer == d.Analyzer && d.Pos.Line >= r.start && d.Pos.Line <= r.end {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the function declaration carries the given
+// `//glvet:` directive (e.g. "cyclepath") in its doc comment.
+func HasDirective(decl *ast.FuncDecl, directive string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	want := "//glvet:" + directive
+	for _, c := range decl.Doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// demoAnalyzer reports every call to a function named "mark" — enough
+// surface to exercise the suppression machinery end to end.
+var demoAnalyzer = &analysis.Analyzer{
+	Name: "demo",
+	Doc:  "test analyzer: flags calls to mark()",
+	Run: func(pass *analysis.Pass) error {
+		for _, pkg := range pass.Packages {
+			for _, f := range pkg.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "mark" {
+						pass.Reportf(call.Pos(), "mark called")
+					}
+					return true
+				})
+			}
+		}
+		return nil
+	},
+}
+
+// TestSuppression checks every //lint:allow placement against the allowtest
+// fixture: same line, previous line, doc comment (function scope), and the
+// reason-less allow that is reported instead of honored.
+func TestSuppression(t *testing.T) {
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	prog, targets, err := loader.Load("testdata/src/allowtest")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(prog, targets, []*analysis.Analyzer{demoAnalyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s@%d: %s", d.Analyzer, d.Pos.Line, d.Message))
+	}
+	// Line 10: the uncovered mark() in f. Line 21: the reason-less allow is
+	// reported. Line 21 again: mark() inside malformed() survives because
+	// its allow was rejected.
+	want := []string{
+		"demo@10: mark called",
+		"glvet@21: allow comment needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
+		"demo@22: mark called",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostics mismatch:\ngot:\n%s\nwant:\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}

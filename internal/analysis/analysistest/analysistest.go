@@ -1,0 +1,110 @@
+// Package analysistest runs a glvet analyzer over a fixture package and
+// checks its diagnostics against `// want` comment expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's stdlib-only
+// framework.
+//
+// A fixture line that should trigger a diagnostic carries a trailing
+//
+//	// want `regexp`
+//
+// comment (back-quoted Go string; multiple expectations may follow each
+// other on one line). Run fails the test for every diagnostic without a
+// matching want on its line and every want with no diagnostic.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir (a path relative to the test's
+// working directory, conventionally "testdata/src/<name>") and checks the
+// analyzer's diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	prog, targets, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(targets))
+	}
+	wants := collectWants(t, prog, targets[0])
+	diags, err := analysis.Run(prog, targets, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		if !match(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// match marks and returns whether some want covers the diagnostic.
+func match(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// wantRE extracts the back-quoted expectations from a want comment.
+var wantRE = regexp.MustCompile("`[^`]*`")
+
+// collectWants parses every `// want` comment in the package.
+func collectWants(t *testing.T, prog *analysis.Program, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := prog.Fset.Position(c.Pos())
+				exprs := wantRE.FindAllString(rest, -1)
+				if len(exprs) == 0 {
+					t.Fatalf("%s:%d: malformed want comment (need back-quoted regexp)", pos.Filename, pos.Line)
+				}
+				for _, q := range exprs {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}

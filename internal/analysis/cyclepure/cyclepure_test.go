@@ -1,0 +1,12 @@
+package cyclepure_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/cyclepure"
+)
+
+func TestCyclepure(t *testing.T) {
+	analysistest.Run(t, "testdata/src/cyclepuretest", cyclepure.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Package cyclepuretest is the cyclepure analyzer fixture. The root is
+// marked with the //glvet:cyclepath directive (the interface-based root
+// discovery needs the real engine/barrier packages, which fixtures do not
+// import); everything reachable from it is checked, coldPath is not.
+package cyclepuretest
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+type machine struct {
+	mu   sync.Mutex
+	work chan int
+	out  []int
+}
+
+// Tick is the fixture's cycle-path root.
+//
+//glvet:cyclepath
+func (m *machine) Tick(now uint64) bool {
+	go m.drain()             // want `goroutine spawned in cycle path`
+	m.work <- 1              // want `channel send in cycle path`
+	fmt.Println("tick", now) // want `fmt.Println prints from the cycle path`
+	m.helper()
+	return true
+}
+
+// helper is reachable from Tick, so its impurities are flagged too.
+func (m *machine) helper() {
+	m.mu.Lock()                  // want `sync.Lock in cycle path`
+	defer m.mu.Unlock()          // want `sync.Unlock in cycle path`
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks the cycle path`
+	_ = os.Getenv("SIM_DEBUG")   // want `operating-system call os.Getenv in cycle path`
+	select {}                    // want `select in cycle path`
+}
+
+func (m *machine) drain() {
+	v := <-m.work // want `channel receive in cycle path`
+	m.out = append(m.out, v)
+}
+
+// coldPath is unreachable from any root: printing here is fine.
+func coldPath() {
+	fmt.Println("cold")
+}

@@ -1,0 +1,445 @@
+// Package detrand implements the glvet analyzer that flags nondeterminism
+// sources in non-test simulator code. The reproduction's whole methodology
+// rests on bit-identical, seed-deterministic runs (Report.Fingerprint,
+// testdata/fingerprints.golden); this analyzer moves that invariant from
+// runtime goldens into the static gate.
+//
+// It reports:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until;
+//   - global math/rand state: any package-level math/rand (or rand/v2)
+//     function other than the generator constructors — simulator code must
+//     draw from a per-run seeded *rand.Rand;
+//   - `range` over a map composite literal — the key set is static, so the
+//     iteration order is gratuitous nondeterminism (the experiments.go
+//     Figure 6/7 normalization bug);
+//   - `range` over a map whose loop body is order-sensitive: any effect
+//     other than per-iteration locals, writes keyed by the range key,
+//     commutative integer reductions, constant returns, or the sorted-keys
+//     idiom (append the keys, sort, iterate the slice).
+//
+// The body classification is deliberately conservative: a bare call, an
+// append that is never sorted, or a write through anything but the range
+// key is assumed to leak iteration order into output. Use the sorted-keys
+// idiom (stats.SortedKeys) or a fixed key slice; suppress a genuine
+// order-insensitive case with `//lint:allow detrand <reason>`.
+package detrand
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the detrand analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "flag nondeterminism sources: wall-clock reads, global math/rand, order-sensitive map iteration",
+	Run:  run,
+}
+
+// randConstructors are the math/rand functions that build seeded
+// generators rather than drawing from the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 seeded sources.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// wallClock are the time package's nondeterministic reads.
+var wallClock = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			checkFile(pass, pkg, f)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, pkg *analysis.Package, f *ast.File) {
+	// Bodies of every function declaration and literal, for enclosing-scope
+	// lookups (the sorted-keys idiom scans the rest of the function).
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			checkPackageUse(pass, pkg, n)
+		case *ast.RangeStmt:
+			checkRange(pass, pkg, n, enclosingBody(bodies, n))
+		}
+		return true
+	})
+}
+
+// checkPackageUse flags uses of wall-clock and global-rand package
+// functions.
+func checkPackageUse(pass *analysis.Pass, pkg *analysis.Package, sel *ast.SelectorExpr) {
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return
+	}
+	switch obj.Pkg().Path() {
+	case "time":
+		if wallClock[obj.Name()] {
+			pass.Reportf(sel.Pos(), "wall-clock read time.%s in simulator code; derive timing from engine cycles", obj.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Only package-level functions touch the global source; methods on
+		// *rand.Rand have a receiver and are fine.
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() == nil && !randConstructors[obj.Name()] {
+			pass.Reportf(sel.Pos(), "global math/rand source (rand.%s); draw from a per-run seeded *rand.Rand", obj.Name())
+		}
+	}
+}
+
+// enclosingBody returns the smallest recorded function body containing n.
+func enclosingBody(bodies []*ast.BlockStmt, n ast.Node) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	for _, b := range bodies {
+		if b.Pos() <= n.Pos() && n.End() <= b.End() {
+			if best == nil || (best.Pos() <= b.Pos() && b.End() <= best.End()) {
+				best = b
+			}
+		}
+	}
+	return best
+}
+
+// checkRange analyzes one range statement.
+func checkRange(pass *analysis.Pass, pkg *analysis.Package, rs *ast.RangeStmt, encl *ast.BlockStmt) {
+	tv, ok := pkg.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if lit := stripParens(rs.X); isCompositeMapLit(lit) {
+		pass.Reportf(rs.Pos(), "range over a map literal iterates a static key set in nondeterministic order; iterate a fixed key slice")
+		return
+	}
+	c := &rangeChecker{pass: pass, pkg: pkg, rs: rs}
+	c.keyObjs = map[types.Object]bool{}
+	c.addKey(rs.Key)
+	c.sortedAfter = sortedSlices(pkg, encl, rs)
+	if ok, why := c.allowedBlock(rs.Body); !ok {
+		pass.Reportf(rs.Pos(), "nondeterministic map iteration: %s; iterate sorted keys (stats.SortedKeys) or a fixed order", why)
+	}
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isCompositeMapLit(e ast.Expr) bool {
+	_, ok := e.(*ast.CompositeLit)
+	return ok
+}
+
+// sortedSlices collects objects of slices that a sort.* / slices.Sort* call
+// touches after the range statement inside the enclosing function body —
+// the back half of the sorted-keys idiom.
+func sortedSlices(pkg *analysis.Package, encl *ast.BlockStmt, rs *ast.RangeStmt) map[types.Object]bool {
+	sorted := map[types.Object]bool{}
+	if encl == nil {
+		return sorted
+	}
+	ast.Inspect(encl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := stripParens(arg).(*ast.Ident); ok {
+				if obj := pkg.Info.Uses[id]; obj != nil {
+					sorted[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// rangeChecker classifies a map-range body as order-insensitive or not.
+type rangeChecker struct {
+	pass        *analysis.Pass
+	pkg         *analysis.Package
+	rs          *ast.RangeStmt
+	keyObjs     map[types.Object]bool
+	sortedAfter map[types.Object]bool
+}
+
+func (c *rangeChecker) addKey(e ast.Expr) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if obj := c.pkg.Info.Defs[id]; obj != nil {
+		c.keyObjs[obj] = true
+	}
+}
+
+// local reports whether the object is declared inside the range statement
+// (per-iteration state, including nested loop variables).
+func (c *rangeChecker) local(obj types.Object) bool {
+	return obj != nil && c.rs.Pos() <= obj.Pos() && obj.Pos() <= c.rs.End()
+}
+
+// rootObj peels selectors, indexes, stars and parens down to the base
+// identifier's object.
+func (c *rangeChecker) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return c.pkg.Info.Uses[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// keyedMapIndex reports whether e is m[k] where m is a map and k is one of
+// the range keys in scope — a write slot unique to this iteration.
+func (c *rangeChecker) keyedMapIndex(e ast.Expr) bool {
+	ix, ok := stripParens(e).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := c.pkg.Info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return false
+	}
+	id, ok := stripParens(ix.Index).(*ast.Ident)
+	return ok && c.keyObjs[c.pkg.Info.Uses[id]]
+}
+
+// isInteger reports whether the expression has integer type (commutative,
+// associative reductions).
+func (c *rangeChecker) isInteger(e ast.Expr) bool {
+	t := c.pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// allowedBlock walks a statement list; it returns ok=false with the first
+// offending construct's description.
+func (c *rangeChecker) allowedBlock(b *ast.BlockStmt) (ok bool, why string) {
+	for _, s := range b.List {
+		if ok, why := c.allowedStmt(s); !ok {
+			return false, why
+		}
+	}
+	return true, ""
+}
+
+func (c *rangeChecker) allowedStmt(s ast.Stmt) (bool, string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.allowedBlock(s)
+	case *ast.DeclStmt, *ast.EmptyStmt:
+		return true, ""
+	case *ast.BranchStmt:
+		if s.Tok == token.CONTINUE || s.Tok == token.BREAK {
+			return true, ""
+		}
+		return false, "goto in loop body"
+	case *ast.IfStmt:
+		if s.Init != nil {
+			if ok, why := c.allowedStmt(s.Init); !ok {
+				return false, why
+			}
+		}
+		if ok, why := c.allowedBlock(s.Body); !ok {
+			return false, why
+		}
+		if s.Else != nil {
+			return c.allowedStmt(s.Else)
+		}
+		return true, ""
+	case *ast.SwitchStmt:
+		return c.allowedCases(s.Body)
+	case *ast.TypeSwitchStmt:
+		return c.allowedCases(s.Body)
+	case *ast.ForStmt:
+		return c.allowedBlock(s.Body)
+	case *ast.RangeStmt:
+		c.addKey(s.Key)
+		return c.allowedBlock(s.Body)
+	case *ast.IncDecStmt:
+		return c.allowedReduce(s.X)
+	case *ast.AssignStmt:
+		return c.allowedAssign(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			tv, ok := c.pkg.Info.Types[r]
+			if !(ok && (tv.Value != nil || tv.IsNil())) {
+				return false, "return of an iteration-dependent value"
+			}
+		}
+		return true, ""
+	case *ast.ExprStmt:
+		if call, ok := stripParens(s.X).(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && len(call.Args) == 2 && c.keyedDelete(call) {
+				return true, ""
+			}
+		}
+		return false, "call with effects outside the iteration"
+	default:
+		return false, "statement with effects outside the iteration"
+	}
+}
+
+func (c *rangeChecker) allowedCases(body *ast.BlockStmt) (bool, string) {
+	for _, s := range body.List {
+		cc, ok := s.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, cs := range cc.Body {
+			if ok, why := c.allowedStmt(cs); !ok {
+				return false, why
+			}
+		}
+	}
+	return true, ""
+}
+
+// keyedDelete allows delete(m, k) with a range key.
+func (c *rangeChecker) keyedDelete(call *ast.CallExpr) bool {
+	id, ok := stripParens(call.Args[1]).(*ast.Ident)
+	return ok && c.keyObjs[c.pkg.Info.Uses[id]]
+}
+
+// allowedReduce permits ++/-- and op-assign on per-iteration locals, keyed
+// map slots, and integer accumulators (commutative reductions).
+func (c *rangeChecker) allowedReduce(target ast.Expr) (bool, string) {
+	if c.local(c.rootObj(target)) || c.keyedMapIndex(target) {
+		return true, ""
+	}
+	if c.isInteger(target) {
+		return true, ""
+	}
+	return false, "non-commutative accumulation across iterations"
+}
+
+func (c *rangeChecker) allowedAssign(s *ast.AssignStmt) (bool, string) {
+	switch s.Tok {
+	case token.DEFINE:
+		return true, "" // fresh per-iteration locals
+	case token.ASSIGN:
+		for _, lhs := range s.Lhs {
+			if id, ok := stripParens(lhs).(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if c.local(c.rootObj(lhs)) || c.keyedMapIndex(lhs) {
+				continue
+			}
+			if c.sortedAppend(s, lhs) {
+				continue
+			}
+			return false, "iteration-order-dependent write to " + exprString(lhs)
+		}
+		return true, ""
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		for _, lhs := range s.Lhs {
+			if ok, why := c.allowedReduce(lhs); !ok {
+				return false, why
+			}
+		}
+		return true, ""
+	default:
+		return false, "iteration-order-dependent update"
+	}
+}
+
+// sortedAppend recognizes the sorted-keys idiom: `s = append(s, ...)` where
+// s is sorted after the loop in the same function.
+func (c *rangeChecker) sortedAppend(s *ast.AssignStmt, lhs ast.Expr) bool {
+	id, ok := stripParens(lhs).(*ast.Ident)
+	if !ok || len(s.Rhs) != len(s.Lhs) {
+		return false
+	}
+	obj := c.pkg.Info.Uses[id]
+	if obj == nil || !c.sortedAfter[obj] {
+		return false
+	}
+	for i, l := range s.Lhs {
+		if l != lhs {
+			continue
+		}
+		call, ok := stripParens(s.Rhs[i]).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		return ok && fn.Name == "append"
+	}
+	return false
+}
+
+// exprString renders a short description of an lvalue for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	default:
+		return "expression"
+	}
+}

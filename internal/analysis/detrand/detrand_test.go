@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detrandtest", detrand.Analyzer)
+}

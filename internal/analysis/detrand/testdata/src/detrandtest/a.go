@@ -1,0 +1,110 @@
+// Package detrandtest is the detrand analyzer fixture: each `want` line
+// seeds one violation; the unmarked functions are the allowed idioms.
+package detrandtest
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read time.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand source \(rand.Intn\)`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// mapLitRange reproduces the experiments.go Figure 6/7 normalization bug: a
+// range over a map composite literal leaks iteration order into the output.
+func mapLitRange() []string {
+	var out []string
+	for k := range map[string]int{"dsw": 1, "gl": 2} { // want `range over a map literal`
+		out = append(out, k)
+	}
+	return out
+}
+
+func orderSensitive(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `nondeterministic map iteration`
+		out = append(out, k)
+	}
+	return out
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func keyedCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func intReduce(m map[string]uint64) uint64 {
+	var sum uint64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func floatReduce(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `nondeterministic map iteration`
+		sum += v
+	}
+	return sum
+}
+
+func callsOut(m map[string]int) {
+	for k := range m { // want `nondeterministic map iteration`
+		process(k)
+	}
+}
+
+func process(string) {}
+
+func keyedDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func anyNonzero(m map[string]int) bool {
+	for _, v := range m {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressed shows an allow comment absorbing a true positive.
+func suppressed(m map[string]int) {
+	//lint:allow detrand the fixture exercises suppression
+	for k := range m {
+		process(k)
+	}
+}

@@ -1,0 +1,141 @@
+// Package faultsite implements the glvet analyzer guarding the fault
+// subsystem's stringly-typed edges. Fault sites are a typed enum
+// (fault.Site), but their plan-syntax keys ("gl.drop", "noc.corrupt", …)
+// cross the code as strings in three places where a typo silently disables
+// or misreads injection:
+//
+//   - plan specs passed to fault.ParsePlan: the analyzer evaluates every
+//     constant argument with the real parser at analysis time, so a
+//     misspelled directive fails the lint run instead of the experiment;
+//   - "fault.injected.<site>" metric keys: the per-site counters are named
+//     by Site.String(), so a constant string with an undeclared site suffix
+//     reads zero forever;
+//   - numeric conversions fault.Site(<literal>) outside the fault package:
+//     sites must be referenced by their declared constants, which the
+//     compiler can check, not by raw indices that rot when the enum grows.
+package faultsite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/fault"
+)
+
+// Analyzer is the faultsite analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "faultsite",
+	Doc:  "verify fault-plan strings parse and fault.Site references use declared constants",
+	Run:  run,
+}
+
+// faultPkgSuffix identifies the fault package by import-path suffix.
+const faultPkgSuffix = "internal/fault"
+
+// injectedPrefix is the per-site fault counter family (fault.MetricInjected
+// + "."); constant strings under it must end in a declared site key.
+var injectedPrefix = fault.MetricInjected + "."
+
+// siteKeys are the declared plan-syntax site keys, taken from the enum
+// itself so the analyzer can never drift from the parser.
+var siteKeys = func() map[string]bool {
+	keys := map[string]bool{}
+	//lint:allow faultsite enumerating every site starts from the zero value
+	for s := fault.Site(0); s < fault.NumSites; s++ {
+		keys[s.String()] = true
+	}
+	return keys
+}()
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Packages {
+		// The fault package itself builds these strings dynamically.
+		if strings.HasSuffix(pkg.Path, faultPkgSuffix) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			checkFile(pass, pkg, f)
+		}
+	}
+	return nil
+}
+
+func checkFile(pass *analysis.Pass, pkg *analysis.Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok {
+			checkParsePlan(pass, pkg, call)
+			checkSiteConversion(pass, pkg, call)
+			return true
+		}
+		if lit, ok := n.(*ast.BasicLit); ok {
+			checkInjectedKey(pass, pkg, lit)
+		}
+		return true
+	})
+}
+
+// checkParsePlan runs the real plan parser over constant arguments of
+// fault.ParsePlan.
+func checkParsePlan(pass *analysis.Pass, pkg *analysis.Package, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ParsePlan" || len(call.Args) != 1 {
+		return
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), faultPkgSuffix) {
+		return
+	}
+	tv, ok := pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic spec (flag value); checked at run time
+	}
+	spec := constant.StringVal(tv.Value)
+	if _, err := fault.ParsePlan(spec); err != nil {
+		pass.Reportf(call.Args[0].Pos(), "fault plan %q does not parse: %v", spec, err)
+	}
+}
+
+// checkSiteConversion flags fault.Site(<literal>) conversions.
+func checkSiteConversion(pass *analysis.Pass, pkg *analysis.Package, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Site" {
+		return
+	}
+	tn, ok := pkg.Info.Uses[sel.Sel].(*types.TypeName)
+	if !ok || tn.Pkg() == nil || !strings.HasSuffix(tn.Pkg().Path(), faultPkgSuffix) {
+		return
+	}
+	if _, isLit := call.Args[0].(*ast.BasicLit); isLit {
+		pass.Reportf(call.Pos(), "raw fault.Site(%s) conversion; use a declared site constant (fault.GLDrop, …)", exprText(call.Args[0]))
+	}
+}
+
+// checkInjectedKey validates "fault.injected.<site>" string literals.
+func checkInjectedKey(pass *analysis.Pass, pkg *analysis.Package, lit *ast.BasicLit) {
+	tv, ok := pkg.Info.Types[lit]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	s := constant.StringVal(tv.Value)
+	suffix, ok := strings.CutPrefix(s, injectedPrefix)
+	if !ok || suffix == "" {
+		return
+	}
+	if !siteKeys[suffix] {
+		pass.Reportf(lit.Pos(), "%q names no declared fault site; per-site counters are %q + Site.String()", s, injectedPrefix)
+	}
+}
+
+func exprText(e ast.Expr) string {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "…"
+}

@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/faultsite"
+)
+
+func TestFaultsite(t *testing.T) {
+	analysistest.Run(t, "testdata/src/faultsitetest", faultsite.Analyzer)
+}

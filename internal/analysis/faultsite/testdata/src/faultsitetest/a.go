@@ -1,0 +1,33 @@
+// Package faultsitetest is the faultsite analyzer fixture. Constant plan
+// specs run through the real fault.ParsePlan at analysis time; site
+// references and injected-counter keys must use declared names.
+package faultsitetest
+
+import "repro/internal/fault"
+
+const goodPlan = "seed=7,gl.drop=1e-4,noc.corrupt=2e-5,recovery.retries=2"
+
+const typoPlan = "gl.dorp=1e-4"
+
+func plans() {
+	if _, err := fault.ParsePlan(goodPlan); err != nil {
+		panic(err)
+	}
+	if _, err := fault.ParsePlan(typoPlan); err == nil { // want `fault plan "gl.dorp=1e-4" does not parse`
+		panic("accepted")
+	}
+}
+
+func declaredSite() fault.Site {
+	return fault.GLDrop
+}
+
+func rawSite() fault.Site {
+	return fault.Site(3) // want `raw fault.Site\(3\) conversion`
+}
+
+// goodKey uses a declared site suffix under the injected-counter family.
+const goodKey = "fault.injected.gl.drop"
+
+// badKey misspells the site: the per-site counter would read zero forever.
+const badKey = "fault.injected.gl.dorp" // want `"fault.injected.gl.dorp" names no declared fault site`

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, parsed and type-checked module package.
+type Package struct {
+	// Path is the import path ("repro/internal/sim").
+	Path string
+	// Dir is the absolute directory the sources were read from.
+	Dir string
+	// Files are the parsed non-test sources, in file-name order.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-check problems. The glvet suite analyzes a
+	// building tree, so targets are expected to be error-free; fixtures
+	// under testdata may tolerate soft errors.
+	TypeErrors []error
+}
+
+// A Program is the result of one Loader.Load call.
+type Program struct {
+	Fset *token.FileSet
+	// ByPath maps import path -> package for every module package loaded,
+	// including dependencies of the requested patterns.
+	ByPath map[string]*Package
+}
+
+// SortedPackages returns every loaded module package in import-path order.
+func (p *Program) SortedPackages() []*Package {
+	paths := make([]string, 0, len(p.ByPath))
+	for path := range p.ByPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, len(paths))
+	for i, path := range paths {
+		pkgs[i] = p.ByPath[path]
+	}
+	return pkgs
+}
+
+// Loader loads module packages from source: it parses and type-checks each
+// package exactly once (so type objects are identical across importers'
+// views, which the whole-program analyzers rely on) and delegates stdlib
+// imports to the go/importer source importer.
+type Loader struct {
+	Fset    *token.FileSet
+	ModRoot string
+	ModPath string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module containing dir (or the working
+// directory when dir is empty), found by walking up to go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return nil, err
+		}
+		dir = wd
+	}
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModRoot: root,
+		ModPath: modPath,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load expands the patterns to package directories, loads each, and returns
+// the program together with the target package list (in pattern order).
+// Patterns: a directory path, or a `dir/...` wildcard walking every package
+// under dir; `testdata` subtrees are skipped by wildcards but loadable by
+// explicit path (the analyzer fixtures live there on purpose).
+func (l *Loader) Load(patterns ...string) (*Program, []*Package, error) {
+	var dirs []string
+	for _, pat := range patterns {
+		expanded, err := l.expand(pat)
+		if err != nil {
+			return nil, nil, err
+		}
+		dirs = append(dirs, expanded...)
+	}
+	var targets []*Package
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pkg == nil || seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		targets = append(targets, pkg)
+	}
+	return &Program{Fset: l.Fset, ByPath: l.pkgs}, targets, nil
+}
+
+// expand resolves one pattern to absolute package directories.
+func (l *Loader) expand(pattern string) ([]string, error) {
+	walk := false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		walk = true
+		pattern = rest
+		if pattern == "." || pattern == "" {
+			pattern = "."
+		}
+	}
+	dir, err := filepath.Abs(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if !walk {
+		return []string{dir}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathFor maps an absolute directory inside the module to its import
+// path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModPath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("analysis: %s is outside module %s", dir, l.ModRoot)
+	}
+	return l.ModPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirFor maps a module import path back to its absolute directory.
+func (l *Loader) dirFor(path string) string {
+	if path == l.ModPath {
+		return l.ModRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModPath+"/")
+	return filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+}
+
+// inModule reports whether the import path belongs to this module.
+func (l *Loader) inModule(path string) bool {
+	return path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/")
+}
+
+// Import implements types.Importer: module paths load from source through
+// the loader's own cache (one canonical types.Package per path); everything
+// else — the standard library — goes to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if !l.inModule(path) {
+		return l.std.Import(path)
+	}
+	pkg, err := l.loadDir(l.dirFor(path))
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("analysis: no Go files in %s", path)
+	}
+	return pkg.Types, nil
+}
+
+// loadDir parses and type-checks the package in dir once, caching by import
+// path. Returns (nil, nil) when dir has no non-test Go files.
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	l.pkgs[path] = pkg
+	return pkg, nil
+}

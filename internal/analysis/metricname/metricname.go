@@ -1,0 +1,232 @@
+// Package metricname implements the glvet analyzer for metrics hygiene.
+// Every metrics.Registry registration (Counter, Gauge, Histogram) must name
+// its metric through a package-level const matching
+//
+//	^[a-z][a-z0-9._]*$
+//
+// so the name exists exactly once, greps cleanly, and typos cannot mint a
+// second time series. Dynamic name families ("fault.injected." + site) are
+// allowed when the leftmost operand of the concatenation is such a const
+// (the family prefix). The analyzer also flags one name value registered
+// from two different packages (cross-package collisions merge silently in
+// Snapshot.Plus), and checks constant-string reads of Snapshot maps
+// (Counters/Gauges/Histograms indexing) against the registered names — a
+// misspelled read returns zero forever instead of failing.
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the metricname analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "require package-level const metric names (lowercase dotted), flag cross-package duplicates and unregistered reads",
+	Run:  run,
+}
+
+// nameRE is the required metric-name shape.
+var nameRE = regexp.MustCompile(`^[a-z][a-z0-9._]*$`)
+
+// metricsPkgSuffix identifies the registry package by import-path suffix,
+// so fixtures importing the real package and the simulator packages both
+// resolve.
+const metricsPkgSuffix = "internal/metrics"
+
+// registrationMethods are the Registry methods that mint a metric.
+var registrationMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// snapshotMaps are the Snapshot fields whose reads are checked.
+var snapshotMaps = map[string]bool{"Counters": true, "Gauges": true, "Histograms": true}
+
+// site is one registration occurrence.
+type site struct {
+	pos    token.Pos
+	pkg    string
+	value  string
+	prefix bool // value is a family prefix, not a full name
+}
+
+func run(pass *analysis.Pass) error {
+	var sites []site
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			collectRegistrations(pass, pkg, f, &sites)
+		}
+	}
+	reportDuplicates(pass, sites)
+	checkReads(pass, sites)
+	return nil
+}
+
+// collectRegistrations finds Registry.{Counter,Gauge,Histogram} calls and
+// validates their name argument.
+func collectRegistrations(pass *analysis.Pass, pkg *analysis.Package, f *ast.File, sites *[]site) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !registrationMethods[sel.Sel.Name] || len(call.Args) == 0 {
+			return true
+		}
+		fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), metricsPkgSuffix) {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		checkName(pass, pkg, call.Args[0], sites)
+		return true
+	})
+}
+
+// checkName validates one registration's name argument: a package-level
+// const, or a concatenation led by one (a name family).
+func checkName(pass *analysis.Pass, pkg *analysis.Package, arg ast.Expr, sites *[]site) {
+	leftmost := arg
+	prefix := false
+	for {
+		bin, ok := leftmost.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			break
+		}
+		leftmost = bin.X
+		prefix = true
+	}
+	id := constIdent(leftmost)
+	if id == nil {
+		pass.Reportf(arg.Pos(), "metric name must be (or start with) a package-level const matching %s, not an inline value", nameRE)
+		return
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Const)
+	if !ok {
+		pass.Reportf(arg.Pos(), "metric name must be (or start with) a package-level const, not %s", id.Name)
+		return
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		pass.Reportf(arg.Pos(), "metric name const %s must be declared at package level", id.Name)
+		return
+	}
+	if obj.Val().Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name const %s is not a string", id.Name)
+		return
+	}
+	val := constant.StringVal(obj.Val())
+	if !nameRE.MatchString(val) {
+		pass.Reportf(arg.Pos(), "metric name %q does not match %s", val, nameRE)
+		return
+	}
+	*sites = append(*sites, site{pos: arg.Pos(), pkg: obj.Pkg().Path(), value: val, prefix: prefix})
+}
+
+// constIdent unwraps a (possibly package-qualified) identifier.
+func constIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.ParenExpr:
+		return constIdent(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+// reportDuplicates flags one metric name registered from several packages.
+func reportDuplicates(pass *analysis.Pass, sites []site) {
+	byValue := map[string][]site{}
+	for _, s := range sites {
+		byValue[s.value] = append(byValue[s.value], s)
+	}
+	values := make([]string, 0, len(byValue))
+	for v := range byValue {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		group := byValue[v]
+		pkgs := map[string]bool{}
+		for _, s := range group {
+			pkgs[s.pkg] = true
+		}
+		if len(pkgs) < 2 {
+			continue
+		}
+		for _, s := range group {
+			pass.Reportf(s.pos, "metric name %q is registered by %d packages; one name, one owner", v, len(pkgs))
+		}
+	}
+}
+
+// checkReads verifies constant-string indexing of Snapshot maps against the
+// registered names (exact match, or a registered family prefix).
+func checkReads(pass *analysis.Pass, sites []site) {
+	names := map[string]bool{}
+	var prefixes []string
+	for _, s := range sites {
+		if s.prefix {
+			prefixes = append(prefixes, s.value)
+		} else {
+			names[s.value] = true
+		}
+	}
+	sort.Strings(prefixes)
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				ix, ok := n.(*ast.IndexExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ix.X.(*ast.SelectorExpr)
+				if !ok || !snapshotMaps[sel.Sel.Name] {
+					return true
+				}
+				if !isSnapshotField(pkg, sel) {
+					return true
+				}
+				tv, ok := pkg.Info.Types[ix.Index]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true
+				}
+				name := constant.StringVal(tv.Value)
+				if names[name] || hasPrefix(prefixes, name) {
+					return true
+				}
+				pass.Reportf(ix.Index.Pos(), "metric read %q matches no registered metric name; a typo here reads zero forever", name)
+				return true
+			})
+		}
+	}
+}
+
+// isSnapshotField reports whether the selector resolves to a field of
+// metrics.Snapshot.
+func isSnapshotField(pkg *analysis.Package, sel *ast.SelectorExpr) bool {
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() || obj.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(obj.Pkg().Path(), metricsPkgSuffix)
+}
+
+func hasPrefix(prefixes []string, name string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,40 @@
+package metricname_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricname(t *testing.T) {
+	analysistest.Run(t, "testdata/src/metricnametest", metricname.Analyzer)
+}
+
+// TestCrossPackageDuplicate loads two fixture packages registering the same
+// metric name and expects the duplicate diagnostic at both sites (the
+// analysistest harness is single-package, so this one is hand-rolled).
+func TestCrossPackageDuplicate(t *testing.T) {
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	prog, targets, err := loader.Load("testdata/src/dupa", "testdata/src/dupb")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(prog, targets, []*analysis.Analyzer{metricname.Analyzer})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (one per site):\n%v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, `"fixture.shared" is registered by 2 packages`) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}

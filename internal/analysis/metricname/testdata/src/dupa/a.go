@@ -1,0 +1,10 @@
+// Package dupa registers a metric name that package dupb also registers.
+package dupa
+
+import "repro/internal/metrics"
+
+const metricShared = "fixture.shared"
+
+func Register(reg *metrics.Registry) {
+	reg.Counter(metricShared)
+}

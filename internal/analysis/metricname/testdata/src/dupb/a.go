@@ -1,0 +1,10 @@
+// Package dupb registers a metric name that package dupa also registers.
+package dupb
+
+import "repro/internal/metrics"
+
+const metricShared = "fixture.shared"
+
+func Register(reg *metrics.Registry) {
+	reg.Counter(metricShared)
+}

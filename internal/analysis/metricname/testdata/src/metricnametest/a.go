@@ -1,0 +1,35 @@
+// Package metricnametest is the metricname analyzer fixture. It imports the
+// real registry package; registrations and Snapshot reads are the analyzer's
+// two subjects.
+package metricnametest
+
+import "repro/internal/metrics"
+
+const (
+	goodName  = "fixture.events"
+	badShape  = "Fixture-Events"
+	prefixFam = "fixture.lat."
+)
+
+func register(reg *metrics.Registry, kinds []string) {
+	reg.Counter(goodName)
+	reg.Counter(badShape)         // want `metric name "Fixture-Events" does not match`
+	reg.Counter("fixture.inline") // want `must be \(or start with\) a package-level const`
+	const local = "fixture.local"
+	reg.Gauge(local) // want `must be declared at package level`
+	for _, k := range kinds {
+		reg.Histogram(prefixFam+k, nil)
+	}
+	reg.Counter(dynamic(kinds) + goodName) // want `must be \(or start with\) a package-level const`
+}
+
+func dynamic(kinds []string) string { return kinds[0] }
+
+func read(snap metrics.Snapshot) uint64 {
+	n := snap.Counters[goodName]
+	n += snap.Counters["fixture.evnets"] // want `matches no registered metric name`
+	if h, ok := snap.Histograms[prefixFam+"noc"]; ok {
+		n += h.Count
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+// Package allowtest exercises the suppression machinery: same-line and
+// previous-line allows, doc-comment (whole-function) allows, and the
+// malformed allow (no reason), which is itself reported.
+package allowtest
+
+func f() {
+	mark() //lint:allow demo same-line suppression
+	//lint:allow demo previous-line suppression
+	mark()
+	mark() // reported: no allow covers this line
+}
+
+// scoped has a doc-comment allow covering the whole function.
+//
+//lint:allow demo the entire body is exempt
+func scoped() {
+	mark()
+	mark()
+}
+
+//lint:allow demo
+func malformed() { mark() }
+
+func mark() {}

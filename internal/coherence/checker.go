@@ -2,6 +2,7 @@ package coherence
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cache"
 )
@@ -32,7 +33,15 @@ func (p *Protocol) CheckInvariants() error {
 			holders[line] = append(holders[line], holder{tile: tile, st: st})
 		})
 	}
-	for line, hs := range holders {
+	// Check lines in address order so the reported violation (the first
+	// found) is deterministic.
+	lines := make([]uint64, 0, len(holders))
+	for line := range holders {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		hs := holders[line]
 		writers := 0
 		readers := 0
 		writerTile := -1

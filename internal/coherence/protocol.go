@@ -50,6 +50,16 @@ type Protocol struct {
 	cSCFail    *metrics.Counter // failed store-conditionals (lock retries)
 }
 
+// Metric names registered by the protocol.
+const (
+	metricDirTransitions = "coh.dir.transitions"
+	metricInvSent        = "coh.inv.sent"
+	metricFwdSent        = "coh.fwd.sent"
+	metricAckStale       = "coh.ack.stale"
+	metricReqQueued      = "coh.req.queued"
+	metricSCFailures     = "coh.sc.failures"
+)
+
 // New builds the coherent memory system for the given configuration.
 func New(eng *engine.Engine, cfg config.Config, memv *mem.Store) *Protocol {
 	if err := cfg.Validate(); err != nil {
@@ -63,12 +73,12 @@ func New(eng *engine.Engine, cfg config.Config, memv *mem.Store) *Protocol {
 		lineMask: ^uint64(cfg.LineSize - 1),
 		reg:      metrics.NewRegistry(),
 	}
-	p.cDirTrans = p.reg.Counter("coh.dir.transitions")
-	p.cInvSent = p.reg.Counter("coh.inv.sent")
-	p.cFwdSent = p.reg.Counter("coh.fwd.sent")
-	p.cAckStale = p.reg.Counter("coh.ack.stale")
-	p.cReqQueued = p.reg.Counter("coh.req.queued")
-	p.cSCFail = p.reg.Counter("coh.sc.failures")
+	p.cDirTrans = p.reg.Counter(metricDirTransitions)
+	p.cInvSent = p.reg.Counter(metricInvSent)
+	p.cFwdSent = p.reg.Counter(metricFwdSent)
+	p.cAckStale = p.reg.Counter(metricAckStale)
+	p.cReqQueued = p.reg.Counter(metricReqQueued)
+	p.cSCFail = p.reg.Counter(metricSCFailures)
 	p.mesh = noc.New(eng, cfg.MeshCols, cfg.MeshRows, cfg.RouterLatency, cfg.LinkLatency, p.sink)
 	p.l1s = make([]*L1, cfg.Cores)
 	p.banks = make([]*Bank, cfg.Cores)

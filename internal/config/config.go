@@ -61,6 +61,14 @@ type Config struct {
 	// line through the home bank (4-hop, the calibrated default).
 	ThreeHopOwnership bool
 
+	// WorkloadSeed perturbs the deterministic generators that build the
+	// randomized benchmark inputs (EM3D's bipartite graph, UNSTRUCTURED's
+	// mesh): each benchmark combines it with its own fixed base seed. Zero —
+	// the default — reproduces the published inputs bit-identically; any
+	// other value yields a different but equally deterministic instance, for
+	// input-sensitivity studies.
+	WorkloadSeed int64
+
 	// Faults, when non-nil, enables deterministic fault injection driven by
 	// the plan's seed and schedule, and (unless the plan disables it) wraps
 	// the G-line network in the recovering barrier protocol. Nil runs are

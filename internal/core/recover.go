@@ -23,6 +23,15 @@ type BarrierNetwork interface {
 	Contexts() int
 }
 
+// Metric names registered by the recovering guard. Exported: the
+// experiment tables read them from merged run reports.
+const (
+	MetricGLRetries          = "gl.retries"
+	MetricGLFallbacks        = "gl.fallbacks"
+	MetricGLSpuriousReleases = "gl.spurious_releases"
+	MetricGLRecoveryLatency  = "gl.recovery.latency"
+)
+
 // Recovering wraps a G-line network with the fault-tolerance protocol the
 // bare wires lack. The guard shadows every episode in software — which
 // cores arrived, which were released — and drives an escalation ladder when
@@ -119,10 +128,10 @@ func NewRecovering(inner BarrierNetwork, cores int, rec fault.Recovery, now func
 // SetMetrics re-homes the guard's counters and recovery-latency histogram
 // into reg.
 func (r *Recovering) SetMetrics(reg *metrics.Registry) {
-	r.cRetries = reg.Counter("gl.retries")
-	r.cFallbacks = reg.Counter("gl.fallbacks")
-	r.cSpurious = reg.Counter("gl.spurious_releases")
-	r.recLat = reg.Histogram("gl.recovery.latency", metrics.CycleBuckets())
+	r.cRetries = reg.Counter(MetricGLRetries)
+	r.cFallbacks = reg.Counter(MetricGLFallbacks)
+	r.cSpurious = reg.Counter(MetricGLSpuriousReleases)
+	r.recLat = reg.Histogram(MetricGLRecoveryLatency, metrics.CycleBuckets())
 }
 
 // OnRelease interposes the guard between the network's release path and

@@ -428,6 +428,13 @@ type Ctx struct {
 	region stats.Region
 }
 
+// do hands one operation to the core's pipeline and blocks the program
+// goroutine until the engine has timed it. The channel rendezvous below is
+// the one sanctioned crossing between program goroutines and the cycle
+// engine: opCh/resCh are unbuffered, so the handshake is synchronous with
+// the core's tick and introduces no scheduling nondeterminism.
+//
+//lint:allow cyclepure op rendezvous is the synchronous core-program bridge
 func (x *Ctx) do(o op) uint64 {
 	o.region = x.region
 	// Outside synchronization regions, memory stall time is attributed to

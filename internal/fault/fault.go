@@ -214,6 +214,16 @@ func (p *Plan) Empty() bool {
 	return len(p.Events) == 0
 }
 
+// Metric names registered by the injector (glvet:metricname requires every
+// registration to go through a package-level const).
+const (
+	// MetricInjected counts every injected fault.
+	MetricInjected = "fault.injected"
+	// MetricInjectedPrefix is the per-site counter family; the full names
+	// are MetricInjectedPrefix + Site.String().
+	MetricInjectedPrefix = "fault.injected."
+)
+
 // Injector answers the substrate's fault questions for one simulated
 // system. It is not safe for concurrent use; every system owns its own
 // (sweeps build one injector per cell from the shared plan).
@@ -283,9 +293,9 @@ func (j *Injector) Plan() *Plan { return j.plan }
 // registry), so injected-fault counts appear in the run report. Counts
 // recorded before Bind are discarded.
 func (j *Injector) Bind(reg *metrics.Registry) {
-	j.total = reg.Counter("fault.injected")
+	j.total = reg.Counter(MetricInjected)
 	for s := Site(0); s < NumSites; s++ {
-		j.bySite[s] = reg.Counter("fault.injected." + s.String())
+		j.bySite[s] = reg.Counter(MetricInjectedPrefix + s.String())
 	}
 }
 

@@ -60,6 +60,13 @@ type router struct {
 	txFlits [numPorts]uint64
 }
 
+// Metric names registered by the mesh. Per-class latency histograms are
+// metricLatencyPrefix + the lowercased message class.
+const (
+	metricLatencyPrefix = "noc.latency."
+	metricQueueDepth    = "noc.queue.depth"
+)
+
 // Mesh is the 2D-mesh network. It implements engine.Ticker.
 type Mesh struct {
 	cols, rows         int
@@ -101,9 +108,9 @@ func New(eng *engine.Engine, cols, rows int, routerLat, linkLat uint64, sink fun
 		reg:       metrics.NewRegistry(),
 	}
 	for c := stats.MsgClass(0); c < stats.NumMsgClasses; c++ {
-		m.latHist[c] = m.reg.Histogram("noc.latency."+strings.ToLower(c.String()), metrics.CycleBuckets())
+		m.latHist[c] = m.reg.Histogram(metricLatencyPrefix+strings.ToLower(c.String()), metrics.CycleBuckets())
 	}
-	m.queuePeak = m.reg.Gauge("noc.queue.depth")
+	m.queuePeak = m.reg.Gauge(metricQueueDepth)
 	eng.AddTicker(m)
 	return m
 }

@@ -29,6 +29,15 @@ const DefaultStallLimit = 5_000_000
 // straggler, so the meter samples at the FIRST release of an episode —
 // latency = firstRelease-lastArrival — and drains the remaining releases
 // without restarting the episode.
+// Metric names for the per-episode barrier distributions, G-line and
+// software flavors.
+const (
+	metricGLLatency = "barrier.gl.latency"
+	metricGLSkew    = "barrier.gl.skew"
+	metricSWLatency = "barrier.sw.latency"
+	metricSWSkew    = "barrier.sw.skew"
+)
+
 type glMeter struct {
 	gl    GLNetwork
 	eng   *engine.Engine
@@ -51,8 +60,8 @@ func newGLMeter(gl GLNetwork, eng *engine.Engine, cores []*cpu.Core, reg *metric
 		gl:    gl,
 		eng:   eng,
 		cores: cores,
-		lat:   reg.Histogram("barrier.gl.latency", metrics.CycleBuckets()),
-		skew:  reg.Histogram("barrier.gl.skew", metrics.CycleBuckets()),
+		lat:   reg.Histogram(metricGLLatency, metrics.CycleBuckets()),
+		skew:  reg.Histogram(metricGLSkew, metrics.CycleBuckets()),
 		eps:   make(map[int]*glEpisode),
 		ctxOf: make([]int, len(cores)),
 	}

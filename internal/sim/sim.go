@@ -224,8 +224,8 @@ func (s *System) NewBarrier(kind barrier.Kind, n int) (barrier.Barrier, error) {
 	}
 	if rb, ok := b.(barrier.Recordable); ok {
 		rb.SetRecorder(&barrier.EpisodeRecorder{
-			Latency: s.Metrics.Histogram("barrier.sw.latency", metrics.CycleBuckets()),
-			Skew:    s.Metrics.Histogram("barrier.sw.skew", metrics.CycleBuckets()),
+			Latency: s.Metrics.Histogram(metricSWLatency, metrics.CycleBuckets()),
+			Skew:    s.Metrics.Histogram(metricSWSkew, metrics.CycleBuckets()),
 		})
 	}
 	return b, nil

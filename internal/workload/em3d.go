@@ -74,7 +74,7 @@ func (w *EM3D) Programs(s *sim.System, b barrier.Barrier, threads int) ([]cpu.Pr
 		return nil, errf("EM3D: invalid parameters %+v", *w)
 	}
 	half := w.Nodes / 2
-	r := rng(w.Seed)
+	r := rng(seedFor(s, w.Seed))
 
 	// Partition each half into per-thread blocks; neighbors are local to
 	// the corresponding block in the other half except for PctRemote%.

@@ -67,7 +67,7 @@ func (w *Unstructured) Programs(s *sim.System, b barrier.Barrier, threads int) (
 		return nil, errf("UNSTR: invalid mesh parameters %+v", *w)
 	}
 	nEdges := w.Nodes * w.EdgeFactor
-	r := rng(w.Seed)
+	r := rng(seedFor(s, w.Seed))
 	type edge struct{ a, b int }
 	edges := make([]edge, nEdges)
 	for i := range edges {

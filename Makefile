@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke
 
 all: build lint test test-race
 
@@ -26,6 +26,14 @@ lint: vet glvet
 # regressions without a dedicated fuzzing job.
 fuzz-smoke:
 	go test -fuzz=FuzzParsePlan -fuzztime=10s -run '^$$' ./internal/fault
+
+# Chaos smoke: replay the minimized-reproducer corpus (pinned oracle
+# verdicts), then explore a small fixed-seed campaign under every protocol
+# oracle. Deterministic and well under a minute; see DESIGN.md §9.
+chaos-smoke:
+	go test -short -run TestChaosCorpusReplay .
+	go run ./cmd/reproduce -seed 7 -budget 24 -corpus testdata/chaos-corpus chaos
+	go run ./cmd/reproduce -seed 7 -budget 24 chaos
 
 test:
 	go test ./...

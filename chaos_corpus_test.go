@@ -1,0 +1,55 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/fault"
+)
+
+// TestChaosCorpusReplay replays every minimized reproducer under
+// testdata/chaos-corpus and pins its recorded oracle verdict: each plan
+// must still trip exactly the oracle/kind the chaos campaign minimized it
+// to. The corpus is the regression net for the barrier protocol's failure
+// modes — a verdict drift here means recovery or protocol semantics
+// changed. Replays are deterministic and cheap, so this runs in -short.
+func TestChaosCorpusReplay(t *testing.T) {
+	entries, err := chaos.LoadCorpus("testdata/chaos-corpus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("corpus holds %d reproducer(s), want at least 2", len(entries))
+	}
+	for _, r := range entries {
+		r := r
+		t.Run(r.Name, func(t *testing.T) {
+			plan, err := fault.ParsePlan(r.Plan)
+			if err != nil {
+				t.Fatalf("reproducer does not parse: %v", err)
+			}
+			// Minimized reproducers stay minimal: at most 3 fault sites.
+			var seen [fault.NumSites]bool
+			sites := 0
+			for s := fault.GLDrop; s < fault.NumSites; s++ {
+				if plan.Rates[s] > 0 {
+					seen[s] = true
+				}
+			}
+			for _, e := range plan.Events {
+				seen[e.Site] = true
+			}
+			for s := fault.GLDrop; s < fault.NumSites; s++ {
+				if seen[s] {
+					sites++
+				}
+			}
+			if sites > 3 {
+				t.Fatalf("reproducer touches %d sites, want <= 3 (not minimal): %s", sites, r.Plan)
+			}
+			if _, err := r.Replay(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -12,6 +12,16 @@
 // instead of aborting the sweep; reproduce then exits non-zero after
 // printing everything. Results and the paper's reference numbers are
 // discussed in EXPERIMENTS.md.
+//
+// Beyond the paper's figures, `reproduce chaos` runs a seeded
+// chaos campaign against the barrier protocol (see internal/chaos): it
+// generates -budget randomized fault plans from -seed, checks every run
+// against the protocol oracles selected by -oracles, and delta-debugs each
+// oracle trip to a minimal reproducer (optionally saved with -save).
+// `reproduce -corpus DIR chaos` skips exploration and replays a corpus of
+// saved reproducers, failing if any pinned verdict drifted. Chaos is not
+// part of "all": it explores failure space instead of reproducing a paper
+// result.
 package main
 
 import (
@@ -22,7 +32,9 @@ import (
 	"path/filepath"
 
 	repro "repro"
+	"repro/internal/chaos"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -31,11 +43,17 @@ func main() {
 	cores := flag.Int("cores", 32, "number of cores (Table 1 baseline: 32)")
 	jobs := flag.Int("jobs", 0, "parallel simulation runs (0 = all CPUs, 1 = sequential)")
 	failFast := flag.Bool("fail-fast", false, "cancel runs that have not started after the first failure")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline per simulation run (0 = unbounded)")
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "write every run's full report as one JSON document to this file ('-' for stdout)")
 	artifacts := flag.String("artifacts", "", "write each sweep cell's report as an individual JSON file into this directory")
+	budget := flag.Int("budget", 64, "chaos: number of randomized fault plans to explore")
+	seed := flag.Uint64("seed", 1, "chaos: campaign seed (same seed, same campaign)")
+	oracles := flag.String("oracles", "all", "chaos: comma-separated oracle selection (safety,liveness,conservation or all)")
+	corpusDir := flag.String("corpus", "", "chaos: replay saved reproducers from this directory instead of exploring")
+	saveDir := flag.String("save", "", "chaos: write each finding's minimized reproducer into this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|faults|all\n")
+		fmt.Fprintf(os.Stderr, "usage: reproduce [flags] table1|table2|fig5|fig6|fig7|ablation|energy|faults|chaos|all\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -47,7 +65,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast, ArtifactDir: *artifacts}
+	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast, ArtifactDir: *artifacts, Timeout: *timeout}
 	what := flag.Arg(0)
 	// jsonRuns collects every experiment's raw reports under stable
 	// "experiment/cell" keys for the -json export.
@@ -83,7 +101,7 @@ func main() {
 			}
 		}
 	}
-	ran := false
+	ran := what == "chaos"
 	for _, name := range []string{"table1", "table2", "fig5", "fig6", "fig7", "ablation", "energy", "faults"} {
 		if what == name || what == "all" {
 			ran = true
@@ -223,6 +241,19 @@ func main() {
 		cellErrs("ablation/protocol", err)
 		return nil
 	})
+	if what == "chaos" {
+		opts := chaosOptions{
+			budget:  *budget,
+			seed:    *seed,
+			oracles: *oracles,
+			corpus:  *corpusDir,
+			save:    *saveDir,
+			sweep:   sweep.Options{Jobs: *jobs, FailFast: *failFast, Timeout: *timeout},
+		}
+		if err := runChaos(opts, record, cellErrs); err != nil {
+			fatal(fmt.Errorf("chaos: %w", err))
+		}
+	}
 	if *jsonPath != "" {
 		if err := writeJSON(*jsonPath, string(tier), *cores, what, jsonRuns); err != nil {
 			fatal(err)
@@ -232,6 +263,88 @@ func main() {
 		fmt.Fprintf(os.Stderr, "reproduce: %d experiment(s) had failed cells\n", failures)
 		os.Exit(1)
 	}
+}
+
+// chaosOptions carries the chaos subcommand's flag values.
+type chaosOptions struct {
+	budget  int
+	seed    uint64
+	oracles string
+	corpus  string
+	save    string
+	sweep   sweep.Options
+}
+
+// runChaos drives the chaos subcommand: corpus replay when -corpus is set,
+// a fresh exploration campaign otherwise. Findings and replayed runs are
+// recorded for the -json export; verdict drifts and machinery failures go
+// through cellErrs so reproduce exits non-zero.
+func runChaos(opts chaosOptions, record func(string, *repro.Report), cellErrs func(string, error)) error {
+	set, err := chaos.ParseOracles(opts.oracles)
+	if err != nil {
+		return err
+	}
+	if opts.corpus != "" {
+		entries, err := chaos.LoadCorpus(opts.corpus)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("no reproducers under %s", opts.corpus)
+		}
+		fmt.Printf("== Chaos corpus replay: %d reproducer(s) from %s ==\n", len(entries), opts.corpus)
+		for _, r := range entries {
+			out, err := r.Replay()
+			if err != nil {
+				fmt.Printf("FAIL %-24s %s\n", r.Name, err)
+				cellErrs("corpus/"+r.Name, err)
+			} else {
+				fmt.Printf("ok   %-24s trips %s (%s)\n", r.Name, r.Verdict.Key(), r.Plan)
+			}
+			record("chaos/corpus/"+r.Name, out.Report)
+		}
+		return nil
+	}
+
+	cfg := chaos.CampaignConfig{
+		Seed:   opts.seed,
+		Budget: opts.budget,
+		Run:    chaos.RunConfig{Oracles: set},
+		Sweep:  opts.sweep,
+	}
+	fmt.Printf("== Chaos campaign: %d plans from seed %d, oracles %s ==\n",
+		opts.budget, opts.seed, set)
+	rep, err := chaos.Campaign(cfg)
+	cellErrs("campaign", err)
+	if rep == nil {
+		return nil
+	}
+	fmt.Printf("runs %d  clean %d  tripped %d  errors %d  findings %d\n",
+		rep.Runs, rep.Clean, rep.Tripped, rep.Errors, len(rep.Findings))
+	for i, f := range rep.Findings {
+		fmt.Printf("\nfinding %d (plan %d): %s\n", i, f.Index, f.Verdict)
+		fmt.Printf("  original:  %s\n", f.Plan)
+		fmt.Printf("  minimized: %s  (%d site(s), %d shrink runs)\n",
+			f.Minimized, f.MinimizedSites, f.Shrink.Runs)
+		record(fmt.Sprintf("chaos/finding-%02d", i), f.Report)
+		if opts.save == "" {
+			continue
+		}
+		r := chaos.Reproducer{
+			Name: fmt.Sprintf("seed%d-plan%04d-%s-%s", rep.Seed, f.Index, f.Verdict.Oracle, f.Verdict.Kind),
+			Note: fmt.Sprintf("chaos campaign seed=%d plan=%d; minimized %d->%d atoms in %d runs",
+				rep.Seed, f.Index, f.Shrink.FromAtoms, f.Shrink.ToAtoms, f.Shrink.Runs),
+			Plan:    f.Minimized,
+			Verdict: chaos.Violation{Oracle: f.Verdict.Oracle, Kind: f.Verdict.Kind},
+		}
+		path, err := chaos.WriteCorpus(opts.save, r)
+		if err != nil {
+			cellErrs("save/"+r.Name, err)
+			continue
+		}
+		fmt.Printf("  saved:     %s\n", path)
+	}
+	return nil
 }
 
 // writeJSON exports every collected run — keyed "experiment/cell", each a

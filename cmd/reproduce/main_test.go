@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	repro "repro"
+	"repro/internal/chaos"
+	"repro/internal/sweep"
+)
 
 func TestCoreSweep(t *testing.T) {
 	cases := []struct {
@@ -23,5 +29,106 @@ func TestCoreSweep(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+func TestRunChaosCampaignSavesCorpus(t *testing.T) {
+	dir := t.TempDir()
+	opts := chaosOptions{
+		budget:  8,
+		seed:    7,
+		oracles: "all",
+		save:    dir,
+		sweep:   sweep.Options{Jobs: 4},
+	}
+	var cellFailures []error
+	err := runChaos(opts,
+		func(string, *repro.Report) {},
+		func(name string, err error) {
+			if err != nil {
+				cellFailures = append(cellFailures, err)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cellFailures) > 0 {
+		t.Fatalf("campaign machinery failed: %v", cellFailures)
+	}
+	entries, err := chaos.LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("campaign saved no reproducers")
+	}
+	// Saved reproducers must replay their pinned verdicts immediately.
+	for _, r := range entries {
+		if _, err := r.Replay(); err != nil {
+			t.Errorf("fresh reproducer drifted: %v", err)
+		}
+	}
+}
+
+func TestRunChaosCorpusReplay(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := chaos.WriteCorpus(dir, chaos.Reproducer{
+		Name:    "wedge",
+		Plan:    "seed=1,@0-100000:gl.drop:-1:0,recovery.off",
+		Verdict: chaos.Violation{Oracle: chaos.OracleLiveness, Kind: chaos.KindNoProgress},
+		Iters:   4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recorded := 0
+	failures := 0
+	opts := chaosOptions{oracles: "all", corpus: dir}
+	err := runChaos(opts,
+		func(string, *repro.Report) { recorded++ },
+		func(name string, err error) {
+			if err != nil {
+				failures++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("replay of a valid corpus reported %d failures", failures)
+	}
+	if recorded != 1 {
+		t.Fatalf("recorded %d reports, want 1", recorded)
+	}
+	// A drifted verdict must surface through cellErrs.
+	if _, err := chaos.WriteCorpus(dir, chaos.Reproducer{
+		Name:    "drifted",
+		Plan:    "seed=1", // clean plan trips nothing
+		Verdict: chaos.Violation{Oracle: chaos.OracleLiveness, Kind: chaos.KindNoProgress},
+		Iters:   2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	failures = 0
+	err = runChaos(opts,
+		func(string, *repro.Report) {},
+		func(name string, err error) {
+			if err != nil {
+				failures++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 1 {
+		t.Fatalf("drifted reproducer reported %d failures, want 1", failures)
+	}
+}
+
+func TestRunChaosRejectsBadFlags(t *testing.T) {
+	if err := runChaos(chaosOptions{oracles: "sloth"}, nil, nil); err == nil {
+		t.Fatal("want error for unknown oracle")
+	}
+	if err := runChaos(chaosOptions{oracles: "all", corpus: t.TempDir()}, nil, nil); err == nil {
+		t.Fatal("want error for empty corpus directory")
 	}
 }

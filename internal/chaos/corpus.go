@@ -1,0 +1,203 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fault"
+)
+
+// Reproducer is one corpus entry: a minimized fault plan pinned to the
+// oracle verdict it deterministically trips. The on-disk format is a plain
+// text file of "key: value" lines with '#' comments:
+//
+//	# chaos campaign seed=7, minimized from 3 atoms in 41 runs
+//	plan: seed=9,recovery.off,@100-200:gl.drop:-1:0
+//	oracle: liveness/no-progress
+//	cores: 16
+//	iters: 8
+//	budget: 4000000
+//	stall: 100000
+//
+// cores/iters/budget/stall are optional and default to the chaos run
+// defaults; plan and oracle are required.
+type Reproducer struct {
+	// Name is the corpus file's base name (without the .repro suffix).
+	Name string `json:"name"`
+	// Note is free-text provenance, written as comment lines.
+	Note string `json:"note,omitempty"`
+	// Plan is the minimized fault plan in fault.ParsePlan syntax.
+	Plan string `json:"plan"`
+	// Verdict is the pinned oracle/kind the plan must trip on replay.
+	Verdict Violation `json:"verdict"`
+	// Run shape (zero fields use the chaos defaults).
+	Cores       int    `json:"cores,omitempty"`
+	Iters       int    `json:"iters,omitempty"`
+	CycleBudget uint64 `json:"budget,omitempty"`
+	StallLimit  uint64 `json:"stall,omitempty"`
+}
+
+// reproSuffix is the corpus file extension.
+const reproSuffix = ".repro"
+
+// runConfig builds the replay RunConfig (all oracles armed: a reproducer
+// must not trip anything beyond its pinned verdict's oracle surface).
+func (r Reproducer) runConfig() RunConfig {
+	return RunConfig{
+		Cores:       r.Cores,
+		Iters:       r.Iters,
+		CycleBudget: r.CycleBudget,
+		StallLimit:  r.StallLimit,
+	}
+}
+
+// Replay runs the reproducer and checks its pinned verdict: the plan must
+// still trip the same oracle/kind. It returns the outcome alongside a
+// non-nil error when the verdict drifted — the regression signal the
+// corpus exists for.
+func (r Reproducer) Replay() (Outcome, error) {
+	plan, err := fault.ParsePlan(r.Plan)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("chaos: corpus %q: %w", r.Name, err)
+	}
+	out := RunPlan(r.runConfig(), plan)
+	if !out.Matches(r.Verdict) {
+		got := "no violation at all"
+		if v := out.Tripped(); v != nil {
+			got = v.String()
+		}
+		return out, fmt.Errorf("chaos: corpus %q: plan no longer trips %s (got %s)", r.Name, r.Verdict.Key(), got)
+	}
+	return out, nil
+}
+
+// format renders the reproducer in corpus file syntax.
+func (r Reproducer) format() string {
+	var b strings.Builder
+	for _, line := range strings.Split(r.Note, "\n") {
+		if line != "" {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "plan: %s\n", r.Plan)
+	fmt.Fprintf(&b, "oracle: %s\n", r.Verdict.Key())
+	if r.Cores != 0 {
+		fmt.Fprintf(&b, "cores: %d\n", r.Cores)
+	}
+	if r.Iters != 0 {
+		fmt.Fprintf(&b, "iters: %d\n", r.Iters)
+	}
+	if r.CycleBudget != 0 {
+		fmt.Fprintf(&b, "budget: %d\n", r.CycleBudget)
+	}
+	if r.StallLimit != 0 {
+		fmt.Fprintf(&b, "stall: %d\n", r.StallLimit)
+	}
+	return b.String()
+}
+
+// WriteCorpus saves the reproducer as <dir>/<name>.repro, creating dir if
+// needed, and returns the file path. The entry is validated first: the
+// plan must parse and the verdict must name a known oracle.
+func WriteCorpus(dir string, r Reproducer) (string, error) {
+	if r.Name == "" {
+		return "", fmt.Errorf("chaos: corpus entry needs a name")
+	}
+	if _, err := fault.ParsePlan(r.Plan); err != nil {
+		return "", fmt.Errorf("chaos: corpus %q: %w", r.Name, err)
+	}
+	if _, err := ParseVerdict(r.Verdict.Key()); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: corpus: %w", err)
+	}
+	path := filepath.Join(dir, r.Name+reproSuffix)
+	if err := os.WriteFile(path, []byte(r.format()), 0o644); err != nil {
+		return "", fmt.Errorf("chaos: corpus: %w", err)
+	}
+	return path, nil
+}
+
+// ParseReproducer parses one corpus file's contents.
+func ParseReproducer(name, text string) (Reproducer, error) {
+	r := Reproducer{Name: name}
+	var notes []string
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			notes = append(notes, strings.TrimSpace(strings.TrimPrefix(line, "#")))
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return r, fmt.Errorf("chaos: corpus %q line %d: want key: value, got %q", name, ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "plan":
+			_, err = fault.ParsePlan(val)
+			r.Plan = val
+		case "oracle":
+			r.Verdict, err = ParseVerdict(val)
+		case "cores":
+			r.Cores, err = strconv.Atoi(val)
+		case "iters":
+			r.Iters, err = strconv.Atoi(val)
+		case "budget":
+			r.CycleBudget, err = strconv.ParseUint(val, 10, 64)
+		case "stall":
+			r.StallLimit, err = strconv.ParseUint(val, 10, 64)
+		default:
+			return r, fmt.Errorf("chaos: corpus %q line %d: unknown key %q", name, ln+1, key)
+		}
+		if err != nil {
+			return r, fmt.Errorf("chaos: corpus %q line %d: %s: %w", name, ln+1, key, err)
+		}
+	}
+	r.Note = strings.Join(notes, "\n")
+	if r.Plan == "" {
+		return r, fmt.Errorf("chaos: corpus %q: missing plan", name)
+	}
+	if r.Verdict.Oracle == "" {
+		return r, fmt.Errorf("chaos: corpus %q: missing oracle", name)
+	}
+	return r, nil
+}
+
+// LoadCorpus reads every *.repro file under dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Reproducer, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("chaos: corpus: %w", err)
+	}
+	var out []Reproducer
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), reproSuffix) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("chaos: corpus: %w", err)
+		}
+		r, err := ParseReproducer(strings.TrimSuffix(e.Name(), reproSuffix), string(raw))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package chaos
+
+import (
+	"repro/internal/fault"
+)
+
+// ShrinkStats summarizes one minimization: how many candidate runs it
+// spent and how far the plan shrank.
+type ShrinkStats struct {
+	Runs      int `json:"runs"`
+	FromAtoms int `json:"from_atoms"`
+	ToAtoms   int `json:"to_atoms"`
+}
+
+// atom is one removable ingredient of a fault plan: either a per-site rate
+// directive or one scheduled event. ddmin minimizes over the atom set; the
+// plan's scalar knobs (seed, recovery config, miscount magnitudes) are
+// preserved verbatim so the failure stays the same failure.
+type atom struct {
+	site  fault.Site
+	rate  float64      // > 0: rate atom
+	event *fault.Event // non-nil: event atom
+}
+
+// atomsOf decomposes a plan into its removable ingredients.
+func atomsOf(p *fault.Plan) []atom {
+	var out []atom
+	for s := fault.GLDrop; s < fault.NumSites; s++ {
+		if p.Rates[s] > 0 {
+			out = append(out, atom{site: s, rate: p.Rates[s]})
+		}
+	}
+	for i := range p.Events {
+		e := p.Events[i]
+		out = append(out, atom{site: e.Site, event: &e})
+	}
+	return out
+}
+
+// assemble rebuilds a plan from the base's scalar knobs plus the kept
+// atoms.
+func assemble(base *fault.Plan, atoms []atom) *fault.Plan {
+	p := &fault.Plan{
+		Seed:               base.Seed,
+		MiscountK:          base.MiscountK,
+		WatchDelayCycles:   base.WatchDelayCycles,
+		WatchRecheckCycles: base.WatchRecheckCycles,
+		Recovery:           base.Recovery,
+	}
+	for _, a := range atoms {
+		if a.event != nil {
+			p.Events = append(p.Events, *a.event)
+		} else {
+			p.Rates[a.site] = a.rate
+		}
+	}
+	return p
+}
+
+// shrinker runs minimization candidates against a budget.
+type shrinker struct {
+	cfg    RunConfig
+	target Violation
+	budget int
+	runs   int
+}
+
+// fails reports whether the candidate plan still trips the target
+// oracle/kind. A candidate past the run budget counts as not failing, so
+// minimization degrades to "best so far" instead of running forever.
+func (s *shrinker) fails(p *fault.Plan) bool {
+	if s.runs >= s.budget {
+		return false
+	}
+	s.runs++
+	out := RunPlan(s.cfg, p)
+	return out.Matches(s.target)
+}
+
+// Minimize delta-debugs a failing plan down to a minimal reproducer that
+// still trips the same oracle/kind verdict. Phase one is classic ddmin
+// over the plan's atoms (rate directives and events); phase two shrinks
+// the surviving numbers — rates by decades, event windows by bisection.
+// maxRuns bounds the total candidate executions (<=0 selects 200). The
+// result is 1-minimal w.r.t. atom removal when the budget sufficed, and
+// simply the best plan found otherwise.
+func Minimize(cfg RunConfig, plan *fault.Plan, target Violation, maxRuns int) (*fault.Plan, ShrinkStats) {
+	if maxRuns <= 0 {
+		maxRuns = 200
+	}
+	s := &shrinker{cfg: cfg.withDefaults(), target: target, budget: maxRuns}
+	atoms := atomsOf(plan)
+	stats := ShrinkStats{FromAtoms: len(atoms)}
+	atoms = s.ddmin(plan, atoms)
+	min := assemble(plan, atoms)
+	min = s.shrinkNumbers(min)
+	stats.Runs = s.runs
+	stats.ToAtoms = len(atomsOf(min))
+	return min, stats
+}
+
+// ddmin is the classic Zeller/Hildebrandt minimizing delta debugger over
+// the atom set: try ever-finer subsets and complements, keeping any that
+// still fail, until the set is 1-minimal (or the budget runs out).
+func (s *shrinker) ddmin(base *fault.Plan, atoms []atom) []atom {
+	n := 2
+	for len(atoms) >= 2 && s.runs < s.budget {
+		chunks := split(atoms, n)
+		reduced := false
+		// Try each chunk alone: the failure may live entirely inside one.
+		for _, c := range chunks {
+			if s.fails(assemble(base, c)) {
+				atoms, n = c, 2
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		// Try each complement: the chunk may be pure noise. (At n=2 the
+		// complements are the chunks themselves, already tested above.)
+		if n > 2 {
+			for i := range chunks {
+				comp := complement(chunks, i)
+				if len(comp) == len(atoms) || len(comp) == 0 {
+					continue
+				}
+				if s.fails(assemble(base, comp)) {
+					atoms = comp
+					if n > 2 {
+						n--
+					}
+					reduced = true
+					break
+				}
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(atoms) {
+			break // 1-minimal
+		}
+		n *= 2
+		if n > len(atoms) {
+			n = len(atoms)
+		}
+	}
+	return atoms
+}
+
+// split partitions atoms into n non-empty chunks.
+func split(atoms []atom, n int) [][]atom {
+	if n > len(atoms) {
+		n = len(atoms)
+	}
+	chunks := make([][]atom, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(atoms)/n, (i+1)*len(atoms)/n
+		if lo < hi {
+			chunks = append(chunks, atoms[lo:hi])
+		}
+	}
+	return chunks
+}
+
+// complement concatenates every chunk except the i-th.
+func complement(chunks [][]atom, i int) []atom {
+	var out []atom
+	for j, c := range chunks {
+		if j != i {
+			out = append(out, c...)
+		}
+	}
+	return out
+}
+
+// shrinkNumbers greedily reduces the surviving plan's magnitudes while the
+// failure persists: rates drop by decades (a minimal reproducer should use
+// the weakest fault intensity that still bites), event windows shrink by
+// bisection from both ends.
+func (s *shrinker) shrinkNumbers(p *fault.Plan) *fault.Plan {
+	for st := fault.GLDrop; st < fault.NumSites; st++ {
+		for p.Rates[st] > 1e-7 {
+			cand := *p
+			cand.Rates[st] = p.Rates[st] / 10
+			if !s.fails(&cand) {
+				break
+			}
+			*p = cand
+		}
+	}
+	for i := range p.Events {
+		for p.Events[i].Until > p.Events[i].From {
+			w := p.Events[i].Until - p.Events[i].From
+			cand := *p
+			cand.Events = append([]fault.Event(nil), p.Events...)
+			cand.Events[i].Until = cand.Events[i].From + w/2
+			if s.fails(&cand) {
+				*p = cand
+				continue
+			}
+			cand = *p
+			cand.Events = append([]fault.Event(nil), p.Events...)
+			cand.Events[i].From = cand.Events[i].Until - w/2
+			if s.fails(&cand) {
+				*p = cand
+				continue
+			}
+			break
+		}
+	}
+	return p
+}

@@ -32,6 +32,28 @@ const (
 	MetricGLRecoveryLatency  = "gl.recovery.latency"
 )
 
+// GuardObserver receives the recovery guard's protocol-level events as they
+// happen: suppressed releases, retries, fallbacks and episode closures. It
+// is the observation surface the chaos oracles hook into (see
+// internal/chaos); a nil observer costs one nil check per event.
+type GuardObserver interface {
+	// GuardSuppressed fires when a hardware release arrives before the
+	// episode is complete (or for an already-released core) and is
+	// swallowed by the safety layer.
+	GuardSuppressed(ctx, core int, cycle uint64)
+	// GuardRetry fires when an expired episode deadline triggers hardware
+	// re-arm number `attempt` (1-based).
+	GuardRetry(ctx, attempt int, cycle uint64)
+	// GuardFallback fires when the guard completes an episode on the
+	// software path; sticky reports whether the context has given up on
+	// hardware retries entirely.
+	GuardFallback(ctx int, cycle uint64, sticky bool)
+	// GuardEpisode fires when a logical episode closes: opened/closed are
+	// the first-arrival and completion cycles, retries the hardware
+	// re-arms it took, viaFallback whether software finished it.
+	GuardEpisode(ctx int, opened, closed uint64, retries int, viaFallback bool)
+}
+
 // Recovering wraps a G-line network with the fault-tolerance protocol the
 // bare wires lack. The guard shadows every episode in software — which
 // cores arrived, which were released — and drives an escalation ladder when
@@ -72,6 +94,8 @@ type Recovering struct {
 	cFallbacks *metrics.Counter
 	cSpurious  *metrics.Counter
 	recLat     *metrics.Histogram
+
+	obs GuardObserver
 }
 
 // guardCtx is the guard's shadow of one barrier context.
@@ -124,6 +148,9 @@ func NewRecovering(inner BarrierNetwork, cores int, rec fault.Recovery, now func
 	r.SetMetrics(metrics.NewRegistry())
 	return r
 }
+
+// SetObserver installs the guard's protocol observer (nil disables).
+func (r *Recovering) SetObserver(o GuardObserver) { r.obs = o }
 
 // SetMetrics re-homes the guard's counters and recovery-latency histogram
 // into reg.
@@ -226,6 +253,9 @@ func (r *Recovering) onInnerRelease(core int) {
 	g := r.ctxs[ctxID]
 	if g.nArrived < g.expected || !g.arrived[core] || g.released[core] {
 		r.cSpurious.Inc()
+		if r.obs != nil {
+			r.obs.GuardSuppressed(ctxID, core, r.now())
+		}
 		g.needReset = true
 		return
 	}
@@ -275,6 +305,9 @@ func (r *Recovering) recover(ctxID int, g *guardCtx) {
 	}
 	g.retries++
 	r.cRetries.Inc()
+	if r.obs != nil {
+		r.obs.GuardRetry(ctxID, g.retries, r.now())
+	}
 	if err := r.inner.ResetContext(ctxID); err != nil {
 		panic(fmt.Sprintf("gline: recovery reset failed: %v", err))
 	}
@@ -293,6 +326,9 @@ func (r *Recovering) fallbackComplete(ctxID int, g *guardCtx) {
 	g.fallbacks++
 	if r.rec.StickyAfter > 0 && g.fallbacks >= r.rec.StickyAfter {
 		g.sticky = true
+	}
+	if r.obs != nil {
+		r.obs.GuardFallback(ctxID, r.now(), g.sticky)
 	}
 	if err := r.inner.ResetContext(ctxID); err != nil {
 		panic(fmt.Sprintf("gline: fallback reset failed: %v", err))
@@ -327,6 +363,9 @@ func (r *Recovering) completeEpisode(ctxID int, g *guardCtx, viaFallback bool) {
 	if recovered {
 		r.recLat.Observe(r.now() - g.opened)
 	}
+	if r.obs != nil {
+		r.obs.GuardEpisode(ctxID, g.opened, r.now(), g.retries, viaFallback)
+	}
 	if !viaFallback {
 		g.fallbacks = 0
 		if recovered {
@@ -352,6 +391,68 @@ func (r *Recovering) completeEpisode(ctxID int, g *guardCtx, viaFallback bool) {
 	for _, core := range early {
 		r.admit(ctxID, g, core)
 	}
+}
+
+// GuardCtxStatus is a point-in-time snapshot of one guarded context's
+// shadow state, carried by the hang watchdog's post-mortem dump so a
+// wedged barrier is diagnosable without re-running the simulation.
+type GuardCtxStatus struct {
+	Ctx           int    `json:"ctx"`
+	Episode       uint64 `json:"episode"`  // logical episodes completed so far
+	Expected      int    `json:"expected"` // participants this episode waits for
+	Arrived       int    `json:"arrived"`
+	Released      int    `json:"released"`
+	BufferedEarly int    `json:"buffered_early"` // next-episode arrivals held back
+	Opened        uint64 `json:"opened,omitempty"`
+	Deadline      uint64 `json:"deadline,omitempty"` // 0 = unarmed
+	Retries       int    `json:"retries"`
+	Fallbacks     int    `json:"consecutive_fallbacks"`
+	NeedReset     bool   `json:"need_reset"`
+	Recovering    bool   `json:"recovering"`
+	Sticky        bool   `json:"sticky"`
+}
+
+// String renders the snapshot as one dump line.
+func (s GuardCtxStatus) String() string {
+	line := fmt.Sprintf("guard ctx %d: episode=%d arrived=%d/%d released=%d early=%d retries=%d fallbacks=%d",
+		s.Ctx, s.Episode, s.Arrived, s.Expected, s.Released, s.BufferedEarly, s.Retries, s.Fallbacks)
+	if s.Deadline != 0 {
+		line += fmt.Sprintf(" deadline=%d (opened %d)", s.Deadline, s.Opened)
+	}
+	switch {
+	case s.Sticky:
+		line += " STICKY-FALLBACK"
+	case s.Recovering:
+		line += " RECOVERING"
+	case s.NeedReset:
+		line += " NEED-RESET"
+	}
+	return line
+}
+
+// Status snapshots every context's guard state for post-mortem dumps.
+func (r *Recovering) Status() []GuardCtxStatus {
+	out := make([]GuardCtxStatus, len(r.ctxs))
+	for i, g := range r.ctxs {
+		out[i] = GuardCtxStatus{
+			Ctx:           i,
+			Episode:       r.episodes,
+			Expected:      g.expected,
+			Arrived:       g.nArrived,
+			Released:      g.nReleased,
+			BufferedEarly: len(g.early),
+			Retries:       g.retries,
+			Fallbacks:     g.fallbacks,
+			NeedReset:     g.needReset,
+			Recovering:    g.recovering,
+			Sticky:        g.sticky,
+		}
+		if g.nArrived > 0 {
+			out[i].Opened = g.opened
+			out[i].Deadline = g.deadline
+		}
+	}
+	return out
 }
 
 // Episodes returns the guard's logical completion count: one per barrier

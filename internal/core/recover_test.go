@@ -237,3 +237,154 @@ func TestResetContextPreservesParticipants(t *testing.T) {
 		t.Fatalf("released %v after reset, want cores 0-2", released)
 	}
 }
+
+// countingObserver tallies guard events for assertions, via the same
+// GuardObserver interface the chaos oracles use.
+type countingObserver struct {
+	suppressed, retries, fallbacks, episodes int
+}
+
+func (o *countingObserver) GuardSuppressed(ctx, core int, cycle uint64) { o.suppressed++ }
+func (o *countingObserver) GuardRetry(ctx, attempt int, cycle uint64)   { o.retries++ }
+func (o *countingObserver) GuardFallback(ctx int, cycle uint64, sticky bool) {
+	o.fallbacks++
+}
+func (o *countingObserver) GuardEpisode(ctx int, opened, closed uint64, retries int, viaFallback bool) {
+	o.episodes++
+}
+
+func TestRecoveringFallbackDuringStragglerDrain(t *testing.T) {
+	// Drop row 0's horizontal release line (id 1) persistently: the dance
+	// completes and the vertical release reaches the row masters, but row
+	// 0's slaves (cores 1-3) never hear their horizontal release. The
+	// episode wedges mid-drain — some cores already running, stragglers
+	// still blocked — and the guard must finish exactly the stragglers in
+	// software (the rig fatals if an already-released core is released
+	// again), without burning hardware retries on a completed dance.
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLDrop, From: 0, Until: 1 << 40, Loc: 1}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 3, FallbackPenalty: 10, StickyAfter: -1},
+	}
+	rig := newGuardRig(t, plan)
+	obs := &countingObserver{}
+	rig.guard.SetObserver(obs)
+	if !rig.runEpisode(uniformArrivals(5), 20000) {
+		t.Fatalf("episode did not complete")
+	}
+	if rig.guard.Retries() != 0 {
+		t.Fatalf("retries = %d, want 0: a wedged drain must go straight to fallback", rig.guard.Retries())
+	}
+	if rig.guard.Fallbacks() != 1 {
+		t.Fatalf("fallbacks = %d, want 1", rig.guard.Fallbacks())
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+	// The hardware-released cores ran at dance speed; the stragglers were
+	// held until the deadline (all-arrived + 100) plus the penalty.
+	late := 0
+	for core, at := range rig.releasedAt {
+		if at > 100 {
+			late++
+			if core != 1 && core != 2 && core != 3 {
+				t.Fatalf("core %d (not a row-0 slave) released late at cycle %d", core, at)
+			}
+		}
+	}
+	if late != 3 {
+		t.Fatalf("%d cores released by the fallback, want the 3 row-0 slaves", late)
+	}
+	if obs.fallbacks != 1 || obs.episodes != 1 {
+		t.Fatalf("observer saw fallbacks=%d episodes=%d, want 1/1", obs.fallbacks, obs.episodes)
+	}
+}
+
+func TestRecoveringSpuriousReleaseRacingLegitimateRelease(t *testing.T) {
+	// Spuriously assert the vertical release line (id 5) across the exact
+	// cycles the legitimate global release fires: every receiver sees both
+	// the real pulse and the phantom one. The guard must deliver exactly
+	// one release per core (the rig fatals on duplicates), suppress the
+	// extras, and leave the context clean enough that the next episode
+	// completes at hardware speed.
+	plan := &fault.Plan{
+		Seed:     1,
+		Events:   []fault.Event{{Site: fault.GLSpurious, From: 6, Until: 14, Loc: 5}},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 4},
+	}
+	rig := newGuardRig(t, plan)
+	obs := &countingObserver{}
+	rig.guard.SetObserver(obs)
+	if !rig.runEpisode(uniformArrivals(5), 5000) {
+		t.Fatalf("episode did not complete")
+	}
+	if rig.guard.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", rig.guard.Episodes())
+	}
+	// A second, fault-free episode must not inherit stale release state.
+	second := rig.cycle + 5
+	if !rig.runEpisode(uniformArrivals(second), 5000) {
+		t.Fatalf("follow-up episode did not complete")
+	}
+	if rig.guard.Episodes() != 2 {
+		t.Fatalf("episodes = %d, want 2", rig.guard.Episodes())
+	}
+	for core, at := range rig.releasedAt {
+		if at < second || at > second+30 {
+			t.Fatalf("core %d released at cycle %d, outside the clean episode's window [%d,%d]",
+				core, at, second, second+30)
+		}
+	}
+	if rig.guard.Fallbacks() != 0 {
+		t.Fatalf("fallbacks = %d, want 0", rig.guard.Fallbacks())
+	}
+}
+
+func TestRecoveringBackToBackEpisodeRetries(t *testing.T) {
+	// Two consecutive episodes, each wedged by its own arrival-line drop
+	// window that outlives the first attempt but not the first retry. Both
+	// must recover with exactly one retry each — proving the retry counter
+	// and the backoff deadline re-arm freshly at every episode boundary
+	// instead of leaking doubled timeouts or exhausted budgets forward.
+	plan := &fault.Plan{
+		Seed: 1,
+		Events: []fault.Event{
+			{Site: fault.GLDrop, From: 0, Until: 60, Loc: 0},
+			{Site: fault.GLDrop, From: 390, Until: 460, Loc: 0},
+		},
+		Recovery: fault.Recovery{Timeout: 100, MaxRetries: 4},
+	}
+	rig := newGuardRig(t, plan)
+	obs := &countingObserver{}
+	rig.guard.SetObserver(obs)
+	if !rig.runEpisode(uniformArrivals(5), 5000) {
+		t.Fatalf("episode 1 did not complete")
+	}
+	if rig.guard.Retries() != 1 {
+		t.Fatalf("episode 1 retries = %d, want 1", rig.guard.Retries())
+	}
+	if !rig.runEpisode(uniformArrivals(400), 5000) {
+		t.Fatalf("episode 2 did not complete")
+	}
+	if rig.guard.Retries() != 2 {
+		t.Fatalf("total retries = %d, want 2 (one per episode)", rig.guard.Retries())
+	}
+	if rig.guard.Fallbacks() != 0 {
+		t.Fatalf("fallbacks = %d, want 0", rig.guard.Fallbacks())
+	}
+	if rig.guard.Episodes() != 2 {
+		t.Fatalf("episodes = %d, want 2", rig.guard.Episodes())
+	}
+	// Episode 2's deadline must be armed from its own arrival with the
+	// un-backed-off timeout: all arrive at 400, deadline ~500, retry and
+	// release shortly after. A leaked backoff (timeout<<1) would push the
+	// release past cycle 600.
+	for core, at := range rig.releasedAt {
+		if at < 500 || at > 560 {
+			t.Fatalf("core %d released at cycle %d, want the first-retry window [500,560]", core, at)
+		}
+	}
+	if obs.retries != 2 || obs.episodes != 2 {
+		t.Fatalf("observer saw retries=%d episodes=%d, want 2/2", obs.retries, obs.episodes)
+	}
+}

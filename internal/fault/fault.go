@@ -84,6 +84,11 @@ func (s Site) String() string {
 // (stuck-at faults), not as a per-opportunity rate.
 func (s Site) eventOnly() bool { return s == GLStuckLow || s == GLStuckHigh }
 
+// EventOnly reports whether the site can only be scheduled as a cycle
+// window (stuck-at faults), never as a per-opportunity rate. Plan
+// generators (internal/chaos) use it to pick a legal temporal shape.
+func (s Site) EventOnly() bool { return s.eventOnly() }
+
 // Event is one explicitly scheduled fault: site s active over cycles
 // [From, Until] at location Loc (-1 matches every location). For stuck-at
 // sites the window is the stuck period; for transient sites each in-window

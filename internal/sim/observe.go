@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -38,6 +39,15 @@ const (
 	metricSWSkew    = "barrier.sw.skew"
 )
 
+// BarrierObserver sees every core-visible G-line barrier event: arrivals as
+// cores issue them and releases as they reach the cores (after any guard
+// filtering). Pure observation on the metering path — implementations must
+// not mutate simulation state. The chaos oracles are the main client.
+type BarrierObserver interface {
+	BarrierArrive(ctx, core int, cycle uint64)
+	BarrierRelease(ctx, core int, cycle uint64)
+}
+
 type glMeter struct {
 	gl    GLNetwork
 	eng   *engine.Engine
@@ -47,6 +57,7 @@ type glMeter struct {
 
 	eps   map[int]*glEpisode
 	ctxOf []int // last barrier context each core arrived on
+	obs   BarrierObserver
 }
 
 type glEpisode struct {
@@ -83,6 +94,9 @@ func (m *glMeter) Arrive(core, barrierCtx int) {
 	}
 	ep.arrived++
 	m.ctxOf[core] = barrierCtx
+	if m.obs != nil {
+		m.obs.BarrierArrive(barrierCtx, core, now)
+	}
 	m.gl.Arrive(core, barrierCtx)
 }
 
@@ -102,7 +116,28 @@ func (m *glMeter) release(core int) {
 			ep.outstanding--
 		}
 	}
+	// Observe before forwarding: a faulty release that the unguarded
+	// protocol delivers to a non-waiting core panics inside GLRelease, and
+	// the oracle must have seen the violation by then.
+	if m.obs != nil {
+		m.obs.BarrierRelease(m.ctxOf[core], core, m.eng.Now())
+	}
 	m.cores[core].GLRelease()
+}
+
+// ObserveBarrier installs obs on the barrier metering path. When the G-line
+// network runs behind the recovering guard and obs also implements
+// core.GuardObserver, the guard's recovery events (suppressions, retries,
+// fallbacks, episode closures) are delivered to it as well.
+func (s *System) ObserveBarrier(obs BarrierObserver) {
+	if s.glm != nil {
+		s.glm.obs = obs
+	}
+	if guard, ok := s.GL.(*core.Recovering); ok {
+		if gobs, ok := obs.(core.GuardObserver); ok {
+			guard.SetObserver(gobs)
+		}
+	}
 }
 
 // AttachRing installs a trace ring of the given capacity as the coherence
@@ -123,7 +158,11 @@ type HangDump struct {
 	PendingEvents int                   `json:"pending_events"`
 	NextEvents    []engine.CyclePending `json:"next_events,omitempty"`
 	Cores         []cpu.Status          `json:"cores"`
-	Trace         []string              `json:"trace,omitempty"`
+	// Guard carries the recovering barrier guard's per-context shadow
+	// state (arrivals, buffered early arrivals, retry/backoff progress)
+	// when the run used one; chaos-found hangs are diagnosed from this.
+	Guard []core.GuardCtxStatus `json:"guard,omitempty"`
+	Trace []string              `json:"trace,omitempty"`
 }
 
 // hangDump snapshots the system state after an engine error.
@@ -136,6 +175,9 @@ func (s *System) hangDump(err error) *HangDump {
 	}
 	for i := 0; i < s.launched; i++ {
 		d.Cores = append(d.Cores, s.Cores[i].Status())
+	}
+	if guard, ok := s.GL.(*core.Recovering); ok {
+		d.Guard = guard.Status()
 	}
 	if s.ring != nil {
 		for _, e := range s.ring.Events() {
@@ -156,6 +198,9 @@ func (d *HangDump) String() string {
 	}
 	for _, cs := range d.Cores {
 		fmt.Fprintf(&b, "%s\n", cs)
+	}
+	for _, gs := range d.Guard {
+		fmt.Fprintf(&b, "%s\n", gs)
 	}
 	if len(d.Trace) > 0 {
 		fmt.Fprintf(&b, "last %d protocol events:\n", len(d.Trace))

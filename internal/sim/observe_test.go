@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"repro/internal/barrier"
+	"repro/internal/config"
 	"repro/internal/cpu"
+	"repro/internal/fault"
 )
 
 // runBarriers runs `episodes` barrier episodes of the given kind on an
@@ -192,5 +194,54 @@ func TestWatchdogDumpOnBudgetExhaustion(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("dump text missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestHangDumpIncludesGuardState wedges a guarded G-line barrier (all
+// arrival assertions dropped, recovery timeout beyond the cycle budget) and
+// checks the watchdog dump carries the guard's shadow state: without it a
+// chaos-found hang is not diagnosable from the dump alone.
+func TestHangDumpIncludesGuardState(t *testing.T) {
+	cfg := config.Default(4)
+	plan := &fault.Plan{Seed: 1, Recovery: fault.Recovery{Timeout: 1 << 30}}
+	plan.Events = []fault.Event{{Site: fault.GLDrop, From: 0, Until: 1 << 40, Loc: -1}}
+	cfg.Faults = plan
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.NewBarrier(barrier.KindGL, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]cpu.Program, 4)
+	for i := range progs {
+		tid := i
+		progs[i] = func(c *cpu.Ctx) { b.Wait(c, tid) }
+	}
+	if err := s.Launch(progs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run(20_000)
+	defer s.Close()
+	if err == nil {
+		t.Fatal("expected the wedged barrier to exhaust the budget")
+	}
+	if rep == nil || rep.Hang == nil {
+		t.Fatal("failed run must carry a hang dump")
+	}
+	if len(rep.Hang.Guard) == 0 {
+		t.Fatal("hang dump is missing the recovery guard state")
+	}
+	g := rep.Hang.Guard[0]
+	if g.Arrived != 4 || g.Expected != 4 {
+		t.Errorf("guard arrived=%d/%d, want 4/4", g.Arrived, g.Expected)
+	}
+	if g.Released != 0 || g.Deadline == 0 {
+		t.Errorf("guard released=%d deadline=%d, want 0 released and an armed deadline", g.Released, g.Deadline)
+	}
+	text := rep.Hang.String()
+	if !strings.Contains(text, "guard ctx 0:") || !strings.Contains(text, "arrived=4/4") {
+		t.Errorf("dump text missing guard line:\n%s", text)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/sim"
 )
@@ -50,6 +51,11 @@ type Options struct {
 	// to filename-safe characters). The directory is created if missing; a
 	// write failure is recorded on the cell's Err without stopping others.
 	ArtifactDir string
+	// Timeout bounds each cell's wall-clock run time; 0 means unbounded.
+	// A cell past its deadline records ErrTimeout and its worker moves on;
+	// the abandoned run keeps its goroutine until its own cycle budget or
+	// watchdog ends it, but can no longer touch the sweep's results.
+	Timeout time.Duration
 }
 
 // jobs resolves the effective worker count.
@@ -79,6 +85,9 @@ func (r Result) Fingerprint() string {
 // ErrCanceled marks cells skipped under FailFast after an earlier failure.
 var ErrCanceled = errors.New("sweep: canceled after earlier failure")
 
+// ErrTimeout marks cells abandoned after exceeding Options.Timeout.
+var ErrTimeout = errors.New("sweep: cell exceeded timeout")
+
 // Run executes every spec on opts.jobs() workers and returns one Result
 // per spec, in submission order. It never returns early: with FailFast
 // off, every cell runs to completion; with FailFast on, cells that have
@@ -103,7 +112,7 @@ func Run(opts Options, specs []Spec) []Result {
 			r.Err = ErrCanceled
 			return
 		}
-		r.Report, r.Err = protect(specs[i].Run)
+		r.Report, r.Err = runCell(specs[i].Run, opts.Timeout)
 		if r.Err == nil && opts.ArtifactDir != "" && r.Report != nil {
 			r.Err = writeArtifact(opts.ArtifactDir, i, r.Label, r.Report)
 		}
@@ -191,6 +200,32 @@ func protect(run func() (*sim.Report, error)) (rep *sim.Report, err error) {
 		}
 	}()
 	return run()
+}
+
+// runCell executes one cell under the optional wall-clock deadline. The
+// cell runs on its own goroutine delivering through a buffered channel, so
+// a timed-out run can finish (or crash) later without racing the worker.
+func runCell(run func() (*sim.Report, error), timeout time.Duration) (*sim.Report, error) {
+	if timeout <= 0 {
+		return protect(run)
+	}
+	type outcome struct {
+		rep *sim.Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		rep, err := protect(run)
+		ch <- outcome{rep, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.rep, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w (%v)", ErrTimeout, timeout)
+	}
 }
 
 // Errs joins the errors of all failed cells (nil when every cell

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -258,5 +259,89 @@ func TestSanitizeLabel(t *testing.T) {
 		if got := sanitizeLabel(in); got != want {
 			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestTimeoutAbandonsSlowCell checks that a cell past Options.Timeout
+// records ErrTimeout while every other cell still runs and reports.
+func TestTimeoutAbandonsSlowCell(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	specs := grid(4)
+	specs = append(specs, Spec{
+		Label: "stuck",
+		Run: func() (*sim.Report, error) {
+			<-release // held open until the test finishes
+			return fakeReport(99), nil
+		},
+	})
+	specs = append(specs, grid(3)...)
+	results := Run(Options{Jobs: 2, Timeout: 50 * time.Millisecond}, specs)
+	timedOut := 0
+	for i, r := range results {
+		if r.Label == "stuck" {
+			if !errors.Is(r.Err, ErrTimeout) {
+				t.Fatalf("stuck cell err = %v, want ErrTimeout", r.Err)
+			}
+			timedOut++
+			continue
+		}
+		if r.Err != nil || r.Report == nil {
+			t.Errorf("cell %d (%s): err=%v, want clean report", i, r.Label, r.Err)
+		}
+	}
+	if timedOut != 1 {
+		t.Fatalf("timed-out cells = %d, want 1", timedOut)
+	}
+	if Failed(results) != 1 {
+		t.Fatalf("Failed = %d, want 1", Failed(results))
+	}
+}
+
+// TestTimeoutFailFastCancelsRest checks a timeout counts as a failure for
+// FailFast purposes: cells that have not started are canceled.
+func TestTimeoutFailFastCancelsRest(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	specs := []Spec{
+		{Label: "stuck", Run: func() (*sim.Report, error) { <-release; return nil, nil }},
+	}
+	specs = append(specs, grid(8)...)
+	results := Run(Options{Jobs: 1, FailFast: true, Timeout: 50 * time.Millisecond}, specs)
+	if !errors.Is(results[0].Err, ErrTimeout) {
+		t.Fatalf("cell 0 err = %v, want ErrTimeout", results[0].Err)
+	}
+	canceled := 0
+	for _, r := range results[1:] {
+		if errors.Is(r.Err, ErrCanceled) {
+			canceled++
+		}
+	}
+	if canceled != len(specs)-1 {
+		t.Fatalf("canceled = %d, want %d", canceled, len(specs)-1)
+	}
+}
+
+// TestTimeoutDisabledByDefault pins the zero Options running cells on the
+// worker goroutine itself (no deadline, no helper goroutine abandonment).
+func TestTimeoutDisabledByDefault(t *testing.T) {
+	results := Run(Options{Jobs: 1}, grid(3))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestPanicUnderTimeoutIsCaptured checks the deadline path still converts a
+// panic into the cell's error with the stack attached.
+func TestPanicUnderTimeoutIsCaptured(t *testing.T) {
+	specs := []Spec{{Label: "boom", Run: func() (*sim.Report, error) { panic("kaboom") }}}
+	results := Run(Options{Timeout: time.Second}, specs)
+	if results[0].Err == nil || !strings.Contains(results[0].Err.Error(), "kaboom") {
+		t.Fatalf("panic not captured under timeout: %v", results[0].Err)
+	}
+	if !strings.Contains(results[0].Err.Error(), "goroutine") {
+		t.Fatalf("panic error missing stack: %v", results[0].Err)
 	}
 }

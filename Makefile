@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates
 
 all: build lint test test-race
 
@@ -21,6 +21,13 @@ lint: vet glvet
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
+
+# Alloc regression gates: the AllocsPerRun tests pinning zero steady-state
+# allocation on the engine/noc/coherence/cpu cycle paths, plus the allocfree
+# static check over //glvet:cyclepath functions. See DESIGN.md §10.
+alloc-gates:
+	go test -run ZeroAlloc -v ./internal/engine ./internal/noc ./internal/coherence ./internal/cpu
+	go run ./cmd/glvet -only allocfree ./...
 
 # Ten-second fuzz smoke over the fault-plan parser: catches grammar
 # regressions without a dedicated fuzzing job.
@@ -51,7 +58,11 @@ bench:
 # Machine-readable benchmark snapshot: BENCH_<date>.json holds one line of
 # JSON per benchmark result, for diffing runs over time. The bench run
 # lands in a temp file first so a failing `go test -bench` propagates its
-# exit code instead of leaving a truncated JSON behind.
+# exit code instead of leaving a truncated JSON behind. Values are located
+# by their unit token (ns/op, B/op, allocs/op) rather than by column, so
+# benchmarks with extra b.ReportMetric columns parse correctly. When an
+# older BENCH_*.json exists, cmd/benchdelta prints the per-benchmark delta
+# against the most recent one.
 bench-json:
 	@tmp=$$(mktemp); \
 	if ! go test -bench=. -benchmem -run '^$$' ./... >"$$tmp" 2>&1; then \
@@ -59,11 +70,19 @@ bench-json:
 		echo "bench-json: benchmark run failed; no JSON written" >&2; exit 1; \
 	fi; \
 	cat "$$tmp"; \
-	awk 'BEGIN{print "["} /^Benchmark/{ if (n++) printf(",\n"); \
-		printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, $$3, $$5, $$7) } \
+	prev=$$(ls BENCH_*.json 2>/dev/null | grep -v "BENCH_$$(date +%Y%m%d).json" | sort | tail -1); \
+	awk 'BEGIN{print "["} /^Benchmark/{ ns="0"; bytes="0"; allocs="0"; \
+		for (i = 3; i <= NF; i++) { \
+			if ($$i == "ns/op") ns = $$(i-1); \
+			else if ($$i == "B/op") bytes = $$(i-1); \
+			else if ($$i == "allocs/op") allocs = $$(i-1); \
+		} \
+		if (n++) printf(",\n"); \
+		printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, ns, bytes, allocs) } \
 		END{print "\n]"}' "$$tmp" > BENCH_$$(date +%Y%m%d).json; \
 	rm -f "$$tmp"; \
-	echo "wrote BENCH_$$(date +%Y%m%d).json"
+	echo "wrote BENCH_$$(date +%Y%m%d).json"; \
+	if [ -n "$$prev" ]; then go run ./cmd/benchdelta "$$prev" BENCH_$$(date +%Y%m%d).json; fi
 
 # Regenerate every paper table/figure at the repro tier (paper data sizes).
 reproduce:

@@ -34,6 +34,7 @@ func mustRun(b *testing.B, w Workload, kind BarrierKind, cores int) *Report {
 // --- Table 1 ---------------------------------------------------------------
 
 func BenchmarkTable1Config(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg := config.Default(benchCores)
 		if err := cfg.Validate(); err != nil {
@@ -46,6 +47,7 @@ func BenchmarkTable1Config(b *testing.B) {
 // --- Table 2: #barriers and barrier period per benchmark --------------------
 
 func benchTable2(b *testing.B, w Workload) {
+	b.ReportAllocs()
 	var period float64
 	for i := 0; i < b.N; i++ {
 		rep := mustRun(b, w, DSW, benchCores)
@@ -66,6 +68,7 @@ func BenchmarkTable2_EM3D(b *testing.B)  { benchTable2(b, workload.ScaledEM3D())
 // --- Figure 5: average barrier latency vs cores ------------------------------
 
 func benchFig5(b *testing.B, kind BarrierKind, cores int) {
+	b.ReportAllocs()
 	synth := &workload.Synthetic{Iters: 25}
 	var lat float64
 	for i := 0; i < b.N; i++ {
@@ -88,6 +91,7 @@ func BenchmarkFig5_GL_32(b *testing.B)  { benchFig5(b, GL, 32) }
 // --- Figure 6: normalized execution time, DSW vs GL --------------------------
 
 func benchFig6(b *testing.B, w Workload) {
+	b.ReportAllocs()
 	var reduction float64
 	for i := 0; i < b.N; i++ {
 		dsw := mustRun(b, w, DSW, benchCores)
@@ -107,6 +111,7 @@ func BenchmarkFig6_EM3D(b *testing.B)  { benchFig6(b, workload.ScaledEM3D()) }
 // --- Figure 7: normalized network traffic, DSW vs GL -------------------------
 
 func benchFig7(b *testing.B, w Workload) {
+	b.ReportAllocs()
 	var reduction float64
 	for i := 0; i < b.N; i++ {
 		dsw := mustRun(b, w, DSW, benchCores)
@@ -128,6 +133,7 @@ func BenchmarkFig7_EM3D(b *testing.B)  { benchFig7(b, workload.ScaledEM3D()) }
 // BenchmarkAblation_GLOverhead isolates the ideal 4-cycle hardware latency
 // from the software call overhead (paper Section 4.3.1: 13 vs 4 cycles).
 func BenchmarkAblation_GLOverhead(b *testing.B) {
+	b.ReportAllocs()
 	synth := &workload.Synthetic{Iters: 50}
 	var ideal, measured float64
 	for i := 0; i < b.N; i++ {
@@ -157,6 +163,7 @@ func BenchmarkAblation_GLOverhead(b *testing.B) {
 // BenchmarkAblation_FlatVsHierarchical quantifies the clustering cost on a
 // mesh both designs can serve (36 cores).
 func BenchmarkAblation_FlatVsHierarchical(b *testing.B) {
+	b.ReportAllocs()
 	var out string
 	for i := 0; i < b.N; i++ {
 		t, err := AblationHierarchy(50, Sequential)
@@ -171,6 +178,7 @@ func BenchmarkAblation_FlatVsHierarchical(b *testing.B) {
 // BenchmarkAblation_TDMContexts measures the latency growth of time-shared
 // barrier contexts.
 func BenchmarkAblation_TDMContexts(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := AblationTDM(16, []int{1, 4}, 50, Sequential); err != nil {
 			b.Fatal(err)
@@ -181,6 +189,7 @@ func BenchmarkAblation_TDMContexts(b *testing.B) {
 // BenchmarkAblation_DSWLockVsLLSC compares the paper's lock-based combining
 // tree against a lock-free LL/SC variant.
 func BenchmarkAblation_DSWLockVsLLSC(b *testing.B) {
+	b.ReportAllocs()
 	var lock, llsc float64
 	synth := &workload.Synthetic{Iters: 50}
 	for i := 0; i < b.N; i++ {
@@ -229,6 +238,7 @@ func BenchmarkSweepParallelism(b *testing.B) {
 		{fmt.Sprintf("parallel/jobs=%d", runtime.NumCPU()), SweepOptions{Jobs: runtime.NumCPU()}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Fig5(workload.TierTest, grid, cfg.opt); err != nil {
 					b.Fatal(err)
@@ -243,6 +253,7 @@ func BenchmarkSweepParallelism(b *testing.B) {
 // BenchmarkSimThroughput measures host performance: simulated cycles per
 // wall-clock second on the EM3D workload.
 func BenchmarkSimThroughput(b *testing.B) {
+	b.ReportAllocs()
 	var simCycles uint64
 	for i := 0; i < b.N; i++ {
 		rep := mustRun(b, workload.ScaledEM3D(), DSW, benchCores)
@@ -254,6 +265,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 // BenchmarkGLineBarrierStep measures the raw cost of one hardware barrier
 // episode in the G-line network model.
 func BenchmarkGLineBarrierStep(b *testing.B) {
+	b.ReportAllocs()
 	sys, err := sim.New(config.Default(16))
 	if err != nil {
 		b.Fatal(err)

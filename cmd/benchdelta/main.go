@@ -1,0 +1,106 @@
+// Command benchdelta compares two BENCH_<date>.json snapshots produced by
+// `make bench-json` and prints a per-benchmark delta table: time and
+// allocations per op, old → new, with the relative change. It is the
+// regression-reading companion to the alloc gates: the gates pin the
+// steady-state floor at zero, benchdelta shows the trend of everything
+// else.
+//
+// Usage:
+//
+//	benchdelta OLD.json NEW.json
+//
+// Exit status: 0 on success (any deltas, including regressions — judging
+// them is the reader's job), 2 on usage or parse errors. Benchmarks present
+// in only one file are listed as added/removed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// result mirrors one entry of a BENCH_<date>.json array.
+type result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: benchdelta OLD.json NEW.json")
+	}
+	oldRes, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	newRes, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]result{}
+	for _, r := range oldRes {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(out, "benchdelta %s -> %s\n", args[0], args[1])
+	fmt.Fprintf(out, "%-40s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δtime", "old allocs", "new allocs", "Δallocs")
+	seen := map[string]bool{}
+	for _, n := range newRes {
+		seen[n.Name] = true
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-40s %14s %14.0f %8s %12s %12.0f %8s\n",
+				n.Name, "-", n.NsPerOp, "added", "-", n.AllocsPerOp, "added")
+			continue
+		}
+		fmt.Fprintf(out, "%-40s %14.0f %14.0f %8s %12.0f %12.0f %8s\n",
+			n.Name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
+			o.AllocsPerOp, n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp))
+	}
+	for _, o := range oldRes {
+		if !seen[o.Name] {
+			fmt.Fprintf(out, "%-40s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "removed")
+		}
+	}
+	return nil
+}
+
+func load(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// pct renders the relative change from old to new as a signed percentage,
+// or "-" when the baseline is zero (no meaningful ratio).
+func pct(old, new float64) string {
+	if old == 0 {
+		if new == 0 {
+			return "0%"
+		}
+		return "-"
+	}
+	p := 100 * (new - old) / old
+	if math.Abs(p) < 0.05 {
+		return "0%"
+	}
+	return fmt.Sprintf("%+.1f%%", p)
+}

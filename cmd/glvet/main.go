@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/allocfree"
 	"repro/internal/analysis/cyclepure"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/faultsite"
@@ -40,6 +41,7 @@ func suite() []*analysis.Analyzer {
 		cyclepure.Analyzer,
 		metricname.Analyzer,
 		faultsite.Analyzer,
+		allocfree.Analyzer,
 	}
 }
 

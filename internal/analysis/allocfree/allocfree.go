@@ -1,0 +1,186 @@
+// Package allocfree implements the glvet analyzer that keeps the per-cycle
+// hot path allocation-free (DESIGN.md §10). Functions marked with the
+// `//glvet:cyclepath` doc-comment directive are scanned for constructs
+// that allocate on the Go heap:
+//
+//   - function literals (closure construction captures variables on the
+//     heap; hot paths schedule package-level typed Callbacks instead);
+//   - the new and make builtins;
+//   - append (may grow the backing array; cycle-path queues preallocate or
+//     recycle through free lists);
+//   - address-taken composite literals (&T{...}) and slice/map literals
+//     (plain struct literals assigned by value are stack zeroing and stay
+//     allowed — that is exactly the pool-reset idiom `*m = msg{}`);
+//   - implicit interface conversions of non-pointer-shaped values in call
+//     arguments (boxing). Pointers, funcs, chans, maps and other interface
+//     values convert for free and are not flagged — this is the contract
+//     the engine's Callback recv/obj operands rely on.
+//
+// Intentional allocations — pool warm-up paths, once-per-line directory
+// entries, opt-in trace emission — carry a `//lint:allow allocfree <reason>`
+// comment, which both suppresses the diagnostic and documents why the
+// allocation is acceptable. Calls into fmt are ignored: the cycle path only
+// formats on panic/failure paths, which are cold by definition (and
+// cyclepure separately bans the printing variants).
+//
+// The check is local to directive-marked functions rather than call-graph
+// driven: allocation is a property of the code that executes, and the
+// steady-state gates (testing.AllocsPerRun) catch anything reachable that
+// slips through; the analyzer's job is pinpointing the construct.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the allocfree analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc:  "flag allocating constructs (closures, new/make/append, composite literals, interface boxing) in //glvet:cyclepath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !analysis.HasDirective(fd, "cyclepath") {
+					continue
+				}
+				checkBody(pass, pkg.Info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody scans one cycle-path function for allocating constructs.
+func checkBody(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure construction allocates in cycle path; schedule a package-level Callback instead")
+			return false // the literal body runs elsewhere; one report is enough
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, lit := n.X.(*ast.CompositeLit); lit {
+					pass.Reportf(n.Pos(), "&composite literal allocates in cycle path; recycle from a pool")
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal allocates in cycle path", kindName(t))
+				}
+			}
+		case *ast.CallExpr:
+			checkCall(pass, info, n)
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+// checkCall flags allocating builtins and boxing interface conversions in
+// one call expression.
+func checkCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	// Allocating builtins.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "new allocates in cycle path; recycle from a pool")
+			case "make":
+				pass.Reportf(call.Pos(), "make allocates in cycle path; preallocate at construction time")
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow its backing array in cycle path; preallocate or recycle")
+			}
+			return
+		}
+	}
+
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+
+	// Explicit conversion to an interface type: T(x) where T is an
+	// interface boxes non-pointer-shaped x.
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(info.TypeOf(call.Args[0])) {
+			pass.Reportf(call.Pos(), "converting %s to %s boxes (allocates) in cycle path", info.TypeOf(call.Args[0]), tv.Type)
+		}
+		return
+	}
+
+	// Implicit conversions at call boundaries: a non-pointer-shaped
+	// argument passed for an interface parameter allocates its box.
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return // cold panic/error formatting; cyclepure bans the printers
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && boxes(info.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "passing %s as %s boxes (allocates) in cycle path", info.TypeOf(arg), pt)
+		}
+	}
+}
+
+// calleeFunc resolves the called *types.Func when the call is direct.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// boxes reports whether converting a value of type t to an interface
+// allocates. Pointer-shaped values (pointers, funcs, chans, maps, unsafe
+// pointers) fit in the interface word directly; interfaces re-wrap without
+// allocating; untyped nil has no box at all.
+func boxes(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Chan, *types.Map, *types.Interface:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UntypedNil && u.Kind() != types.UnsafePointer
+	}
+	return true
+}

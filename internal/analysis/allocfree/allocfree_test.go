@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocfree(t *testing.T) {
+	analysistest.Run(t, "testdata/src/allocfreetest", allocfree.Analyzer)
+}

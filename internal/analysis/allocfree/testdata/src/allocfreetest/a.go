@@ -1,0 +1,74 @@
+// Package allocfreetest is the allocfree analyzer fixture. Only functions
+// carrying the //glvet:cyclepath directive are scanned; coldSetup shows the
+// same constructs passing unflagged, and the pool warm-up in hotRecycle
+// shows the //lint:allow suppression idiom.
+package allocfreetest
+
+type node struct {
+	v    int
+	next *node
+}
+
+type pool struct {
+	free  *node
+	queue []*node
+	cbs   []func()
+}
+
+func sched(cb func(recv, obj any, a, b uint64), recv, obj any, a, b uint64) {}
+
+func consume(vals ...any) {}
+
+type stepper interface{ step() }
+
+// hotAllocs exercises every flagged construct.
+//
+//glvet:cyclepath
+func (p *pool) hotAllocs(s stepper, n *node, now uint64) {
+	p.cbs = append(p.cbs, func() { _ = now }) // want `append may grow its backing array in cycle path` `closure construction allocates in cycle path`
+	q := new(node)                            // want `new allocates in cycle path`
+	buf := make([]int, 4)                     // want `make allocates in cycle path`
+	r := &node{v: 1}                          // want `&composite literal allocates in cycle path`
+	ids := []int{1, 2}                        // want `slice literal allocates in cycle path`
+	sched(nil, now, nil, 0, 0)                // want `passing uint64 as any boxes \(allocates\) in cycle path`
+	consume(n, now)                           // want `passing uint64 as any boxes \(allocates\) in cycle path`
+	_ = any(now)                              // want `converting uint64 to any boxes \(allocates\) in cycle path`
+	_, _, _, _ = q, buf, r, ids
+	_ = s
+}
+
+// hotClean is a correct cycle-path function: pool recycling, value resets,
+// and pointer-shaped operands produce no diagnostics.
+//
+//glvet:cyclepath
+func (p *pool) hotClean(now uint64) {
+	n := p.free
+	if n != nil {
+		p.free = n.next
+		*n = node{} // value reset: stack zeroing, not an allocation
+	}
+	sched(nil, p, n, now, 0) // pointer-shaped recv/obj: no boxing
+	_ = any(p)               // pointer to interface: free
+}
+
+// hotRecycle documents an intentional warm-up allocation with the allow
+// idiom; the suppressed line needs no want comment.
+//
+//glvet:cyclepath
+func (p *pool) hotRecycle() *node {
+	n := p.free
+	if n == nil {
+		//lint:allow allocfree pool warm-up; steady state reuses freed nodes
+		n = &node{}
+	} else {
+		p.free = n.next
+	}
+	return n
+}
+
+// coldSetup has no directive: construction-time allocation is fine.
+func coldSetup() *pool {
+	p := &pool{queue: make([]*node, 0, 64)}
+	p.cbs = append(p.cbs, func() {})
+	return p
+}

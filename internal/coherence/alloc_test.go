@@ -1,0 +1,69 @@
+package coherence
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+// sinkDone is a package-level completion callback: passing an existing func
+// value through Access is pointer-shaped and never boxes, so the gates
+// below measure the protocol, not the test harness.
+var sinkDone = func(uint64) {}
+
+// TestZeroAllocMessageDelivery is the coherence alloc regression gate: with
+// the message pool, directory entries, and caches warm, remote atomic
+// round-trips and a write-invalidate ping-pong must not allocate (ISSUE:
+// zero steady-state allocation in message construction and delivery).
+func TestZeroAllocMessageDelivery(t *testing.T) {
+	eng := engine.New()
+	cfg := config.Default(4)
+	p := New(eng, cfg, mem.NewStore())
+
+	// A line homed at tile 1, accessed from tiles 0 and 2: every message
+	// crosses the mesh.
+	var addr uint64
+	for a := uint64(0x100000); ; a += uint64(cfg.LineSize) {
+		if p.HomeOf(a) == 1 {
+			addr = a
+			break
+		}
+	}
+	settle := func() {
+		for i := 0; i < 100_000 && !p.Quiescent(); i++ {
+			eng.Step()
+		}
+		for i := 0; i < 8; i++ {
+			eng.Step()
+		}
+	}
+	round := func() {
+		// Remote fetch&add: request + RMW at home + ack, all pooled.
+		p.L1(0).Access(AtomicAdd, addr, 1, 0, false, sinkDone)
+		settle()
+		// Write ping-pong: GetX, invalidation, ack, grant — the 2-hop
+		// and upgrade directory paths.
+		p.L1(0).Access(Write, addr, 0, 7, true, sinkDone)
+		settle()
+		p.L1(2).Access(Write, addr, 0, 9, true, sinkDone)
+		settle()
+	}
+	// Warm up: allocate the directory entry, fill both L1s and the L2,
+	// and populate the message pool with this pattern's peak population.
+	for i := 0; i < 4; i++ {
+		round()
+	}
+	if !p.Quiescent() {
+		t.Fatal("warm-up traffic did not drain")
+	}
+
+	allocs := testing.AllocsPerRun(50, round)
+	if allocs != 0 {
+		t.Fatalf("coherence round-trip allocates %.1f objects/op, want 0", allocs)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatalf("protocol invariants violated after gate: %v", err)
+	}
+}

@@ -18,19 +18,67 @@ const (
 	dirOwned
 )
 
+// contKind names the resumption point of a line's in-flight transaction.
+// The directory used to chain closures for these; the enum plus the request
+// parameters stored on dirEntry carry the same state without allocating.
+type contKind byte
+
+const (
+	contNone contKind = iota
+	// contGrantE: data at bank; grant the line Exclusive to the requester
+	// (read miss on an idle line, or the owner re-reading a dropped line).
+	contGrantE
+	// contGrantS: data at bank; add the requester as a sharer, grant S.
+	contGrantS
+	// contFwdShared: the owner acked a Fwd; downgrade the directory to
+	// Shared and continue once the data is at the bank.
+	contFwdShared
+	// contGrantSData: data at bank after a Fwd; grant S to the requester.
+	contGrantSData
+	// contGrantM: grant Modified ownership to the requester (grantFlits
+	// distinguishes a full line from an upgrade's permission-only reply).
+	contGrantM
+	// contInvDone: every sharer acked its Inv; grant M (directly for an
+	// upgrade, after a data read otherwise).
+	contInvDone
+	// contXfer: the owner acked a 3-hop Inv; either the transfer happened
+	// or the home must supply the line itself.
+	contXfer
+	// contAckDataM: the owner acked a 2-hop Inv; wait for the line data,
+	// then grant M.
+	contAckDataM
+	// contAtomicInv: every cached copy is invalidated; fetch the line,
+	// then run the RMW.
+	contAtomicInv
+	// contAtomicRMW: data at bank; execute the RMW and ack the requester.
+	contAtomicRMW
+)
+
 type dirEntry struct {
 	state   dirState
 	owner   int
 	sharers uint64 // bitset over tiles
 	busy    bool
-	waitq   []*msg
 
-	// In-flight transaction bookkeeping.
+	// waitq queues requests that arrived while the line was busy; waitHead
+	// indexes the next one so draining reuses the backing array instead of
+	// reslicing it away.
+	waitq    []*msg
+	waitHead int
+
+	// In-flight transaction bookkeeping: the continuation kind plus the
+	// request parameters it resumes with.
 	acksLeft     int
 	ackHadData   bool
 	ackXferred   bool
-	cont         func()
+	cont         contKind
 	awaitUnblock bool
+
+	reqFrom    int
+	reqKind    AccessKind
+	reqOperand uint64
+	grantFlits int
+	upgrade    bool
 }
 
 // Bank is a tile's slice of the shared distributed L2, including the
@@ -68,21 +116,28 @@ func (b *Bank) setDir(e *dirEntry, s dirState) {
 	e.state = s
 }
 
+//glvet:cyclepath
 func (b *Bank) entry(addr uint64) *dirEntry {
 	e := b.dir[addr]
 	if e == nil {
+		//lint:allow allocfree directory entries are allocated once per line
 		e = &dirEntry{}
 		b.dir[addr] = e
 	}
 	return e
 }
 
-// receive handles a protocol message addressed to this home bank.
+// receive handles a protocol message addressed to this home bank. Acks,
+// writebacks and unblocks are consumed synchronously and recycled here;
+// requests stay alive until process (or the wait queue) consumes them.
+//
+//glvet:cyclepath
 func (b *Bank) receive(m *msg) {
 	switch m.t {
 	case msgGetS, msgGetX, msgAtomic:
 		e := b.entry(m.addr)
 		if e.busy {
+			//lint:allow allocfree waitq growth is amortized; finish() compacts and reuses the array
 			e.waitq = append(e.waitq, m)
 			b.p.cReqQueued.Inc()
 			return
@@ -91,16 +146,39 @@ func (b *Bank) receive(m *msg) {
 		b.schedule(m)
 	case msgInvAck, msgFwdAck:
 		b.ack(m)
+		b.p.freeMsg(m)
 	case msgPutM:
 		b.putM(m)
+		b.p.freeMsg(m)
 	case msgUnblock:
 		b.unblock(m)
+		b.p.freeMsg(m)
 	default:
 		panic(fmt.Sprintf("coherence: bank %d received %v", b.tile, m.t))
 	}
 }
 
+// bankProcessCB starts a scheduled request at its tag-access slot: recv is
+// the bank, obj the request message.
+func bankProcessCB(recv, obj any, _, _ uint64) { recv.(*Bank).process(obj.(*msg)) }
+
+// bankContCB resumes a line's transaction: recv is the bank, obj the
+// directory entry, a the line address, b the continuation kind.
+func bankContCB(recv, obj any, a, b uint64) {
+	recv.(*Bank).runCont(a, obj.(*dirEntry), contKind(b))
+}
+
+// bankFetchCB completes an off-chip fetch: install the line in L2, then
+// charge the data-array read before resuming the transaction.
+func bankFetchCB(recv, obj any, a, b uint64) {
+	bk := recv.(*Bank)
+	bk.insertL2(a, cache.StateShared)
+	bk.p.eng.CallAfter(bk.p.cfg.L2DataLatency, bankContCB, bk, obj, a, b)
+}
+
 // schedule charges the bank's tag-access occupancy and then processes m.
+//
+//glvet:cyclepath
 func (b *Bank) schedule(m *msg) {
 	now := b.p.eng.Now()
 	start := now
@@ -108,145 +186,113 @@ func (b *Bank) schedule(m *msg) {
 		start = b.busyUntil
 	}
 	b.busyUntil = start + b.p.cfg.L2TagLatency
-	b.p.eng.At(b.busyUntil, func() { b.process(m) })
+	b.p.eng.Call(b.busyUntil, bankProcessCB, b, m, 0, 0)
 }
 
+//glvet:cyclepath
 func (b *Bank) process(m *msg) {
 	e := b.entry(m.addr)
 	if b.p.traceOn {
+		//lint:allow allocfree trace emission is opt-in debugging
 		b.p.tracer.Emit(b.p.eng.Now(), b.src, "%v %#x from %d (dir=%v sharers=%b)", m.t, m.addr, m.from, e.state, e.sharers)
 	}
-	switch m.t {
+	t, addr, from := m.t, m.addr, m.from
+	kind, operand := m.kind, m.operand
+	b.p.freeMsg(m)
+	switch t {
 	case msgGetS:
-		b.getS(e, m)
+		b.getS(e, addr, from)
 	case msgGetX:
-		b.getX(e, m)
+		b.getX(e, addr, from)
 	case msgAtomic:
-		b.atomic(e, m)
+		e.reqKind, e.reqOperand = kind, operand
+		b.atomic(e, addr, from)
 	default:
-		panic(fmt.Sprintf("coherence: bank %d processing %v", b.tile, m.t))
+		panic(fmt.Sprintf("coherence: bank %d processing %v", b.tile, t))
 	}
 }
 
-func (b *Bank) getS(e *dirEntry, m *msg) {
+//glvet:cyclepath
+func (b *Bank) getS(e *dirEntry, addr uint64, from int) {
+	e.reqFrom = from
 	switch e.state {
 	case dirInvalid:
-		b.withData(m.addr, func() {
-			b.setDir(e, dirOwned)
-			e.owner = m.from
-			e.sharers = bit(m.from)
-			b.grant(e, m.from, m.addr, grantE, b.p.dataFlits())
-		})
+		b.withData(addr, e, contGrantE)
 	case dirShared:
-		b.withData(m.addr, func() {
-			e.sharers |= bit(m.from)
-			b.grant(e, m.from, m.addr, grantS, b.p.dataFlits())
-		})
+		b.withData(addr, e, contGrantS)
 	case dirOwned:
-		if e.owner == m.from {
+		if e.owner == from {
 			// The owner silently dropped a clean line and re-reads it.
-			b.withData(m.addr, func() {
-				b.grant(e, m.from, m.addr, grantE, b.p.dataFlits())
-			})
+			// (contGrantE rewrites owner/sharers to their current values.)
+			b.withData(addr, e, contGrantE)
 			return
 		}
-		owner := e.owner
-		b.expectAcks(e, 1, func() {
-			b.setDir(e, dirShared)
-			e.sharers = bit(owner) | bit(m.from)
-			b.afterAckData(m.addr, func() {
-				b.grant(e, m.from, m.addr, grantS, b.p.dataFlits())
-			})
-		})
+		b.expectAcks(e, 1, contFwdShared)
 		b.p.cFwdSent.Inc()
-		b.p.send(b.tile, owner, &msg{t: msgFwd, addr: m.addr, from: b.tile}, controlFlits)
+		b.p.send(b.tile, e.owner, b.p.newMsg(msgFwd, addr, b.tile), controlFlits)
 	}
 }
 
-func (b *Bank) getX(e *dirEntry, m *msg) {
-	grantTo := func(flits int) {
-		b.setDir(e, dirOwned)
-		e.owner = m.from
-		e.sharers = bit(m.from)
-		b.grant(e, m.from, m.addr, grantM, flits)
-	}
+//glvet:cyclepath
+func (b *Bank) getX(e *dirEntry, addr uint64, from int) {
+	e.reqFrom = from
 	switch e.state {
 	case dirInvalid:
-		b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
+		e.grantFlits = b.p.dataFlits()
+		b.withData(addr, e, contGrantM)
 	case dirShared:
-		wasSharer := e.sharers&bit(m.from) != 0
-		others := e.sharers &^ bit(m.from)
-		flits := b.p.dataFlits()
+		wasSharer := e.sharers&bit(from) != 0
+		others := e.sharers &^ bit(from)
+		e.grantFlits = b.p.dataFlits()
 		if wasSharer {
-			flits = controlFlits // upgrade: permission only
+			e.grantFlits = controlFlits // upgrade: permission only
 		}
 		if others == 0 {
 			if wasSharer {
-				b.p.eng.After(b.p.cfg.L2DataLatency, func() { grantTo(flits) })
+				// Upgrade with no other sharers: permission-only reply,
+				// no data read needed.
+				b.contAt(b.p.cfg.L2DataLatency, e, addr, contGrantM)
 			} else {
-				b.withData(m.addr, func() { grantTo(flits) })
+				b.withData(addr, e, contGrantM)
 			}
 			return
 		}
-		n := b.invalidateAll(m.addr, others)
-		b.expectAcks(e, n, func() {
-			if wasSharer {
-				grantTo(flits)
-				return
-			}
-			b.withData(m.addr, func() { grantTo(flits) })
-		})
+		e.upgrade = wasSharer
+		n := b.invalidateAll(addr, others)
+		b.expectAcks(e, n, contInvDone)
 	case dirOwned:
-		if e.owner == m.from {
+		if e.owner == from {
 			// Owner silently dropped the clean line, now writes it.
-			b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
+			e.grantFlits = b.p.dataFlits()
+			b.withData(addr, e, contGrantM)
 			return
 		}
-		owner := e.owner
 		if b.p.cfg.ThreeHopOwnership {
 			// Ask the owner to hand the line straight to the requester;
 			// fall back to the home-relay path if the owner no longer
 			// has it (silent clean drop).
 			e.awaitUnblock = true // the requester acks the direct grant
-			b.expectAcks(e, 1, func() {
-				if e.ackXferred {
-					// Transfer done: directory flips to the requester;
-					// the in-flight Unblock closes the transaction.
-					b.setDir(e, dirOwned)
-					e.owner = m.from
-					e.sharers = bit(m.from)
-					b.maybeFinish(m.addr, e)
-					return
-				}
-				// Owner had dropped the line: supply it ourselves.
-				b.withData(m.addr, func() { grantTo(b.p.dataFlits()) })
-			})
+			b.expectAcks(e, 1, contXfer)
 			b.p.cInvSent.Inc()
-			b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: m.from}, controlFlits)
+			inv := b.p.newMsg(msgInv, addr, b.tile)
+			inv.xfer = from
+			b.p.send(b.tile, e.owner, inv, controlFlits)
 			return
 		}
-		b.expectAcks(e, 1, func() {
-			b.afterAckData(m.addr, func() { grantTo(b.p.dataFlits()) })
-		})
+		e.grantFlits = b.p.dataFlits()
+		b.expectAcks(e, 1, contAckDataM)
 		b.p.cInvSent.Inc()
-		b.p.send(b.tile, owner, &msg{t: msgInv, addr: m.addr, from: b.tile, xfer: -1}, controlFlits)
+		b.p.send(b.tile, e.owner, b.p.newMsg(msgInv, addr, b.tile), controlFlits)
 	}
 }
 
 // atomic invalidates every cached copy, performs the RMW on the functional
 // store at the home, and returns the old value. The line ends uncached in
 // the L1s (it stays resident in this L2 bank).
-func (b *Bank) atomic(e *dirEntry, m *msg) {
-	doRMW := func() {
-		b.withData(m.addr, func() {
-			old := b.p.memv.RMW(m.addr, rmwFunc(m.kind, m.operand))
-			b.setDir(e, dirInvalid)
-			e.sharers = 0
-			b.markDirty(m.addr)
-			b.p.send(b.tile, m.from, &msg{t: msgAtomicAck, addr: m.addr, from: b.tile, val: old}, atomicAckFlits)
-			b.finish(m.addr, e)
-		})
-	}
+//
+//glvet:cyclepath
+func (b *Bank) atomic(e *dirEntry, addr uint64, from int) {
+	e.reqFrom = from
 	var targets uint64
 	switch e.state {
 	case dirShared:
@@ -255,31 +301,94 @@ func (b *Bank) atomic(e *dirEntry, m *msg) {
 		targets = bit(e.owner)
 	}
 	if targets == 0 {
-		doRMW()
+		b.withData(addr, e, contAtomicRMW)
 		return
 	}
-	n := b.invalidateAll(m.addr, targets)
-	b.expectAcks(e, n, doRMW)
+	n := b.invalidateAll(addr, targets)
+	b.expectAcks(e, n, contAtomicInv)
 }
 
-func rmwFunc(kind AccessKind, operand uint64) func(uint64) uint64 {
-	switch kind {
-	case AtomicAdd:
-		return func(v uint64) uint64 { return v + operand }
-	case AtomicTAS, AtomicSwap:
-		return func(uint64) uint64 { return operand }
+// runCont resumes the transaction on addr at continuation k. Each case is
+// the body of what used to be a scheduled closure; the (cycle, seq) order
+// of the events that reach here is identical, so timing is unchanged.
+//
+//glvet:cyclepath
+func (b *Bank) runCont(addr uint64, e *dirEntry, k contKind) {
+	switch k {
+	case contGrantE:
+		b.setDir(e, dirOwned)
+		e.owner = e.reqFrom
+		e.sharers = bit(e.reqFrom)
+		b.grant(e, e.reqFrom, addr, grantE, b.p.dataFlits())
+	case contGrantS:
+		e.sharers |= bit(e.reqFrom)
+		b.grant(e, e.reqFrom, addr, grantS, b.p.dataFlits())
+	case contFwdShared:
+		b.setDir(e, dirShared)
+		e.sharers = bit(e.owner) | bit(e.reqFrom)
+		b.afterAckData(addr, e, contGrantSData)
+	case contGrantSData:
+		b.grant(e, e.reqFrom, addr, grantS, b.p.dataFlits())
+	case contGrantM:
+		b.setDir(e, dirOwned)
+		e.owner = e.reqFrom
+		e.sharers = bit(e.reqFrom)
+		b.grant(e, e.reqFrom, addr, grantM, e.grantFlits)
+	case contInvDone:
+		if e.upgrade {
+			b.runCont(addr, e, contGrantM)
+		} else {
+			b.withData(addr, e, contGrantM)
+		}
+	case contXfer:
+		if e.ackXferred {
+			// Transfer done: directory flips to the requester; the
+			// in-flight Unblock closes the transaction.
+			b.setDir(e, dirOwned)
+			e.owner = e.reqFrom
+			e.sharers = bit(e.reqFrom)
+			b.maybeFinish(addr, e)
+			return
+		}
+		// Owner had dropped the line: supply it ourselves.
+		e.grantFlits = b.p.dataFlits()
+		b.withData(addr, e, contGrantM)
+	case contAckDataM:
+		b.afterAckData(addr, e, contGrantM)
+	case contAtomicInv:
+		b.withData(addr, e, contAtomicRMW)
+	case contAtomicRMW:
+		var old uint64
+		switch e.reqKind {
+		case AtomicAdd:
+			old = b.p.memv.FetchAdd(addr, e.reqOperand)
+		case AtomicTAS, AtomicSwap:
+			old = b.p.memv.FetchStore(addr, e.reqOperand)
+		default:
+			panic(fmt.Sprintf("coherence: atomic RMW kind %v", e.reqKind))
+		}
+		b.setDir(e, dirInvalid)
+		e.sharers = 0
+		b.markDirty(addr)
+		ack := b.p.newMsg(msgAtomicAck, addr, b.tile)
+		ack.val = old
+		b.p.send(b.tile, e.reqFrom, ack, atomicAckFlits)
+		b.finish(addr, e)
+	default:
+		panic(fmt.Sprintf("coherence: bank %d resuming %#x with cont %d", b.tile, addr, k))
 	}
-	panic(fmt.Sprintf("coherence: rmwFunc(%v)", kind))
 }
 
 // invalidateAll sends plain Invs to every tile in the bitset and returns
 // the count.
+//
+//glvet:cyclepath
 func (b *Bank) invalidateAll(addr uint64, targets uint64) int {
 	n := 0
 	for t := 0; t < b.p.cfg.Cores; t++ {
 		if targets&bit(t) != 0 {
 			b.p.cInvSent.Inc()
-			b.p.send(b.tile, t, &msg{t: msgInv, addr: addr, from: b.tile, xfer: -1}, controlFlits)
+			b.p.send(b.tile, t, b.p.newMsg(msgInv, addr, b.tile), controlFlits)
 			n++
 		}
 	}
@@ -287,7 +396,9 @@ func (b *Bank) invalidateAll(addr uint64, targets uint64) int {
 }
 
 // expectAcks arms the in-flight transaction to wait for n Inv/Fwd acks.
-func (b *Bank) expectAcks(e *dirEntry, n int, cont func()) {
+//
+//glvet:cyclepath
+func (b *Bank) expectAcks(e *dirEntry, n int, cont contKind) {
 	if n <= 0 {
 		panic("coherence: expectAcks with n<=0")
 	}
@@ -300,6 +411,8 @@ func (b *Bank) expectAcks(e *dirEntry, n int, cont func()) {
 // ack consumes one InvAck/FwdAck for an in-flight transaction. Stale acks
 // (no transaction waiting) are dropped: they come from races with silent
 // clean evictions.
+//
+//glvet:cyclepath
 func (b *Bank) ack(m *msg) {
 	e := b.dir[m.addr]
 	if e == nil || !e.busy || e.acksLeft == 0 {
@@ -315,28 +428,31 @@ func (b *Bank) ack(m *msg) {
 	}
 	e.acksLeft--
 	if e.acksLeft == 0 {
-		cont := e.cont
-		e.cont = nil
-		cont()
+		k := e.cont
+		e.cont = contNone
+		b.runCont(m.addr, e, k)
 	}
 }
 
 // afterAckData continues after the data for a transaction whose owner was
 // forwarded/invalidated is available: if the ack carried the line it is now
 // in this bank; otherwise it must come from L2 or memory.
-func (b *Bank) afterAckData(addr uint64, cont func()) {
-	e := b.dir[addr]
-	if e != nil && e.ackHadData {
-		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
+//
+//glvet:cyclepath
+func (b *Bank) afterAckData(addr uint64, e *dirEntry, k contKind) {
+	if e.ackHadData {
+		b.contAt(b.p.cfg.L2DataLatency, e, addr, k)
 		return
 	}
-	b.withData(addr, cont)
+	b.withData(addr, e, k)
 }
 
 // putM absorbs a dirty eviction: the line's data comes home. Directory
 // state changes only when no transaction is in flight and the writer is
 // still the registered owner; otherwise the in-flight transaction's Fwd/Inv
 // will be acked without data and this PutM already delivered it.
+//
+//glvet:cyclepath
 func (b *Bank) putM(m *msg) {
 	b.markDirty(m.addr)
 	e := b.dir[m.addr]
@@ -347,8 +463,11 @@ func (b *Bank) putM(m *msg) {
 }
 
 // markDirty installs addr in the L2 array as dirty (data present on-chip).
+//
+//glvet:cyclepath
 func (b *Bank) markDirty(addr uint64) { b.insertL2(addr, cache.StateModified) }
 
+//glvet:cyclepath
 func (b *Bank) insertL2(addr uint64, st cache.State) {
 	if victim, vstate, evicted := b.l2.Insert(addr, st); evicted && vstate == cache.StateModified {
 		_ = victim
@@ -356,34 +475,47 @@ func (b *Bank) insertL2(addr uint64, st cache.State) {
 	}
 }
 
-// withData runs cont once the line's data is available at this bank:
-// immediately after the L2 data-array latency on an L2 hit, or after an
-// off-chip fetch on a miss.
-func (b *Bank) withData(addr uint64, cont func()) {
+// contAt schedules runCont(addr, e, k) after delay cycles.
+//
+//glvet:cyclepath
+func (b *Bank) contAt(delay uint64, e *dirEntry, addr uint64, k contKind) {
+	b.p.eng.CallAfter(delay, bankContCB, b, e, addr, uint64(k))
+}
+
+// withData resumes the transaction once the line's data is available at
+// this bank: immediately after the L2 data-array latency on an L2 hit, or
+// after an off-chip fetch on a miss.
+//
+//glvet:cyclepath
+func (b *Bank) withData(addr uint64, e *dirEntry, k contKind) {
 	if b.l2.Lookup(addr) != cache.StateInvalid {
-		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
+		b.contAt(b.p.cfg.L2DataLatency, e, addr, k)
 		return
 	}
 	b.p.memFetches++
-	b.p.eng.After(b.p.cfg.MemLatency, func() {
-		b.insertL2(addr, cache.StateShared)
-		b.p.eng.After(b.p.cfg.L2DataLatency, cont)
-	})
+	b.p.eng.CallAfter(b.p.cfg.MemLatency, bankFetchCB, b, e, addr, uint64(k))
 }
 
 // grant sends a Data reply and holds the line's transaction open until the
 // requester's Unblock confirms receipt.
+//
+//glvet:cyclepath
 func (b *Bank) grant(e *dirEntry, to int, addr uint64, g grantState, flits int) {
 	if b.p.traceOn {
+		//lint:allow allocfree trace emission is opt-in debugging
 		b.p.tracer.Emit(b.p.eng.Now(), b.src, "grant %#x to %d (%d flits)", addr, to, flits)
 	}
 	e.awaitUnblock = true
-	b.p.send(b.tile, to, &msg{t: msgData, addr: addr, from: b.tile, grant: g}, flits)
+	gm := b.p.newMsg(msgData, addr, b.tile)
+	gm.grant = g
+	b.p.send(b.tile, to, gm, flits)
 }
 
 // unblock closes the transaction a grant left open. For a 3-hop ownership
 // transfer the owner's InvAck and the requester's Unblock both have to
 // arrive (in either order) before the line unlocks.
+//
+//glvet:cyclepath
 func (b *Bank) unblock(m *msg) {
 	e := b.dir[m.addr]
 	if e == nil || !e.busy || !e.awaitUnblock {
@@ -395,6 +527,8 @@ func (b *Bank) unblock(m *msg) {
 
 // maybeFinish closes the transaction once neither acks nor an unblock are
 // outstanding.
+//
+//glvet:cyclepath
 func (b *Bank) maybeFinish(addr uint64, e *dirEntry) {
 	if e.acksLeft == 0 && !e.awaitUnblock {
 		b.finish(addr, e)
@@ -403,18 +537,36 @@ func (b *Bank) maybeFinish(addr uint64, e *dirEntry) {
 
 // finish closes the in-flight transaction on addr and starts the next
 // queued request, if any.
+//
+//glvet:cyclepath
 func (b *Bank) finish(addr uint64, e *dirEntry) {
 	if !e.busy {
 		panic(fmt.Sprintf("coherence: bank %d finishing idle line %#x", b.tile, addr))
 	}
 	e.acksLeft = 0
-	e.cont = nil
-	if len(e.waitq) == 0 {
+	e.cont = contNone
+	if e.waitHead == len(e.waitq) {
+		e.waitq = e.waitq[:0]
+		e.waitHead = 0
 		e.busy = false
 		return
 	}
-	m := e.waitq[0]
-	e.waitq = e.waitq[1:]
+	m := e.waitq[e.waitHead]
+	e.waitq[e.waitHead] = nil
+	e.waitHead++
+	if e.waitHead == len(e.waitq) {
+		e.waitq = e.waitq[:0]
+		e.waitHead = 0
+	} else if e.waitHead >= 16 && e.waitHead*2 >= len(e.waitq) {
+		// Reclaim the drained prefix once it dominates the backing array,
+		// so a continuously-contended line's queue stays bounded.
+		n := copy(e.waitq, e.waitq[e.waitHead:])
+		for i := n; i < len(e.waitq); i++ {
+			e.waitq[i] = nil
+		}
+		e.waitq = e.waitq[:n]
+		e.waitHead = 0
+	}
 	b.schedule(m)
 }
 

@@ -110,7 +110,7 @@ func (p *Protocol) Quiescent() bool {
 		}
 	}
 	for _, l1 := range p.l1s {
-		if l1.pend != nil {
+		if l1.pendSet {
 			return false
 		}
 	}

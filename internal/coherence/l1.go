@@ -7,15 +7,24 @@ import (
 )
 
 // L1 is a tile's private L1 data cache controller. Cores issue at most one
-// access at a time (in-order, blocking), so the controller holds at most one
-// pending transaction.
+// access at a time (in-order, blocking), so the controller holds at most
+// one pending transaction — kept by value, so the steady state allocates
+// nothing per access.
 type L1 struct {
 	p    *Protocol
 	tile int
 	c    *cache.Cache
 	src  string // precomputed trace source label ("l1.3")
 
-	pend *l1Pending
+	pend    l1Pending
+	pendSet bool
+
+	// stage carries the operation whose completion event is in flight (an
+	// L1 hit charging its latency, or a fill/atomic-ack finishing). The
+	// core is blocking, so at most one completion is staged at a time. A
+	// staged callback must copy the slot to locals before invoking done:
+	// done resumes the program, whose next access restages immediately.
+	stage l1Pending
 
 	// watch implements efficient busy-wait simulation: a spinning core
 	// re-reads a cached line every cycle with no observable effect until
@@ -44,79 +53,109 @@ func newL1(p *Protocol, tile int) *L1 {
 	}
 }
 
+// l1ReadHitCB completes a read hit after the L1 hit latency.
+func l1ReadHitCB(recv, _ any, _, _ uint64) {
+	l := recv.(*L1)
+	addr, done := l.stage.addr, l.stage.done
+	done(l.p.memv.Load(addr))
+}
+
+// l1LLHitCB completes a LoadLinked that hit a writable line.
+func l1LLHitCB(recv, _ any, _, _ uint64) {
+	l := recv.(*L1)
+	st := l.stage
+	if l.c.Peek(st.line) == cache.StateExclusive {
+		l.c.SetState(st.line, cache.StateModified)
+	}
+	st.done(l.p.memv.Load(st.addr))
+}
+
+// l1WriteHitCB completes a write hit after the L1 hit latency.
+func l1WriteHitCB(recv, _ any, _, _ uint64) {
+	l := recv.(*L1)
+	st := l.stage
+	// The line can be stolen by an invalidation between the hit and this
+	// cycle; replay the store as a miss then (store replay, as an in-order
+	// pipeline would).
+	cur := l.c.Peek(st.line)
+	if !cur.Writable() {
+		l.pend = st
+		l.pendSet = true
+		l.request(msgGetX, st.line)
+		return
+	}
+	if cur == cache.StateExclusive {
+		l.c.SetState(st.line, cache.StateModified)
+	}
+	if st.hasValue {
+		l.p.memv.StoreWord(st.addr, st.value)
+	}
+	st.done(0)
+}
+
 // Access issues one memory operation. done is called exactly once, at the
 // cycle the operation completes, with the loaded/old value (loads and
 // atomics) or 0 (stores). For stores, hasValue=true writes value to the
 // functional store at completion time (used for synchronization variables;
 // bulk data stores pass hasValue=false).
+//
+//glvet:cyclepath
 func (l *L1) Access(kind AccessKind, addr, operand, value uint64, hasValue bool, done func(val uint64)) {
-	if l.pend != nil {
+	if l.pendSet {
 		panic(fmt.Sprintf("coherence: L1 %d already has a pending access (line %#x)", l.tile, l.pend.line))
 	}
 	line := l.p.LineAddr(addr)
-	pend := &l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, done: done}
 
 	switch kind {
 	case Read:
 		if st := l.c.Lookup(addr); st != cache.StateInvalid {
-			l.p.eng.After(l.p.cfg.L1HitLatency, func() { done(l.p.memv.Load(addr)) })
+			l.stage = l1Pending{kind: kind, addr: addr, line: line, done: done}
+			l.p.eng.CallAfter(l.p.cfg.L1HitLatency, l1ReadHitCB, l, nil, 0, 0)
 			return
 		}
-		l.pend = pend
+		l.setPend(kind, addr, line, operand, value, hasValue, done)
 		l.request(msgGetS, line)
 	case LoadLinked:
 		st := l.c.Lookup(addr)
 		if st.Writable() {
-			l.p.eng.After(l.p.cfg.L1HitLatency, func() {
-				if l.c.Peek(line) == cache.StateExclusive {
-					l.c.SetState(line, cache.StateModified)
-				}
-				done(l.p.memv.Load(addr))
-			})
+			l.stage = l1Pending{kind: kind, addr: addr, line: line, done: done}
+			l.p.eng.CallAfter(l.p.cfg.L1HitLatency, l1LLHitCB, l, nil, 0, 0)
 			return
 		}
 		// Shared or absent: take ownership so the following
 		// StoreConditional can succeed locally.
-		l.pend = pend
+		l.setPend(kind, addr, line, operand, value, hasValue, done)
 		l.request(msgGetX, line)
 	case Write:
 		st := l.c.Lookup(addr)
 		if st.Writable() {
-			l.p.eng.After(l.p.cfg.L1HitLatency, func() {
-				// The line can be stolen by an invalidation between the
-				// hit and this cycle; replay the store as a miss then
-				// (store replay, as an in-order pipeline would).
-				cur := l.c.Peek(line)
-				if !cur.Writable() {
-					l.pend = pend
-					l.request(msgGetX, line)
-					return
-				}
-				if cur == cache.StateExclusive {
-					l.c.SetState(line, cache.StateModified)
-				}
-				if hasValue {
-					l.p.memv.StoreWord(addr, value)
-				}
-				done(0)
-			})
+			l.stage = l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, done: done}
+			l.p.eng.CallAfter(l.p.cfg.L1HitLatency, l1WriteHitCB, l, nil, 0, 0)
 			return
 		}
 		// Shared or absent: need ownership from the home.
-		l.pend = pend
+		l.setPend(kind, addr, line, operand, value, hasValue, done)
 		l.request(msgGetX, line)
 	default: // atomics always go to the home bank
 		if !kind.IsAtomic() {
 			panic(fmt.Sprintf("coherence: unknown access kind %v", kind))
 		}
-		l.pend = pend
+		l.setPend(kind, addr, line, operand, value, hasValue, done)
 		home := l.p.HomeOf(line)
-		l.p.send(l.tile, home, &msg{t: msgAtomic, addr: line, from: l.tile, kind: kind, operand: operand}, atomicReqFlits)
+		m := l.p.newMsg(msgAtomic, line, l.tile)
+		m.kind, m.operand = kind, operand
+		l.p.send(l.tile, home, m, atomicReqFlits)
 	}
 }
 
+//glvet:cyclepath
+func (l *L1) setPend(kind AccessKind, addr, line, operand, value uint64, hasValue bool, done func(val uint64)) {
+	l.pend = l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, done: done}
+	l.pendSet = true
+}
+
 // Busy reports whether an access is outstanding.
-func (l *L1) Busy() bool { return l.pend != nil }
+func (l *L1) Busy() bool { return l.pendSet }
 
 // HitLatency returns the configured L1 hit latency.
 func (l *L1) HitLatency() uint64 { return l.p.cfg.L1HitLatency }
@@ -146,12 +185,16 @@ func (l *L1) TryWriteHit(addr uint64) bool {
 	return true
 }
 
+//glvet:cyclepath
 func (l *L1) request(t msgType, line uint64) {
 	home := l.p.HomeOf(line)
-	l.p.send(l.tile, home, &msg{t: t, addr: line, from: l.tile}, controlFlits)
+	l.p.send(l.tile, home, l.p.newMsg(t, line, l.tile), controlFlits)
 }
 
-// receive handles protocol messages addressed to this L1.
+// receive handles protocol messages addressed to this L1. Every message is
+// consumed synchronously by its handler, so it is recycled on return.
+//
+//glvet:cyclepath
 func (l *L1) receive(m *msg) {
 	switch m.t {
 	case msgData:
@@ -165,12 +208,37 @@ func (l *L1) receive(m *msg) {
 	default:
 		panic(fmt.Sprintf("coherence: L1 %d received %v", l.tile, m.t))
 	}
+	l.p.freeMsg(m)
+}
+
+// l1FillCB completes the access a granted line was filled for.
+func l1FillCB(recv, _ any, _, _ uint64) {
+	l := recv.(*L1)
+	st := l.stage
+	switch st.kind {
+	case Read, LoadLinked:
+		if st.kind == LoadLinked && l.c.Peek(st.line) == cache.StateExclusive {
+			l.c.SetState(st.line, cache.StateModified)
+		}
+		st.done(l.p.memv.Load(st.addr))
+	case Write:
+		if hasLine := l.c.Peek(st.line); hasLine == cache.StateExclusive {
+			l.c.SetState(st.line, cache.StateModified)
+		}
+		if st.hasValue {
+			l.p.memv.StoreWord(st.addr, st.value)
+		}
+		st.done(0)
+	default:
+		panic(fmt.Sprintf("coherence: L1 %d Data fill for %v", l.tile, st.kind))
+	}
 }
 
 // fill installs a granted line and completes the pending load/store.
+//
+//glvet:cyclepath
 func (l *L1) fill(m *msg) {
-	pend := l.pend
-	if pend == nil || pend.line != m.addr {
+	if !l.pendSet || l.pend.line != m.addr {
 		panic(fmt.Sprintf("coherence: L1 %d got Data for %#x without matching pending access", l.tile, m.addr))
 	}
 	var st cache.State
@@ -185,67 +253,69 @@ func (l *L1) fill(m *msg) {
 	if victim, vstate, evicted := l.c.Insert(m.addr, st); evicted {
 		if vstate == cache.StateModified {
 			home := l.p.HomeOf(victim)
-			l.p.send(l.tile, home, &msg{t: msgPutM, addr: victim, from: l.tile, withData: true}, l.p.dataFlits())
+			wb := l.p.newMsg(msgPutM, victim, l.tile)
+			wb.withData = true
+			l.p.send(l.tile, home, wb, l.p.dataFlits())
 		}
 		// Shared/Exclusive clean victims are dropped silently; the
 		// directory tolerates stale sharer bits (spurious Inv is acked).
 	}
-	l.pend = nil
+	l.stage = l.pend
+	l.pend = l1Pending{}
+	l.pendSet = false
 	// Grant-ack: the home keeps the line's transaction open until the
 	// requester confirms the grant arrived, so a later invalidation can
 	// never overtake the grant in the network.
 	home := l.p.HomeOf(m.addr)
-	l.p.send(l.tile, home, &msg{t: msgUnblock, addr: m.addr, from: l.tile}, controlFlits)
-	l.p.eng.After(l.p.cfg.L1HitLatency, func() {
-		switch pend.kind {
-		case Read, LoadLinked:
-			if pend.kind == LoadLinked && l.c.Peek(pend.line) == cache.StateExclusive {
-				l.c.SetState(pend.line, cache.StateModified)
-			}
-			pend.done(l.p.memv.Load(pend.addr))
-		case Write:
-			if hasLine := l.c.Peek(pend.line); hasLine == cache.StateExclusive {
-				l.c.SetState(pend.line, cache.StateModified)
-			}
-			if pend.hasValue {
-				l.p.memv.StoreWord(pend.addr, pend.value)
-			}
-			pend.done(0)
-		default:
-			panic(fmt.Sprintf("coherence: L1 %d Data fill for %v", l.tile, pend.kind))
-		}
-	})
+	l.p.send(l.tile, home, l.p.newMsg(msgUnblock, m.addr, l.tile), controlFlits)
+	l.p.eng.CallAfter(l.p.cfg.L1HitLatency, l1FillCB, l, nil, 0, 0)
 }
 
+// l1AtomicCB completes an atomic once its ack has been charged the L1
+// latency; the old value rides in a.
+func l1AtomicCB(recv, _ any, a, _ uint64) {
+	l := recv.(*L1)
+	done := l.stage.done
+	done(a)
+}
+
+//glvet:cyclepath
 func (l *L1) finishAtomic(m *msg) {
-	pend := l.pend
-	if pend == nil || pend.line != m.addr || !pend.kind.IsAtomic() {
+	if !l.pendSet || l.pend.line != m.addr || !l.pend.kind.IsAtomic() {
 		panic(fmt.Sprintf("coherence: L1 %d got AtomicAck for %#x without matching pending atomic", l.tile, m.addr))
 	}
-	l.pend = nil
-	old := m.val
-	l.p.eng.After(l.p.cfg.L1HitLatency, func() { pend.done(old) })
+	l.stage = l.pend
+	l.pend = l1Pending{}
+	l.pendSet = false
+	l.p.eng.CallAfter(l.p.cfg.L1HitLatency, l1AtomicCB, l, nil, m.val, 0)
 }
 
 // invalidate drops the line (if present) and acks the home. An ack is sent
 // even when the line is absent: silent clean evictions leave stale sharer
 // bits at the directory.
+//
+//glvet:cyclepath
 func (l *L1) invalidate(m *msg) {
 	st := l.c.Peek(m.addr)
 	if l.p.traceOn {
+		//lint:allow allocfree trace emission is opt-in debugging
 		l.p.tracer.Emit(l.p.eng.Now(), l.src, "inv %#x (was %v, xfer %d)", m.addr, st, m.xfer)
 	}
 	if m.xfer >= 0 && st.Writable() {
 		// 3-hop ownership transfer: hand the line straight to the new
 		// owner, confirm the transfer to the home with a control flit.
 		l.c.SetState(m.addr, cache.StateInvalid)
-		l.p.send(l.tile, m.xfer, &msg{t: msgData, addr: m.addr, from: l.tile, grant: grantM}, l.p.dataFlits())
-		l.p.send(l.tile, m.from, &msg{t: msgInvAck, addr: m.addr, from: l.tile, xferred: true}, controlFlits)
+		d := l.p.newMsg(msgData, m.addr, l.tile)
+		d.grant = grantM
+		l.p.send(l.tile, m.xfer, d, l.p.dataFlits())
+		a := l.p.newMsg(msgInvAck, m.addr, l.tile)
+		a.xferred = true
+		l.p.send(l.tile, m.from, a, controlFlits)
 		l.fireWatch(m.addr)
 		return
 	}
 	flits := controlFlits
-	ack := &msg{t: msgInvAck, addr: m.addr, from: l.tile}
+	ack := l.p.newMsg(msgInvAck, m.addr, l.tile)
 	if st == cache.StateModified {
 		ack.withData = true
 		flits = l.p.dataFlits()
@@ -285,6 +355,7 @@ func (l *L1) Watch(addr uint64, fn func()) {
 	l.watchFn = fn
 }
 
+//glvet:cyclepath
 func (l *L1) fireWatch(line uint64) {
 	if l.watchFn != nil && l.watchLine == line {
 		fn := l.watchFn
@@ -304,10 +375,12 @@ func (l *L1) fireWatch(line uint64) {
 // forward downgrades an owned line to Shared and returns the data to the
 // home. Absent lines (silent drop or racing writeback) are acked without
 // data.
+//
+//glvet:cyclepath
 func (l *L1) forward(m *msg) {
 	st := l.c.Peek(m.addr)
 	flits := controlFlits
-	ack := &msg{t: msgFwdAck, addr: m.addr, from: l.tile}
+	ack := l.p.newMsg(msgFwdAck, m.addr, l.tile)
 	if st == cache.StateModified || st == cache.StateExclusive {
 		l.c.SetState(m.addr, cache.StateShared)
 		ack.withData = true

@@ -157,6 +157,9 @@ type msg struct {
 	// xferred on an InvAck confirms the owner handed the line directly to
 	// the requester.
 	xferred bool
+
+	// next links free messages in the protocol's recycling pool.
+	next *msg
 }
 
 // grantState is the permission carried by a Data reply.

@@ -35,6 +35,11 @@ type Protocol struct {
 	// faults and perturbed L1 spin-watch wakeups. Nil in fault-free runs.
 	inj *fault.Injector
 
+	// msgFree recycles protocol messages: every msg is freed by its final
+	// consumer (L1 receive, bank ack/putM/unblock, bank process) and
+	// reused by the next construction, so steady state allocates none.
+	msgFree *msg
+
 	lineMask uint64
 
 	// memFetches and memWritebacks count off-chip accesses.
@@ -143,21 +148,51 @@ func lineShift(lineSize int) int {
 	return s
 }
 
+// newMsg returns a recycled message initialized to (t, addr, from) with
+// every other field zeroed and xfer at the -1 "plain invalidation"
+// sentinel. The composite-literal fallback only runs while the pool warms
+// up.
+//
+//glvet:cyclepath
+func (p *Protocol) newMsg(t msgType, addr uint64, from int) *msg {
+	m := p.msgFree
+	if m == nil {
+		//lint:allow allocfree pool warm-up; steady state reuses freed messages
+		m = &msg{}
+	} else {
+		p.msgFree = m.next
+		*m = msg{}
+	}
+	m.t, m.addr, m.from = t, addr, from
+	m.xfer = -1
+	return m
+}
+
+// freeMsg returns a fully-consumed message to the pool. The caller must
+// not retain m: the next newMsg hands it out again.
+//
+//glvet:cyclepath
+func (p *Protocol) freeMsg(m *msg) {
+	*m = msg{}
+	m.next = p.msgFree
+	p.msgFree = m
+}
+
+// dispatchCB delivers an intra-tile message after the local hop: recv is
+// the protocol, obj the message, a the destination tile.
+func dispatchCB(recv, obj any, a, _ uint64) { recv.(*Protocol).dispatch(int(a), obj.(*msg)) }
+
 // send routes a protocol message from tile src to tile dst. Intra-tile
 // messages bypass the mesh (they cost localHopLatency and no traffic);
 // everything else is injected as a NoC packet.
+//
+//glvet:cyclepath
 func (p *Protocol) send(src, dst int, m *msg, flits int) {
 	if src == dst {
-		p.eng.After(localHopLatency, func() { p.dispatch(dst, m) })
+		p.eng.CallAfter(localHopLatency, dispatchCB, p, m, uint64(dst), 0)
 		return
 	}
-	p.mesh.Inject(&noc.Packet{
-		Src:     src,
-		Dst:     dst,
-		Class:   m.t.class(),
-		Flits:   flits,
-		Payload: m,
-	})
+	p.mesh.Send(src, dst, m.t.class(), flits, m)
 }
 
 // sink receives packets delivered by the mesh.

@@ -78,19 +78,30 @@ type Core struct {
 	done       bool
 	err        error
 
-	pendingGL *op // outstanding G-line barrier, waiting for GLRelease
+	// curOp is the op being executed (valid while curValid); opStart is
+	// the cycle it was dispatched. The core is in-order and blocking, so
+	// one slot covers every op kind — no per-op allocation.
+	curOp    op
+	opStart  uint64
+	curValid bool
+
+	glPending bool // outstanding G-line barrier, waiting for GLRelease
 	pendStart uint64
 
-	// Last-dispatched-op bookkeeping for hang post-mortems.
-	curKind  opKind
-	curStart uint64
-	curValid bool
+	rangeI uint64 // next element of an in-flight load/store range
+
+	// Method values bound once at construction so the per-op hot path
+	// passes existing funcs instead of building closures.
+	completeFn    func(uint64)
+	spinAttemptFn func()
+	spinDoneFn    func(uint64)
+	rangeMissFn   func(uint64)
 }
 
 // NewCore builds a core. be may be nil if the configuration has no G-line
 // network; executing a GLBarrier op then fails the program.
 func NewCore(id int, eng *engine.Engine, issueWidth int, glOverhead uint64, l1 *coherence.L1, be BarrierEngine) *Core {
-	return &Core{
+	c := &Core{
 		id:         id,
 		eng:        eng,
 		issueWidth: issueWidth,
@@ -101,6 +112,11 @@ func NewCore(id int, eng *engine.Engine, issueWidth int, glOverhead uint64, l1 *
 		resCh:      make(chan uint64),
 		abort:      make(chan struct{}),
 	}
+	c.completeFn = c.complete
+	c.spinAttemptFn = c.spinAttempt
+	c.spinDoneFn = c.spinDone
+	c.rangeMissFn = c.rangeMiss
+	return c
 }
 
 // ID returns the core's tile index.
@@ -186,6 +202,43 @@ func (c *Core) Abort() {
 	}
 }
 
+// complete finishes the current op: attribute its cycles, hand the result
+// to the program, pull the next op. Bound once as c.completeFn so memory
+// accesses pass an existing func value.
+func (c *Core) complete(val uint64) {
+	c.breakdown.Add(c.curOp.region, c.eng.Now()-c.opStart)
+	select {
+	case c.resCh <- val:
+	case <-c.abort:
+		c.finishProgram()
+		return
+	}
+	c.nextOp()
+}
+
+// completeZeroCB completes the current op with result 0 after a pure delay
+// (compute spans, accumulated range hits).
+func completeZeroCB(recv, _ any, _, _ uint64) { recv.(*Core).complete(0) }
+
+// storeCondCB resolves a StoreConditional after the L1 hit latency.
+func storeCondCB(recv, _ any, _, _ uint64) {
+	c := recv.(*Core)
+	if c.l1.StoreConditional(c.curOp.addr, c.curOp.value) {
+		c.complete(1)
+	} else {
+		c.complete(0)
+	}
+}
+
+// glArriveCB writes bar_reg after the software call overhead.
+func glArriveCB(recv, _ any, _, _ uint64) {
+	c := recv.(*Core)
+	c.be.Arrive(c.id, c.curOp.barrierCtx)
+}
+
+// rangeFireCB issues the pending range miss after its accumulated hit run.
+func rangeFireCB(recv, _ any, _, _ uint64) { recv.(*Core).rangeFire() }
+
 // nextOp pulls the next operation from the program and executes it.
 func (c *Core) nextOp() {
 	var o op
@@ -200,59 +253,32 @@ func (c *Core) nextOp() {
 		c.finishProgram()
 		return
 	}
-	start := c.eng.Now()
 	c.opCounts[o.kind]++
-	c.curKind, c.curStart, c.curValid = o.kind, start, true
-	complete := func(val uint64) {
-		c.breakdown.Add(o.region, c.eng.Now()-start)
-		select {
-		case c.resCh <- val:
-		case <-c.abort:
-			c.finishProgram()
-			return
-		}
-		c.nextOp()
-	}
+	c.curOp = o
+	c.opStart = c.eng.Now()
+	c.curValid = true
 	switch o.kind {
 	case opCompute:
 		if o.cycles == 0 {
-			complete(0)
+			c.complete(0)
 			return
 		}
-		c.eng.After(o.cycles, func() { complete(0) })
+		c.eng.CallAfter(o.cycles, completeZeroCB, c, nil, 0, 0)
 	case opLoad:
-		c.l1.Access(coherence.Read, o.addr, 0, 0, false, complete)
+		c.l1.Access(coherence.Read, o.addr, 0, 0, false, c.completeFn)
 	case opLoadLinked:
-		c.l1.Access(coherence.LoadLinked, o.addr, 0, 0, false, complete)
+		c.l1.Access(coherence.LoadLinked, o.addr, 0, 0, false, c.completeFn)
 	case opStoreCond:
-		c.eng.After(c.l1.HitLatency(), func() {
-			if c.l1.StoreConditional(o.addr, o.value) {
-				complete(1)
-			} else {
-				complete(0)
-			}
-		})
+		c.eng.CallAfter(c.l1.HitLatency(), storeCondCB, c, nil, 0, 0)
 	case opStore:
-		c.l1.Access(coherence.Write, o.addr, 0, o.value, o.hasValue, complete)
+		c.l1.Access(coherence.Write, o.addr, 0, o.value, o.hasValue, c.completeFn)
 	case opAtomic:
-		c.l1.Access(o.atomicKind, o.addr, o.operand, 0, false, complete)
+		c.l1.Access(o.atomicKind, o.addr, o.operand, 0, false, c.completeFn)
 	case opSpin:
-		var attempt func()
-		attempt = func() {
-			c.l1.Access(coherence.Read, o.addr, 0, 0, false, func(v uint64) {
-				if v == o.operand {
-					complete(v)
-					return
-				}
-				// The value can only change after an invalidation of
-				// the cached copy: sleep until then (timing-identical
-				// to re-loading the L1-resident line every cycle).
-				c.l1.Watch(o.addr, attempt)
-			})
-		}
-		attempt()
+		c.spinAttempt()
 	case opLoadRange, opStoreRange:
-		c.runRange(o, complete)
+		c.rangeI = 0
+		c.rangeStep()
 	case opGLBarrier:
 		if c.be == nil {
 			c.err = fmt.Errorf("cpu: core %d executed GLBarrier without a barrier engine", c.id)
@@ -260,73 +286,95 @@ func (c *Core) nextOp() {
 			c.finishProgram()
 			return
 		}
-		o := o
-		c.pendingGL = &o
-		c.pendStart = start
-		c.eng.After(c.overhead, func() { c.be.Arrive(c.id, o.barrierCtx) })
+		c.glPending = true
+		c.pendStart = c.opStart
+		c.eng.CallAfter(c.overhead, glArriveCB, c, nil, 0, 0)
 	}
 }
 
-// runRange executes a strided sequence of loads or stores element by
+// spinAttempt re-reads the spin target; bound once as c.spinAttemptFn so
+// the L1's watch wakeup reuses it.
+func (c *Core) spinAttempt() {
+	c.l1.Access(coherence.Read, c.curOp.addr, 0, 0, false, c.spinDoneFn)
+}
+
+// spinDone inspects one spin read. The spin op stays current until it
+// completes, so curOp carries addr/operand across wakeups.
+func (c *Core) spinDone(v uint64) {
+	if v == c.curOp.operand {
+		c.complete(v)
+		return
+	}
+	// The value can only change after an invalidation of the cached copy:
+	// sleep until then (timing-identical to re-loading the L1-resident
+	// line every cycle).
+	c.l1.Watch(c.curOp.addr, c.spinAttemptFn)
+}
+
+// rangeStep executes a strided sequence of loads or stores element by
 // element. Runs of L1 hits are accumulated into a single event (each hit
 // still costs its full hit latency and updates cache state); every miss
 // goes through the normal coherence path. Timing is equivalent to issuing
 // the accesses one at a time.
-func (c *Core) runRange(o op, complete func(uint64)) {
+func (c *Core) rangeStep() {
+	o := &c.curOp
 	isLoad := o.kind == opLoadRange
 	hitLat := c.l1.HitLatency()
-	var i uint64
-	var step func()
-	step = func() {
-		var acc uint64
-		for i < o.cycles {
-			a := o.addr + i*o.operand
-			if isLoad && c.l1.TryReadHit(a) {
-				acc += hitLat
-				i++
-				continue
-			}
-			if !isLoad && c.l1.TryWriteHit(a) {
-				acc += hitLat
-				i++
-				continue
-			}
-			break
+	var acc uint64
+	for c.rangeI < o.cycles {
+		a := o.addr + c.rangeI*o.operand
+		if isLoad && c.l1.TryReadHit(a) {
+			acc += hitLat
+			c.rangeI++
+			continue
 		}
-		if i == o.cycles {
-			if acc == 0 {
-				complete(0)
-			} else {
-				c.eng.After(acc, func() { complete(0) })
-			}
-			return
+		if !isLoad && c.l1.TryWriteHit(a) {
+			acc += hitLat
+			c.rangeI++
+			continue
 		}
-		missAddr := o.addr + i*o.operand
-		fire := func() {
-			kind := coherence.Read
-			if !isLoad {
-				kind = coherence.Write
-			}
-			c.l1.Access(kind, missAddr, 0, 0, false, func(uint64) { i++; step() })
-		}
-		if acc > 0 {
-			c.eng.After(acc, fire)
-		} else {
-			fire()
-		}
+		break
 	}
-	step()
+	if c.rangeI == o.cycles {
+		if acc == 0 {
+			c.complete(0)
+		} else {
+			c.eng.CallAfter(acc, completeZeroCB, c, nil, 0, 0)
+		}
+		return
+	}
+	if acc > 0 {
+		c.eng.CallAfter(acc, rangeFireCB, c, nil, 0, 0)
+	} else {
+		c.rangeFire()
+	}
+}
+
+// rangeFire issues the miss at the current range element.
+func (c *Core) rangeFire() {
+	o := &c.curOp
+	kind := coherence.Read
+	if o.kind != opLoadRange {
+		kind = coherence.Write
+	}
+	missAddr := o.addr + c.rangeI*o.operand
+	c.l1.Access(kind, missAddr, 0, 0, false, c.rangeMissFn)
+}
+
+// rangeMiss resumes the range after a miss completes.
+func (c *Core) rangeMiss(uint64) {
+	c.rangeI++
+	c.rangeStep()
 }
 
 // GLRelease is called by the G-line network when the hardware resets this
 // core's bar_reg: the pending barrier operation completes this cycle.
 func (c *Core) GLRelease() {
-	o := c.pendingGL
-	if o == nil {
+	if !c.glPending {
 		panic(fmt.Sprintf("cpu: core %d released with no barrier pending", c.id))
 	}
-	c.pendingGL = nil
-	c.breakdown.Add(o.region, c.eng.Now()-c.pendStart)
+	c.glPending = false
+	c.breakdown.Add(c.curOp.region, c.eng.Now()-c.pendStart)
 	select {
 	case c.resCh <- 0:
 	case <-c.abort:
@@ -337,7 +385,7 @@ func (c *Core) GLRelease() {
 }
 
 // WaitingAtBarrier reports whether the core has a G-line barrier pending.
-func (c *Core) WaitingAtBarrier() bool { return c.pendingGL != nil }
+func (c *Core) WaitingAtBarrier() bool { return c.glPending }
 
 // String names the op kind for post-mortem dumps.
 func (k opKind) String() string {
@@ -383,11 +431,11 @@ func (c *Core) Status() Status {
 	s := Status{
 		ID:        c.id,
 		Done:      c.done,
-		AtBarrier: c.pendingGL != nil,
+		AtBarrier: c.glPending,
 	}
 	if c.curValid {
-		s.LastOp = c.curKind.String()
-		s.OpStart = c.curStart
+		s.LastOp = c.curOp.kind.String()
+		s.OpStart = c.opStart
 	}
 	for _, n := range c.opCounts {
 		s.TotalOps += n

@@ -5,35 +5,56 @@
 // All components of the simulator schedule work through a single Engine, so
 // a whole-system run is a pure function of its inputs: events due on the
 // same cycle execute in the exact order they were scheduled.
+//
+// The queue is built for zero steady-state allocation (DESIGN.md §10):
+// events live in a slab recycled through an intrusive free list, the
+// priority queue is a 4-ary min-heap of small (cycle, seq, slot) keys that
+// never boxes through interfaces, and hot callers schedule typed Callbacks
+// whose operands are pointer-shaped (so the any fields don't allocate
+// either). The closure-based At/After remain for cold paths and tests.
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
 	"repro/internal/metrics"
 )
 
-// Event is a callback scheduled to run at a specific cycle.
+// Callback is the typed form of a scheduled event: a shared function
+// applied to the receiver/operand words captured at schedule time. Hot
+// paths pass pointer-shaped recv/obj values (pointers, funcs), which
+// convert to `any` without allocating; integer operands ride in a and b.
+type Callback func(recv, obj any, a, b uint64)
+
+// event is one slot of the engine's event slab. A slot is live between
+// Call and its dispatch (or Cancel + dispatch of the dead heap entry);
+// free slots chain through next.
 type event struct {
 	cycle uint64
 	seq   uint64
-	fn    func()
+	cb    Callback
+	recv  any
+	obj   any
+	a, b  uint64
+	next  int32 // free-list link while the slot is unused
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
-	}
-	return h[i].seq < h[j].seq
+// heapEntry mirrors one queued event in the priority queue. Keeping the
+// ordering key outside the slab means sift compares never touch event
+// payloads, and the heap never holds pointers.
+type heapEntry struct {
+	cycle uint64
+	seq   uint64
+	idx   int32
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// EventID identifies a scheduled event for Cancel. The zero EventID is
+// never valid: sequence numbers start at 1.
+type EventID struct {
+	idx int32
+	seq uint64
+}
 
 // Ticker is a component that must be stepped every cycle while it is active
 // (e.g. a network router or a G-line controller). A Ticker reports whether
@@ -49,7 +70,10 @@ type Ticker interface {
 type Engine struct {
 	now     uint64
 	seq     uint64
-	events  eventHeap
+	slab    []event
+	free    int32 // head of the slot free list, -1 when empty
+	heap    []heapEntry
+	live    int // scheduled events not yet dispatched or cancelled
 	tickers []Ticker
 
 	// StallLimit arms the hang watchdog: if tickers stay active but no
@@ -74,7 +98,7 @@ const (
 
 // New returns an Engine at cycle 0 with an empty event queue.
 func New() *Engine {
-	e := &Engine{reg: metrics.NewRegistry()}
+	e := &Engine{reg: metrics.NewRegistry(), free: -1, seq: 1}
 	e.executed = e.reg.Counter(metricEventsExecuted)
 	e.peakQueue = e.reg.Gauge(metricQueueDepth)
 	e.ffJumps = e.reg.Counter(metricFastforwardJumps)
@@ -89,26 +113,86 @@ func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 // Now returns the current cycle.
 func (e *Engine) Now() uint64 { return e.now }
 
+// callFunc adapts the closure-based At/After API onto the typed slot: the
+// closure itself is the receiver. The func-to-any conversion is free; only
+// building the closure at the call site may allocate.
+func callFunc(recv, _ any, _, _ uint64) { recv.(func())() }
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // panics: it always indicates a component bug, never a recoverable state.
 func (e *Engine) At(cycle uint64, fn func()) {
-	if cycle < e.now {
-		panic(fmt.Sprintf("engine: scheduling at cycle %d, now %d", cycle, e.now))
-	}
-	heap.Push(&e.events, event{cycle: cycle, seq: e.seq, fn: fn})
-	e.seq++
-	e.peakQueue.Set(uint64(len(e.events)))
+	e.Call(cycle, callFunc, fn, nil, 0, 0)
 }
 
 // After schedules fn to run delay cycles from now.
-func (e *Engine) After(delay uint64, fn func()) { e.At(e.now+delay, fn) }
+func (e *Engine) After(delay uint64, fn func()) { e.Call(e.now+delay, callFunc, fn, nil, 0, 0) }
+
+// Call schedules cb(recv, obj, a, b) at the given absolute cycle and
+// returns the event's id for Cancel. This is the allocation-free
+// scheduling path: the event occupies a recycled slab slot and recv/obj
+// only avoid boxing when they hold pointer-shaped values. Scheduling in
+// the past panics, as with At.
+//
+//glvet:cyclepath
+func (e *Engine) Call(cycle uint64, cb Callback, recv, obj any, a, b uint64) EventID {
+	if cycle < e.now {
+		panic(fmt.Sprintf("engine: scheduling at cycle %d, now %d", cycle, e.now))
+	}
+	if cb == nil {
+		panic("engine: scheduling a nil callback")
+	}
+	idx := e.free
+	if idx >= 0 {
+		e.free = e.slab[idx].next
+	} else {
+		//lint:allow allocfree slab warm-up; steady state pops recycled slots from the free list
+		e.slab = append(e.slab, event{})
+		idx = int32(len(e.slab) - 1)
+	}
+	ev := &e.slab[idx]
+	ev.cycle, ev.seq = cycle, e.seq
+	ev.cb, ev.recv, ev.obj = cb, recv, obj
+	ev.a, ev.b = a, b
+	e.push(heapEntry{cycle: cycle, seq: e.seq, idx: idx})
+	id := EventID{idx: idx, seq: e.seq}
+	e.seq++
+	e.live++
+	e.peakQueue.Set(uint64(e.live))
+	return id
+}
+
+// CallAfter schedules cb(recv, obj, a, b) delay cycles from now.
+//
+//glvet:cyclepath
+func (e *Engine) CallAfter(delay uint64, cb Callback, recv, obj any, a, b uint64) EventID {
+	return e.Call(e.now+delay, cb, recv, obj, a, b)
+}
+
+// Cancel revokes a scheduled event. It reports whether the event was still
+// pending (false for already-dispatched, already-cancelled, or foreign
+// ids). Cancellation is lazy: the slot is cleared immediately so the
+// callback and its operands drop their references, and the dead heap entry
+// is discarded when its cycle drains. Cancelled events do not count as
+// executed and do not disturb the (cycle, seq) order of live ones.
+func (e *Engine) Cancel(id EventID) bool {
+	if id.idx < 0 || int(id.idx) >= len(e.slab) {
+		return false
+	}
+	ev := &e.slab[id.idx]
+	if ev.seq != id.seq || ev.cb == nil {
+		return false
+	}
+	ev.cb, ev.recv, ev.obj = nil, nil, nil
+	e.live--
+	return true
+}
 
 // AddTicker registers a per-cycle component. Tickers run after all events
 // due on a cycle, in registration order.
 func (e *Engine) AddTicker(t Ticker) { e.tickers = append(e.tickers, t) }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of scheduled events (cancelled ones excluded).
+func (e *Engine) Pending() int { return e.live }
 
 // CyclePending summarizes queued events grouped by due cycle.
 type CyclePending struct {
@@ -120,12 +204,15 @@ type CyclePending struct {
 // in ascending cycle order — the raw material of a hang post-mortem. A
 // limit <= 0 returns every group.
 func (e *Engine) PendingByCycle(limit int) []CyclePending {
-	if len(e.events) == 0 {
+	if e.live == 0 {
 		return nil
 	}
-	cycles := make([]uint64, len(e.events))
-	for i, ev := range e.events {
-		cycles[i] = ev.cycle
+	cycles := make([]uint64, 0, len(e.heap))
+	for _, he := range e.heap {
+		if e.slab[he.idx].cb == nil {
+			continue // cancelled, still awaiting its cycle
+		}
+		cycles = append(cycles, he.cycle)
 	}
 	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
 	var out []CyclePending
@@ -142,16 +229,88 @@ func (e *Engine) PendingByCycle(limit int) []CyclePending {
 	return out
 }
 
+// entryLess orders heap entries by (cycle, seq): same-cycle events run in
+// the exact order they were scheduled.
+func entryLess(x, y heapEntry) bool {
+	if x.cycle != y.cycle {
+		return x.cycle < y.cycle
+	}
+	return x.seq < y.seq
+}
+
+// push inserts a key into the 4-ary min-heap. The wide node keeps the tree
+// two levels shallower than a binary heap at typical queue depths, and the
+// backing array only grows until the run's peak depth.
+func (e *Engine) push(he heapEntry) {
+	h := append(e.heap, he)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// pop removes the minimum key and returns its slab slot.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	idx := h[0].idx
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	e.heap = h
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= len(h) {
+			break
+		}
+		m := first
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !entryLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return idx
+}
+
 // Step advances the simulation by exactly one cycle: it runs every event due
 // at the current cycle (including events those events schedule for the same
 // cycle), then ticks all registered tickers, then advances the clock.
 // It reports whether any ticker remains active.
 //
+// A slot is returned to the free list before its callback runs, so the
+// callback's own scheduling reuses it immediately; ordering is untouched
+// because dispatch order is fixed by the already-assigned (cycle, seq).
+//
 //glvet:cyclepath
 func (e *Engine) Step() (tickersActive bool) {
-	for len(e.events) > 0 && e.events[0].cycle == e.now {
-		ev := heap.Pop(&e.events).(event)
-		ev.fn()
+	for len(e.heap) > 0 && e.heap[0].cycle == e.now {
+		idx := e.pop()
+		ev := &e.slab[idx]
+		cb, recv, obj, a, b := ev.cb, ev.recv, ev.obj, ev.a, ev.b
+		ev.cb, ev.recv, ev.obj = nil, nil, nil
+		ev.next = e.free
+		e.free = idx
+		if cb == nil {
+			continue // cancelled; the slot is reclaimed above
+		}
+		e.live--
+		cb(recv, obj, a, b)
 		e.executed.Inc()
 	}
 	for _, t := range e.tickers {
@@ -185,13 +344,15 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 				return e.now, fmt.Errorf("engine: stall at cycle %d: no event executed for %d cycles with tickers active", e.now, idle)
 			}
 		}
-		if !active && len(e.events) > 0 && e.events[0].cycle > e.now {
-			// Nothing happens until the next event: jump.
+		if !active && e.live > 0 && e.heap[0].cycle > e.now {
+			// Nothing happens until the next event: jump. (The root may be
+			// a cancelled entry at an earlier cycle; the jump then lands on
+			// it, Step discards it, and the next iteration jumps again.)
 			e.ffJumps.Inc()
-			e.ffCycles.Add(e.events[0].cycle - e.now)
-			e.now = e.events[0].cycle
+			e.ffCycles.Add(e.heap[0].cycle - e.now)
+			e.now = e.heap[0].cycle
 		}
-		if !active && len(e.events) == 0 {
+		if !active && e.live == 0 {
 			if done() {
 				return e.now, nil
 			}

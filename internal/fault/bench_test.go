@@ -9,6 +9,7 @@ import "testing"
 // armed injector whose plan has no rates or events.
 func BenchmarkFaultHooks_Disabled(b *testing.B) {
 	bench := func(b *testing.B, j *Injector) {
+		b.ReportAllocs()
 		var sink int
 		var sunk bool
 		for i := 0; i < b.N; i++ {
@@ -34,6 +35,7 @@ func BenchmarkFaultHooks_Disabled(b *testing.B) {
 // BenchmarkFaultHooks_Enabled is the armed counterpart: every site carries a
 // rate, so each hook call pays the full hash-based decision.
 func BenchmarkFaultHooks_Enabled(b *testing.B) {
+	b.ReportAllocs()
 	p := &Plan{Seed: 1}
 	for s := Site(0); s < NumSites; s++ {
 		if s.eventOnly() {

@@ -48,6 +48,27 @@ func (s *Store) RMW(addr uint64, f func(uint64) uint64) (old uint64) {
 	return old
 }
 
+// FetchAdd atomically adds delta to the word containing addr, returning
+// the previous value. Equivalent to RMW with an addition function, without
+// making the caller build a closure.
+func (s *Store) FetchAdd(addr, delta uint64) (old uint64) {
+	s.rmws++
+	k := wordKey(addr)
+	old = s.words[k]
+	s.words[k] = old + delta
+	return old
+}
+
+// FetchStore atomically replaces the word containing addr with v,
+// returning the previous value (the test&set / swap primitive).
+func (s *Store) FetchStore(addr, v uint64) (old uint64) {
+	s.rmws++
+	k := wordKey(addr)
+	old = s.words[k]
+	s.words[k] = v
+	return old
+}
+
 // Counters returns the number of functional loads, stores and RMWs.
 func (s *Store) Counters() (loads, stores, rmws uint64) {
 	return s.loads, s.stores, s.rmws

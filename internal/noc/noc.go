@@ -44,6 +44,13 @@ type Packet struct {
 	Payload any
 	// InjectedAt is the cycle Inject was called, for latency accounting.
 	InjectedAt uint64
+
+	// pooled marks packets owned by the mesh's free list (Send path); they
+	// are recycled after the sink returns. Caller-built packets handed to
+	// Inject are never recycled.
+	pooled bool
+	// next links free packets.
+	next *Packet
 }
 
 type entry struct {
@@ -51,9 +58,38 @@ type entry struct {
 	readyAt uint64
 }
 
+// entryQueue is a FIFO ring over a power-of-two buffer. Port queues churn
+// every cycle; the ring reuses its backing array instead of reallocating
+// through the append/reslice pattern.
+type entryQueue struct {
+	buf  []entry
+	head int
+	n    int
+}
+
+func (q *entryQueue) front() *entry { return &q.buf[q.head] }
+
+func (q *entryQueue) push(e entry) {
+	if q.n == len(q.buf) {
+		grown := make([]entry, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = e
+	q.n++
+}
+
+func (q *entryQueue) pop() {
+	q.buf[q.head] = entry{}
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+}
+
 type router struct {
-	in        [numPorts][]entry
-	out       [numPorts][]entry
+	in        [numPorts]entryQueue
+	out       [numPorts]entryQueue
 	busyUntil [numPorts]uint64
 	// txFlits counts flit-cycles of occupancy per output port, for the
 	// link-utilization report.
@@ -81,6 +117,11 @@ type Mesh struct {
 	delivered uint64
 	latSum    [stats.NumMsgClasses]uint64
 	latCount  [stats.NumMsgClasses]uint64
+
+	// pktFree recycles packets created by Send; sinks never retain their
+	// packet past the callback, so a delivered pooled packet is immediately
+	// reusable.
+	pktFree *Packet
 
 	reg       *metrics.Registry
 	latHist   [stats.NumMsgClasses]*metrics.Histogram
@@ -126,8 +167,36 @@ func (m *Mesh) SetInjector(inj *fault.Injector) { m.inj = inj }
 func (m *Mesh) Nodes() int { return m.cols * m.rows }
 
 // Inject queues packet p at its source router's local input port. The
-// packet's ID and InjectedAt fields are assigned here.
+// packet's ID and InjectedAt fields are assigned here. The mesh does not
+// take ownership: caller-built packets are never recycled.
 func (m *Mesh) Inject(p *Packet) {
+	p.pooled = false
+	m.inject(p)
+}
+
+// Send builds a packet from the mesh's free list and injects it — the
+// allocation-free path protocol hot loops use. The packet is recycled
+// after the sink returns, so sinks must not retain it.
+//
+//glvet:cyclepath
+func (m *Mesh) Send(src, dst int, class stats.MsgClass, flits int, payload any) {
+	p := m.pktFree
+	if p != nil {
+		m.pktFree = p.next
+		*p = Packet{pooled: true}
+	} else {
+		//lint:allow allocfree pool warm-up; steady state reuses delivered packets
+		p = &Packet{pooled: true}
+	}
+	p.Src, p.Dst = src, dst
+	p.Class = class
+	p.Flits = flits
+	p.Payload = payload
+	m.inject(p)
+}
+
+//glvet:cyclepath
+func (m *Mesh) inject(p *Packet) {
 	if p.Src < 0 || p.Src >= len(m.routers) || p.Dst < 0 || p.Dst >= len(m.routers) {
 		panic(fmt.Sprintf("noc: packet endpoints out of range: src=%d dst=%d nodes=%d", p.Src, p.Dst, len(m.routers)))
 	}
@@ -140,8 +209,8 @@ func (m *Mesh) Inject(p *Packet) {
 	m.traffic.Add(p.Class, p.Flits)
 	m.inFlight++
 	r := &m.routers[p.Src]
-	r.in[portLocal] = append(r.in[portLocal], entry{p: p, readyAt: m.eng.Now()})
-	m.queuePeak.Set(uint64(len(r.in[portLocal])))
+	r.in[portLocal].push(entry{p: p, readyAt: m.eng.Now()})
+	m.queuePeak.Set(uint64(r.in[portLocal].n))
 }
 
 // Traffic returns the accumulated per-class message/flit counters.
@@ -207,9 +276,19 @@ func (m *Mesh) neighbor(node, port int) (next, inPort int) {
 	panic("noc: neighbor of local port")
 }
 
+// deliverCB ejects a fully-drained packet into its node: recv is the mesh,
+// obj the packet, a the node index.
+func deliverCB(recv, obj any, a, _ uint64) { recv.(*Mesh).deliver(int(a), obj.(*Packet)) }
+
+// arriveCB lands a packet's head flit on a neighbor router's input port:
+// recv is the mesh, obj the packet, a the tile, b the input port.
+func arriveCB(recv, obj any, a, b uint64) { recv.(*Mesh).arrive(int(a), int(b), obj.(*Packet)) }
+
 // Tick advances the mesh one cycle: a routing stage moving at most one
 // packet per input port into an output queue, then a transmission stage
 // starting at most one packet per free output port.
+//
+//glvet:cyclepath
 func (m *Mesh) Tick(cycle uint64) bool {
 	if m.inFlight == 0 {
 		return false
@@ -217,19 +296,19 @@ func (m *Mesh) Tick(cycle uint64) bool {
 	for node := range m.routers {
 		r := &m.routers[node]
 		for port := 0; port < numPorts; port++ {
-			q := r.in[port]
-			if len(q) == 0 || q[0].readyAt > cycle {
+			q := &r.in[port]
+			if q.n == 0 || q.front().readyAt > cycle {
 				continue
 			}
-			e := q[0]
-			r.in[port] = q[1:]
+			e := *q.front()
+			q.pop()
 			outPort := m.route(node, e.p.Dst)
-			r.out[outPort] = append(r.out[outPort], entry{p: e.p, readyAt: cycle + m.routerLat})
-			m.queuePeak.Set(uint64(len(r.out[outPort])))
+			r.out[outPort].push(entry{p: e.p, readyAt: cycle + m.routerLat})
+			m.queuePeak.Set(uint64(r.out[outPort].n))
 		}
 		for port := 0; port < numPorts; port++ {
-			q := r.out[port]
-			if len(q) == 0 || q[0].readyAt > cycle || r.busyUntil[port] > cycle {
+			q := &r.out[port]
+			if q.n == 0 || q.front().readyAt > cycle || r.busyUntil[port] > cycle {
 				continue
 			}
 			if port != portLocal && m.inj.LinkDown(cycle, node, port) {
@@ -237,14 +316,14 @@ func (m *Mesh) Tick(cycle uint64) bool {
 				// this cycle; the packet retries on the next one.
 				continue
 			}
-			e := q[0]
-			r.out[port] = q[1:]
+			e := *q.front()
+			q.pop()
 			flits := uint64(e.p.Flits)
 			if port == portLocal {
 				r.busyUntil[port] = cycle + flits
 				r.txFlits[port] += flits
 				// Ejection: the packet fully drains into the node.
-				m.eng.At(cycle+flits, func() { m.deliver(node, e.p) })
+				m.eng.Call(cycle+flits, deliverCB, m, e.p, uint64(node), 0)
 				continue
 			}
 			// Corruption caught by the link-level CRC costs one full
@@ -256,20 +335,25 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			r.busyUntil[port] = cycle + flits + extra
 			r.txFlits[port] += flits + extra
 			next, inPort := m.neighbor(node, port)
-			nr := &m.routers[next]
-			p := e.p
 			// Cut-through: the head flit reaches the neighbor after one
 			// flit time plus the wire delay; the tail follows while the
 			// downstream router already routes the head.
-			m.eng.At(cycle+1+m.linkLat+extra, func() {
-				nr.in[inPort] = append(nr.in[inPort], entry{p: p, readyAt: m.eng.Now()})
-				m.queuePeak.Set(uint64(len(nr.in[inPort])))
-			})
+			m.eng.Call(cycle+1+m.linkLat+extra, arriveCB, m, e.p, uint64(next), uint64(inPort))
 		}
 	}
 	return true
 }
 
+// arrive lands a packet on node's input port after a link traversal.
+//
+//glvet:cyclepath
+func (m *Mesh) arrive(node, inPort int, p *Packet) {
+	r := &m.routers[node]
+	r.in[inPort].push(entry{p: p, readyAt: m.eng.Now()})
+	m.queuePeak.Set(uint64(r.in[inPort].n))
+}
+
+//glvet:cyclepath
 func (m *Mesh) deliver(node int, p *Packet) {
 	m.inFlight--
 	m.delivered++
@@ -278,6 +362,11 @@ func (m *Mesh) deliver(node int, p *Packet) {
 	m.latCount[p.Class]++
 	m.latHist[p.Class].Observe(lat)
 	m.sink(node, p)
+	if p.pooled {
+		*p = Packet{}
+		p.next = m.pktFree
+		m.pktFree = p
+	}
 }
 
 // Stats is a serializable summary of the mesh's link-level activity: the

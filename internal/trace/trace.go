@@ -115,6 +115,9 @@ func NewRing(capacity int) *Ring {
 // overwritten or formatted; callers must not mutate pointed-to values they
 // pass here.
 func (r *Ring) Emit(cycle uint64, source, format string, args ...any) {
+	// Tracers are opt-in debugging aids: hot paths reach Emit only behind
+	// the Protocol.traceOn guard, which is false in measured runs.
+	//lint:allow cyclepure trace emission is opt-in debugging, off in measured runs
 	r.mu.Lock()
 	r.records[r.next] = record{cycle: cycle, source: source, format: format, args: args}
 	r.next++
@@ -122,6 +125,7 @@ func (r *Ring) Emit(cycle uint64, source, format string, args ...any) {
 		r.next = 0
 		r.filled = true
 	}
+	//lint:allow cyclepure trace emission is opt-in debugging, off in measured runs
 	r.mu.Unlock()
 }
 
@@ -174,6 +178,7 @@ func (t *Writer) Emit(cycle uint64, source, format string, args ...any) {
 	if t.err != nil {
 		return
 	}
+	//lint:allow cyclepure trace emission is opt-in debugging, off in measured runs
 	_, t.err = fmt.Fprintf(t.W, "%10d %-8s %s\n", cycle, source, fmt.Sprintf(format, args...))
 }
 

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates trace-smoke
 
 all: build lint test test-race
 
@@ -23,11 +23,20 @@ lint: vet glvet
 	fi
 
 # Alloc regression gates: the AllocsPerRun tests pinning zero steady-state
-# allocation on the engine/noc/coherence/cpu cycle paths, plus the allocfree
-# static check over //glvet:cyclepath functions. See DESIGN.md §10.
+# allocation on the engine/noc/coherence/cpu cycle paths and the disabled
+# span-emit path, plus the allocfree static check over //glvet:cyclepath
+# functions. See DESIGN.md §10.
 alloc-gates:
-	go test -run ZeroAlloc -v ./internal/engine ./internal/noc ./internal/coherence ./internal/cpu
+	go test -run ZeroAlloc -v ./internal/engine ./internal/noc ./internal/coherence ./internal/cpu ./internal/trace
 	go run ./cmd/glvet -only allocfree ./...
+
+# Timeline smoke: export a small traced run as Chrome trace-event JSON into
+# artifacts/ and run the exporter/attribution validation tests. The artifact
+# loads at ui.perfetto.dev; CI uploads artifacts/ when a test job fails.
+trace-smoke:
+	mkdir -p artifacts
+	go run ./cmd/glsim -bench SYNTH -barrier GL -cores 16 -tier test -trace-out artifacts/synth_gl_16.trace.json
+	go test -run 'TestWriteChrome|TestTraceAttribution' -v ./internal/trace .
 
 # Ten-second fuzz smoke over the fault-plan parser: catches grammar
 # regressions without a dedicated fuzzing job.
@@ -55,14 +64,15 @@ test-race:
 bench:
 	go test -bench=. -benchmem .
 
-# Machine-readable benchmark snapshot: BENCH_<date>.json holds one line of
-# JSON per benchmark result, for diffing runs over time. The bench run
-# lands in a temp file first so a failing `go test -bench` propagates its
-# exit code instead of leaving a truncated JSON behind. Values are located
-# by their unit token (ns/op, B/op, allocs/op) rather than by column, so
-# benchmarks with extra b.ReportMetric columns parse correctly. When an
-# older BENCH_*.json exists, cmd/benchdelta prints the per-benchmark delta
-# against the most recent one.
+# Machine-readable benchmark snapshot: BENCH_<date>.json carries the git
+# SHA and UTC timestamp the numbers were taken at plus one entry per
+# benchmark result, for diffing runs over time. The bench run lands in a
+# temp file first so a failing `go test -bench` propagates its exit code
+# instead of leaving a truncated JSON behind. Values are located by their
+# unit token (ns/op, B/op, allocs/op) rather than by column, so benchmarks
+# with extra b.ReportMetric columns parse correctly. When an older
+# BENCH_*.json exists, cmd/benchdelta prints the per-benchmark delta
+# against the most recent one (it reads legacy bare-array snapshots too).
 bench-json:
 	@tmp=$$(mktemp); \
 	if ! go test -bench=. -benchmem -run '^$$' ./... >"$$tmp" 2>&1; then \
@@ -71,7 +81,11 @@ bench-json:
 	fi; \
 	cat "$$tmp"; \
 	prev=$$(ls BENCH_*.json 2>/dev/null | grep -v "BENCH_$$(date +%Y%m%d).json" | sort | tail -1); \
-	awk 'BEGIN{print "["} /^Benchmark/{ ns="0"; bytes="0"; allocs="0"; \
+	sha=$$(git rev-parse HEAD 2>/dev/null || echo unknown); \
+	ts=$$(date -u +%Y-%m-%dT%H:%M:%SZ); \
+	awk -v sha="$$sha" -v ts="$$ts" \
+		'BEGIN{printf("{\n\"git_sha\": \"%s\",\n\"generated_at\": \"%s\",\n\"results\": [\n", sha, ts)} \
+		/^Benchmark/{ ns="0"; bytes="0"; allocs="0"; \
 		for (i = 3; i <= NF; i++) { \
 			if ($$i == "ns/op") ns = $$(i-1); \
 			else if ($$i == "B/op") bytes = $$(i-1); \
@@ -79,10 +93,11 @@ bench-json:
 		} \
 		if (n++) printf(",\n"); \
 		printf("  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", $$1, $$2, ns, bytes, allocs) } \
-		END{print "\n]"}' "$$tmp" > BENCH_$$(date +%Y%m%d).json; \
+		END{print "\n]\n}"}' "$$tmp" > BENCH_$$(date +%Y%m%d).json; \
 	rm -f "$$tmp"; \
 	echo "wrote BENCH_$$(date +%Y%m%d).json"; \
-	if [ -n "$$prev" ]; then go run ./cmd/benchdelta "$$prev" BENCH_$$(date +%Y%m%d).json; fi
+	if [ -n "$$prev" ]; then go run ./cmd/benchdelta "$$prev" BENCH_$$(date +%Y%m%d).json; \
+	else echo "bench-json: no previous BENCH_*.json baseline; nothing to compare yet"; fi
 
 # Regenerate every paper table/figure at the repro tier (paper data sizes).
 reproduce:

@@ -9,25 +9,43 @@
 //
 //	benchdelta OLD.json NEW.json
 //
+// Snapshots are either the current object form ({git_sha, generated_at,
+// results}) or the legacy bare array of results; both load. A missing OLD
+// baseline is not an error — the first snapshot of a repo has nothing to
+// diff against — so benchdelta says so and exits 0.
+//
 // Exit status: 0 on success (any deltas, including regressions — judging
-// them is the reader's job), 2 on usage or parse errors. Benchmarks present
-// in only one file are listed as added/removed.
+// them is the reader's job — and a missing baseline), 2 on usage or parse
+// errors. Benchmarks present in only one file are listed as added/removed.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"io/fs"
 	"math"
 	"os"
+	"strings"
 )
 
-// result mirrors one entry of a BENCH_<date>.json array.
+// result mirrors one benchmark entry of a BENCH_<date>.json snapshot.
 type result struct {
 	Name        string  `json:"name"`
 	Iters       int64   `json:"iters"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// snapshot is one BENCH_<date>.json document: provenance (which commit and
+// when the numbers were taken) plus the results. Legacy snapshots were a
+// bare result array with no provenance; load normalizes both shapes here.
+type snapshot struct {
+	GitSHA      string   `json:"git_sha"`
+	GeneratedAt string   `json:"generated_at"`
+	Results     []result `json:"results"`
 }
 
 func main() {
@@ -37,27 +55,33 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	if len(args) != 2 {
 		return fmt.Errorf("usage: benchdelta OLD.json NEW.json")
 	}
-	oldRes, err := load(args[0])
+	oldSnap, err := load(args[0])
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			// First snapshot: nothing to diff against is normal, not a
+			// failure.
+			fmt.Fprintf(out, "benchdelta: no baseline %s; nothing to compare yet\n", args[0])
+			return nil
+		}
+		return err
+	}
+	newSnap, err := load(args[1])
 	if err != nil {
 		return err
 	}
-	newRes, err := load(args[1])
-	if err != nil {
-		return err
-	}
-	oldBy := map[string]result{}
-	for _, r := range oldRes {
-		oldBy[r.Name] = r
-	}
-	fmt.Fprintf(out, "benchdelta %s -> %s\n", args[0], args[1])
+	fmt.Fprintf(out, "benchdelta %s -> %s\n", describe(args[0], oldSnap), describe(args[1], newSnap))
 	fmt.Fprintf(out, "%-40s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δtime", "old allocs", "new allocs", "Δallocs")
+	oldBy := map[string]result{}
+	for _, r := range oldSnap.Results {
+		oldBy[r.Name] = r
+	}
 	seen := map[string]bool{}
-	for _, n := range newRes {
+	for _, n := range newSnap.Results {
 		seen[n.Name] = true
 		o, ok := oldBy[n.Name]
 		if !ok {
@@ -69,7 +93,7 @@ func run(args []string, out *os.File) error {
 			n.Name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
 			o.AllocsPerOp, n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp))
 	}
-	for _, o := range oldRes {
+	for _, o := range oldSnap.Results {
 		if !seen[o.Name] {
 			fmt.Fprintf(out, "%-40s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "removed")
 		}
@@ -77,16 +101,46 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-func load(path string) ([]result, error) {
+// describe renders one side of the comparison header: the path plus the
+// snapshot's provenance when it carries any.
+func describe(path string, s snapshot) string {
+	var tags []string
+	if s.GitSHA != "" && s.GitSHA != "unknown" {
+		sha := s.GitSHA
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		tags = append(tags, sha)
+	}
+	if s.GeneratedAt != "" {
+		tags = append(tags, s.GeneratedAt)
+	}
+	if len(tags) == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s (%s)", path, strings.Join(tags, ", "))
+}
+
+// load reads one snapshot, accepting both the object form and the legacy
+// bare-array form (sniffed from the first non-space byte).
+func load(path string) (snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return snapshot{}, err
 	}
-	var rs []result
-	if err := json.Unmarshal(data, &rs); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "[") {
+		var rs []result
+		if err := json.Unmarshal(data, &rs); err != nil {
+			return snapshot{}, fmt.Errorf("%s: %w", path, err)
+		}
+		return snapshot{Results: rs}, nil
 	}
-	return rs, nil
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
 }
 
 // pct renders the relative change from old to new as a signed percentage,

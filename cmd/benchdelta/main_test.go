@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const newSnapshot = `{
+  "git_sha": "0123456789abcdef0123456789abcdef01234567",
+  "generated_at": "2026-08-08T12:00:00Z",
+  "results": [
+    {"name":"BenchmarkRun-8","iters":100,"ns_per_op":900,"bytes_per_op":0,"allocs_per_op":0},
+    {"name":"BenchmarkNew-8","iters":100,"ns_per_op":50,"bytes_per_op":0,"allocs_per_op":1}
+  ]
+}`
+
+const legacySnapshot = `[
+  {"name":"BenchmarkRun-8","iters":100,"ns_per_op":1000,"bytes_per_op":0,"allocs_per_op":0},
+  {"name":"BenchmarkOld-8","iters":100,"ns_per_op":10,"bytes_per_op":0,"allocs_per_op":0}
+]`
+
+// TestMissingBaselineIsNotAnError pins the first-snapshot path: no OLD file
+// means nothing to compare, a friendly message and success.
+func TestMissingBaselineIsNotAnError(t *testing.T) {
+	dir := t.TempDir()
+	newPath := write(t, dir, "new.json", newSnapshot)
+	var out strings.Builder
+	err := run([]string{filepath.Join(dir, "does-not-exist.json"), newPath}, &out)
+	if err != nil {
+		t.Fatalf("missing baseline returned error: %v", err)
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Errorf("output does not explain the missing baseline:\n%s", out.String())
+	}
+}
+
+// TestLegacyArrayAndProvenanceHeader diffs a legacy bare-array snapshot
+// against the current object form and checks the delta table plus the
+// provenance rendered in the header.
+func TestLegacyArrayAndProvenanceHeader(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json", legacySnapshot)
+	newPath := write(t, dir, "new.json", newSnapshot)
+	var out strings.Builder
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"0123456789ab",         // truncated git SHA of the new snapshot
+		"2026-08-08T12:00:00Z", // its timestamp
+		"-10.0%",               // 1000 -> 900 ns/op
+		"added",                // BenchmarkNew only in new
+		"removed",              // BenchmarkOld only in old
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestUsageAndParseErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"one.json"}, &out); err == nil {
+		t.Error("one argument accepted")
+	}
+	dir := t.TempDir()
+	bad := write(t, dir, "bad.json", "{not json")
+	good := write(t, dir, "good.json", newSnapshot)
+	if err := run([]string{bad, good}, &out); err == nil {
+		t.Error("unparsable OLD accepted")
+	}
+	if err := run([]string{good, bad}, &out); err == nil {
+		t.Error("unparsable NEW accepted")
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	traceN := flag.Int("trace", 0, "dump the last N coherence-protocol events after the run")
 	heatmap := flag.Bool("heatmap", false, "print the per-tile link-utilization heatmap")
 	jsonPath := flag.String("json", "", "write the full report as JSON to this file ('-' for stdout)")
+	traceOut := flag.String("trace-out", "", "write the span timeline as Chrome trace-event JSON to this file (load at ui.perfetto.dev)")
 	replicas := flag.Int("replicas", 1, "run N identical fresh-system replicas and verify fingerprints agree")
 	jobs := flag.Int("jobs", 0, "parallel replica runs (0 = all CPUs)")
 	faultsSpec := flag.String("faults", "", "fault-injection plan, e.g. 'seed=7,gl.drop=1e-4,@100-200:noc.linkdown:3' (see internal/fault)")
@@ -87,7 +89,18 @@ func main() {
 		ringCap = 256
 	}
 	ring := sys.AttachRing(ringCap)
+	var tl *trace.Timeline
+	if *traceOut != "" {
+		tl = sys.AttachTimeline(1 << 20)
+	}
 	rep, err := workload.Run(sys, bench, kind, *threads, *maxCycles)
+	if tl != nil {
+		// Write the timeline even when the run failed: a hang's trace is
+		// exactly when you want to open Perfetto.
+		if terr := writeTrace(*traceOut, tl, bench.Name(), string(kind), *cores); terr != nil {
+			fatal(terr)
+		}
+	}
 	if *traceN > 0 {
 		fmt.Fprintf(os.Stderr, "--- last %d protocol events ---\n", ring.Len())
 		if derr := ring.Dump(os.Stderr); derr != nil {
@@ -125,6 +138,24 @@ func writeJSON(path string, rep *sim.Report) error {
 		return err
 	}
 	return os.WriteFile(path, raw, 0o644)
+}
+
+// writeTrace exports the span timeline as Chrome trace-event JSON, stamped
+// with enough run metadata to identify the artifact later.
+func writeTrace(path string, tl *trace.Timeline, bench, kind string, cores int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tl.WriteChrome(f, map[string]string{
+		"bench":   bench,
+		"barrier": kind,
+		"cores":   fmt.Sprint(cores),
+	})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // verifyReplicas runs the benchmark n times on fresh systems through the

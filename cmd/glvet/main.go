@@ -32,6 +32,7 @@ import (
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/faultsite"
 	"repro/internal/analysis/metricname"
+	"repro/internal/analysis/spanname"
 )
 
 // Suite is the full glvet analyzer set.
@@ -40,6 +41,7 @@ func suite() []*analysis.Analyzer {
 		detrand.Analyzer,
 		cyclepure.Analyzer,
 		metricname.Analyzer,
+		spanname.Analyzer,
 		faultsite.Analyzer,
 		allocfree.Analyzer,
 	}

@@ -33,8 +33,10 @@ import (
 
 	repro "repro"
 	"repro/internal/chaos"
+	"repro/internal/fault"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -47,6 +49,7 @@ func main() {
 	csvDir := flag.String("csv", "", "also write each table as CSV into this directory")
 	jsonPath := flag.String("json", "", "write every run's full report as one JSON document to this file ('-' for stdout)")
 	artifacts := flag.String("artifacts", "", "write each sweep cell's report as an individual JSON file into this directory")
+	traceOut := flag.String("trace-out", "", "write each run's span timeline as Chrome trace-event JSON into this directory (chaos: one per saved reproducer)")
 	budget := flag.Int("budget", 64, "chaos: number of randomized fault plans to explore")
 	seed := flag.Uint64("seed", 1, "chaos: campaign seed (same seed, same campaign)")
 	oracles := flag.String("oracles", "all", "chaos: comma-separated oracle selection (safety,liveness,conservation or all)")
@@ -64,6 +67,12 @@ func main() {
 	tier, err := workload.ParseTier(*tierFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+			fatal(err)
+		}
+		repro.SetTraceDir(*traceOut)
 	}
 	opt := repro.SweepOptions{Jobs: *jobs, FailFast: *failFast, ArtifactDir: *artifacts, Timeout: *timeout}
 	what := flag.Arg(0)
@@ -243,12 +252,13 @@ func main() {
 	})
 	if what == "chaos" {
 		opts := chaosOptions{
-			budget:  *budget,
-			seed:    *seed,
-			oracles: *oracles,
-			corpus:  *corpusDir,
-			save:    *saveDir,
-			sweep:   sweep.Options{Jobs: *jobs, FailFast: *failFast, Timeout: *timeout},
+			budget:   *budget,
+			seed:     *seed,
+			oracles:  *oracles,
+			corpus:   *corpusDir,
+			save:     *saveDir,
+			traceDir: *traceOut,
+			sweep:    sweep.Options{Jobs: *jobs, FailFast: *failFast, Timeout: *timeout},
 		}
 		if err := runChaos(opts, record, cellErrs); err != nil {
 			fatal(fmt.Errorf("chaos: %w", err))
@@ -267,12 +277,13 @@ func main() {
 
 // chaosOptions carries the chaos subcommand's flag values.
 type chaosOptions struct {
-	budget  int
-	seed    uint64
-	oracles string
-	corpus  string
-	save    string
-	sweep   sweep.Options
+	budget   int
+	seed     uint64
+	oracles  string
+	corpus   string
+	save     string
+	traceDir string
+	sweep    sweep.Options
 }
 
 // runChaos drives the chaos subcommand: corpus replay when -corpus is set,
@@ -327,11 +338,31 @@ func runChaos(opts chaosOptions, record func(string, *repro.Report), cellErrs fu
 		fmt.Printf("  minimized: %s  (%d site(s), %d shrink runs)\n",
 			f.Minimized, f.MinimizedSites, f.Shrink.Runs)
 		record(fmt.Sprintf("chaos/finding-%02d", i), f.Report)
+		name := fmt.Sprintf("seed%d-plan%04d-%s-%s", rep.Seed, f.Index, f.Verdict.Oracle, f.Verdict.Kind)
+		if opts.traceDir != "" {
+			// Replay the minimized plan with a span timeline attached and
+			// export the Chrome trace next to the finding's other artifacts —
+			// the failing episode, phase by phase, loadable in Perfetto.
+			plan, perr := fault.ParsePlan(f.Minimized)
+			if perr != nil {
+				cellErrs("trace/"+name, perr)
+				continue
+			}
+			out := chaos.RunPlan(chaos.RunConfig{Oracles: set, TraceCapacity: 1 << 16}, plan)
+			if out.Timeline != nil {
+				tp := filepath.Join(opts.traceDir, name+".trace.json")
+				if terr := writeChromeFile(tp, out.Timeline); terr != nil {
+					cellErrs("trace/"+name, terr)
+				} else {
+					fmt.Printf("  trace:     %s\n", tp)
+				}
+			}
+		}
 		if opts.save == "" {
 			continue
 		}
 		r := chaos.Reproducer{
-			Name: fmt.Sprintf("seed%d-plan%04d-%s-%s", rep.Seed, f.Index, f.Verdict.Oracle, f.Verdict.Kind),
+			Name: name,
 			Note: fmt.Sprintf("chaos campaign seed=%d plan=%d; minimized %d->%d atoms in %d runs",
 				rep.Seed, f.Index, f.Shrink.FromAtoms, f.Shrink.ToAtoms, f.Shrink.Runs),
 			Plan:    f.Minimized,
@@ -345,6 +376,19 @@ func runChaos(opts chaosOptions, record func(string, *repro.Report), cellErrs fu
 		fmt.Printf("  saved:     %s\n", path)
 	}
 	return nil
+}
+
+// writeChromeFile exports one timeline as a Chrome trace-event JSON file.
+func writeChromeFile(path string, tl *trace.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tl.WriteChrome(f, nil)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeJSON exports every collected run — keyed "experiment/cell", each a

@@ -1,0 +1,12 @@
+package spanname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spanname"
+)
+
+func TestSpanname(t *testing.T) {
+	analysistest.Run(t, "testdata/src/spannametest", spanname.Analyzer)
+}

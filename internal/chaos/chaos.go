@@ -33,6 +33,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -53,6 +54,10 @@ type RunConfig struct {
 	StallLimit uint64
 	// Oracles selects the invariant checks; the zero set arms all.
 	Oracles OracleSet
+	// TraceCapacity, when positive, attaches a span timeline of that many
+	// events to the run; the Outcome carries it for artifact export.
+	// Observation only — verdicts are identical with or without it.
+	TraceCapacity int
 }
 
 // Chaos-run defaults; see RunConfig.
@@ -95,6 +100,10 @@ type Outcome struct {
 	Report     *sim.Report `json:"report,omitempty"`
 	RunErr     string      `json:"run_err,omitempty"`
 	Violations []Violation `json:"violations,omitempty"`
+	// Timeline is the run's span timeline when RunConfig.TraceCapacity
+	// asked for one; export it with Timeline.WriteChrome. Not serialized —
+	// the Chrome trace file is the artifact format.
+	Timeline *trace.Timeline `json:"-"`
 }
 
 // Tripped returns the first violation, or nil when every oracle held.
@@ -127,8 +136,8 @@ func RunPlan(cfg RunConfig, plan *fault.Plan) Outcome {
 	sysCfg := config.Default(cfg.Cores)
 	sysCfg.Faults = plan
 	p := newProbe(cfg.Cores, livenessBound(plan, cfg.CycleBudget), cfg.Oracles)
-	rep, err := runProtected(sysCfg, cfg, p)
-	out := Outcome{Report: rep}
+	rep, tl, err := runProtected(sysCfg, cfg, p)
+	out := Outcome{Report: rep, Timeline: tl}
 	if err != nil {
 		out.RunErr = err.Error()
 	}
@@ -139,7 +148,7 @@ func RunPlan(cfg RunConfig, plan *fault.Plan) Outcome {
 
 // runProtected builds and drives the system, converting a panic into an
 // error so one crashing plan degrades one campaign slot, not the process.
-func runProtected(sysCfg config.Config, cfg RunConfig, p *probe) (rep *sim.Report, err error) {
+func runProtected(sysCfg config.Config, cfg RunConfig, p *probe) (rep *sim.Report, tl *trace.Timeline, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("chaos: run panicked: %v\n%s", r, debug.Stack())
@@ -147,25 +156,28 @@ func runProtected(sysCfg config.Config, cfg RunConfig, p *probe) (rep *sim.Repor
 	}()
 	sys, err := sim.New(sysCfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sys.Eng.StallLimit = cfg.StallLimit
+	if cfg.TraceCapacity > 0 {
+		tl = sys.AttachTimeline(cfg.TraceCapacity)
+	}
 	sys.ObserveBarrier(p)
 	b, err := sys.NewBarrier(barrier.KindGL, cfg.Cores)
 	if err != nil {
-		return nil, err
+		return nil, tl, err
 	}
 	w := &workload.Synthetic{Iters: cfg.Iters}
 	progs, err := w.Programs(sys, b, cfg.Cores)
 	if err != nil {
-		return nil, err
+		return nil, tl, err
 	}
 	if err := sys.Launch(progs); err != nil {
-		return nil, err
+		return nil, tl, err
 	}
 	rep, err = sys.Run(cfg.CycleBudget)
 	sys.Close()
-	return rep, err
+	return rep, tl, err
 }
 
 // livenessBound derives the per-episode completion bound from the recovery

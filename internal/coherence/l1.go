@@ -4,6 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/trace"
+)
+
+// Timeline span names: one spanCohMiss per miss round-trip (request to
+// fill), one spanCohAtomic per remote atomic round-trip, both on the
+// requesting tile's core track with the line address as arg. They nest
+// inside the CPU op span that issued the access.
+const (
+	spanCohMiss   = "coh.miss"
+	spanCohAtomic = "coh.atomic"
 )
 
 // L1 is a tile's private L1 data cache controller. Cores issue at most one
@@ -41,6 +51,7 @@ type l1Pending struct {
 	operand  uint64
 	value    uint64
 	hasValue bool
+	start    uint64 // cycle the transaction left the L1 (timeline span start)
 	done     func(val uint64)
 }
 
@@ -79,6 +90,7 @@ func l1WriteHitCB(recv, _ any, _, _ uint64) {
 	// pipeline would).
 	cur := l.c.Peek(st.line)
 	if !cur.Writable() {
+		st.start = l.p.eng.Now()
 		l.pend = st
 		l.pendSet = true
 		l.request(msgGetX, st.line)
@@ -150,7 +162,7 @@ func (l *L1) Access(kind AccessKind, addr, operand, value uint64, hasValue bool,
 
 //glvet:cyclepath
 func (l *L1) setPend(kind AccessKind, addr, line, operand, value uint64, hasValue bool, done func(val uint64)) {
-	l.pend = l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, done: done}
+	l.pend = l1Pending{kind: kind, addr: addr, line: line, operand: operand, value: value, hasValue: hasValue, start: l.p.eng.Now(), done: done}
 	l.pendSet = true
 }
 
@@ -260,6 +272,7 @@ func (l *L1) fill(m *msg) {
 		// Shared/Exclusive clean victims are dropped silently; the
 		// directory tolerates stale sharer bits (spurious Inv is acked).
 	}
+	l.p.tl.Span(trace.CoreTrack(l.tile), spanCohMiss, l.pend.start, l.p.eng.Now(), 0, m.addr)
 	l.stage = l.pend
 	l.pend = l1Pending{}
 	l.pendSet = false
@@ -284,6 +297,7 @@ func (l *L1) finishAtomic(m *msg) {
 	if !l.pendSet || l.pend.line != m.addr || !l.pend.kind.IsAtomic() {
 		panic(fmt.Sprintf("coherence: L1 %d got AtomicAck for %#x without matching pending atomic", l.tile, m.addr))
 	}
+	l.p.tl.Span(trace.CoreTrack(l.tile), spanCohAtomic, l.pend.start, l.p.eng.Now(), 0, m.addr)
 	l.stage = l.pend
 	l.pend = l1Pending{}
 	l.pendSet = false

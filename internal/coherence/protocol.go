@@ -30,6 +30,9 @@ type Protocol struct {
 	// traceOn caches trace.Enabled(tracer) so hot paths skip the Emit call
 	// (and its variadic boxing) with a single field load.
 	traceOn bool
+	// tl, when set, records coherence transactions (miss and atomic
+	// round-trips) as spans on the requesting tile's track.
+	tl *trace.Timeline
 
 	// inj, when set, injects faults into the memory system: mesh link
 	// faults and perturbed L1 spin-watch wakeups. Nil in fault-free runs.
@@ -108,6 +111,13 @@ func (p *Protocol) SetTracer(t trace.Tracer) {
 	}
 	p.tracer = t
 	p.traceOn = trace.Enabled(t)
+}
+
+// SetTimeline attaches a span timeline to the memory system: the protocol
+// records miss/atomic round-trips, the mesh per-port occupancy.
+func (p *Protocol) SetTimeline(tl *trace.Timeline) {
+	p.tl = tl
+	p.mesh.SetTimeline(tl)
 }
 
 // Metrics returns the protocol's metric registry (directory transitions,

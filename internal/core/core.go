@@ -52,6 +52,10 @@ type Line struct {
 	// hot path pays one nil check.
 	id  uint64
 	inj *fault.Injector
+
+	// tlID is the line's timeline-track id, assigned by SetTimeline with
+	// the same deterministic traversal SetInjector uses for fault ids.
+	tlID int
 }
 
 // NewLine builds a G-line supporting up to maxTx transmitters.

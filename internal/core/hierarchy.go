@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/trace"
 )
 
 // Hierarchical implements the paper's future-work extension for CMPs larger
@@ -29,6 +30,12 @@ type Hierarchical struct {
 	cycles   uint64
 
 	currentCycle uint64
+
+	// tl records global-line pulses and global barrier completions; probe
+	// reports completions to the latency-attribution collector. Cluster
+	// networks carry their own copy of tl for in-cluster line pulses.
+	tl    *trace.Timeline
+	probe func(ctx int, cycle uint64)
 }
 
 // clusterSlot binds a flat sub-network to its region of the global mesh.
@@ -180,6 +187,31 @@ func (h *Hierarchical) SetInjector(inj *fault.Injector) {
 		l.gRel.inj, l.gRel.id = inj, id
 		id++
 	}
+}
+
+// SetTimeline attaches a span timeline across the hierarchy: cluster lines
+// get disjoint track-id ranges (in cluster order) followed by the global
+// arrival/release pair of each context — the same layout SetInjector uses
+// for fault ids.
+func (h *Hierarchical) SetTimeline(tl *trace.Timeline) {
+	h.tl = tl
+	id := 0
+	for _, slot := range h.clusters {
+		id = slot.net.setTimelineFrom(tl, id)
+	}
+	for _, l := range h.layers {
+		l.gArr.tlID = id
+		id++
+		l.gRel.tlID = id
+		id++
+	}
+}
+
+// SetEpisodeProbe installs the per-episode completion callback, as for
+// Network. Only global (whole-chip) completions are reported; in-cluster
+// completions are intermediate gather steps.
+func (h *Hierarchical) SetEpisodeProbe(fn func(ctx int, cycle uint64)) {
+	h.probe = fn
 }
 
 // ResetContext re-arms one context across the whole hierarchy: every
@@ -353,6 +385,14 @@ func (l *globalLayer) step(cycle uint64) bool {
 	}
 	l.gArr.sample(cycle)
 	l.gRel.sample(cycle)
+	if tl := l.h.tl; tl != nil {
+		if l.gArr.sampled > 0 {
+			tl.Instant(trace.LineTrack(l.gArr.tlID), spanGLPulse, cycle, 0, uint64(l.gArr.sampled))
+		}
+		if l.gRel.sampled > 0 {
+			tl.Instant(trace.LineTrack(l.gRel.tlID), spanGLPulse, cycle, 0, uint64(l.gRel.sampled))
+		}
+	}
 
 	// Observe phase: the global master counts arrivals.
 	if !l.gComplete {
@@ -366,6 +406,12 @@ func (l *globalLayer) step(cycle uint64) bool {
 			l.gComplete = true
 			l.relPending = true
 			l.episodes++
+			if l.h.tl != nil {
+				l.h.tl.Instant(trace.BarrierTrack(l.ctxID), spanGLComplete, cycle, l.episodes, 0)
+			}
+			if l.h.probe != nil {
+				l.h.probe(l.ctxID, cycle)
+			}
 		}
 	} else if l.drove == cycle+1 {
 		// Release pulse on the wire this cycle: every active cluster's

@@ -4,6 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Timeline span names emitted by the G-line networks. Instants: one
+// spanGLPulse per line per cycle with assertions (the S-CSMA sample count
+// as arg — arbitration visibility), one spanGLComplete when a context's
+// barrier completes at the vertical master.
+const (
+	spanGLPulse    = "gl.pulse"
+	spanGLComplete = "gl.complete"
 )
 
 // MuxMode selects how multiple barrier contexts share the chip's G-lines.
@@ -48,6 +58,12 @@ type Network struct {
 
 	activeCtxs int
 	cycles     uint64 // cycles the network was actively stepped (power gating)
+
+	// tl, when non-nil, records line pulses and barrier completions as
+	// structured timeline events; probe additionally reports each context
+	// completion (ctx id, cycle) to the latency-attribution collector.
+	tl    *trace.Timeline
+	probe func(ctx int, cycle uint64)
 }
 
 // context is one logical barrier: a full set of controllers plus (in
@@ -68,6 +84,7 @@ type context struct {
 
 	arrivals, episodes uint64
 	lastEpisodeCycle   uint64
+	nowCycle           uint64 // cycle of the step in progress (timeline hooks)
 
 	// releasedBuf is per-context scratch reused across steps; it must not
 	// be shared between networks, which may step on parallel goroutines.
@@ -261,6 +278,40 @@ func (n *Network) setInjectorFrom(inj *fault.Injector, base uint64) uint64 {
 	return id
 }
 
+// SetTimeline attaches a span timeline: line pulses and context completions
+// are recorded on it. Track ids are assigned with the same deterministic
+// traversal SetInjector uses, so a line keeps its track across runs.
+func (n *Network) SetTimeline(tl *trace.Timeline) {
+	n.setTimelineFrom(tl, 0)
+}
+
+// setTimelineFrom assigns line track ids starting at base and returns the
+// next free id; the hierarchical network gives every cluster a disjoint
+// range.
+func (n *Network) setTimelineFrom(tl *trace.Timeline, base int) int {
+	n.tl = tl
+	id := base
+	seen := map[*Line]bool{}
+	for _, c := range n.contexts {
+		for _, l := range c.lines {
+			if !seen[l] {
+				seen[l] = true
+				l.tlID = id
+				id++
+			}
+		}
+	}
+	return id
+}
+
+// SetEpisodeProbe installs a callback fired once per completed barrier
+// episode with the context id and completion cycle (before release
+// propagates). The latency-attribution collector uses it to pin the gather
+// phase's end.
+func (n *Network) SetEpisodeProbe(fn func(ctx int, cycle uint64)) {
+	n.probe = fn
+}
+
 // ResetContext re-arms one context's controllers to their pristine state:
 // all bar_regs cleared, counts zeroed, state machines back to their initial
 // states. Participant masks and multiplexing slots survive. The recovery
@@ -434,7 +485,16 @@ func (n *Network) LineCount() int {
 	return cnt
 }
 
-func (c *context) onEpisode() { c.episodes++ }
+func (c *context) onEpisode() {
+	c.episodes++
+	n := c.net
+	if n.tl != nil {
+		n.tl.Instant(trace.BarrierTrack(c.id), spanGLComplete, c.nowCycle, c.episodes, 0)
+	}
+	if n.probe != nil {
+		n.probe(c.id, c.nowCycle)
+	}
+}
 
 // Tick steps the network one cycle. Returns whether any barrier is in
 // flight (contexts with no pending arrivals are power-gated).
@@ -476,6 +536,7 @@ func (c *context) inFlight() bool {
 // registered-flag semantics of the paper: a flag written by MasterH on
 // cycle k is first visible to MasterV on cycle k+1.
 func (c *context) step(cycle uint64) {
+	c.nowCycle = cycle
 	for _, s := range c.slavesH {
 		s.assertPhase()
 	}
@@ -489,6 +550,15 @@ func (c *context) step(cycle uint64) {
 
 	for _, l := range c.lines {
 		l.sample(cycle)
+	}
+	if c.net.tl != nil {
+		// One instant per line with assertions this cycle; arg carries the
+		// S-CSMA sample count, making arbitration rounds visible per wire.
+		for _, l := range c.lines {
+			if l.sampled > 0 {
+				c.net.tl.Instant(trace.LineTrack(l.tlID), spanGLPulse, cycle, 0, uint64(l.sampled))
+			}
+		}
 	}
 
 	released := c.releasedBuf[:0]

@@ -475,3 +475,8 @@ func (r *Recovering) LineCount() int { return r.inner.LineCount() }
 
 // ActiveCycles delegates to the hardware.
 func (r *Recovering) ActiveCycles() uint64 { return r.inner.ActiveCycles() }
+
+// Unwrap exposes the guarded hardware network, so observability wiring
+// (timeline attachment, episode probes) can reach the concrete Network or
+// Hierarchical beneath the guard.
+func (r *Recovering) Unwrap() BarrierNetwork { return r.inner }

@@ -14,7 +14,39 @@ import (
 	"repro/internal/coherence"
 	"repro/internal/engine"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
+
+// Timeline span names: one span per completed operation on the core's
+// track, dispatch to completion, with the op's address (or barrier context)
+// as arg. Coherence miss spans nest inside them.
+const (
+	spanOpCompute    = "cpu.compute"
+	spanOpLoad       = "cpu.load"
+	spanOpStore      = "cpu.store"
+	spanOpAtomic     = "cpu.atomic"
+	spanOpBarrier    = "cpu.barrier"
+	spanOpSpin       = "cpu.spin"
+	spanOpLoadRange  = "cpu.load.range"
+	spanOpStoreRange = "cpu.store.range"
+	spanOpLoadLinked = "cpu.load.linked"
+	spanOpStoreCond  = "cpu.store.cond"
+)
+
+// opSpanNames maps an opKind to its timeline span name; entries are the
+// package-level constants above, so emit sites stay spanname-clean.
+var opSpanNames = [numOpKinds]string{
+	opCompute:    spanOpCompute,
+	opLoad:       spanOpLoad,
+	opStore:      spanOpStore,
+	opAtomic:     spanOpAtomic,
+	opGLBarrier:  spanOpBarrier,
+	opSpin:       spanOpSpin,
+	opLoadRange:  spanOpLoadRange,
+	opStoreRange: spanOpStoreRange,
+	opLoadLinked: spanOpLoadLinked,
+	opStoreCond:  spanOpStoreCond,
+}
 
 // Program is the code a core executes.
 type Program func(c *Ctx)
@@ -88,6 +120,9 @@ type Core struct {
 	glPending bool // outstanding G-line barrier, waiting for GLRelease
 	pendStart uint64
 
+	// tl, when set, records one span per completed op on the core's track.
+	tl *trace.Timeline
+
 	rangeI uint64 // next element of an in-flight load/store range
 
 	// Method values bound once at construction so the per-op hot path
@@ -129,6 +164,15 @@ func (c *Core) SetBarrierEngine(be BarrierEngine) {
 		panic(fmt.Sprintf("cpu: core %d rewired while running", c.id))
 	}
 	c.be = be
+}
+
+// SetTimeline attaches a span timeline recording op handshakes; only valid
+// before the core starts running.
+func (c *Core) SetTimeline(tl *trace.Timeline) {
+	if c.running {
+		panic(fmt.Sprintf("cpu: core %d timeline attached while running", c.id))
+	}
+	c.tl = tl
 }
 
 // Done reports whether the program has finished.
@@ -206,6 +250,10 @@ func (c *Core) Abort() {
 // to the program, pull the next op. Bound once as c.completeFn so memory
 // accesses pass an existing func value.
 func (c *Core) complete(val uint64) {
+	if c.tl != nil {
+		//lint:allow spanname looked up in the const-initialized opSpanNames table
+		c.tl.Span(trace.CoreTrack(c.id), opSpanNames[c.curOp.kind], c.opStart, c.eng.Now(), 0, c.curOp.addr)
+	}
 	c.breakdown.Add(c.curOp.region, c.eng.Now()-c.opStart)
 	select {
 	case c.resCh <- val:
@@ -374,6 +422,7 @@ func (c *Core) GLRelease() {
 		panic(fmt.Sprintf("cpu: core %d released with no barrier pending", c.id))
 	}
 	c.glPending = false
+	c.tl.Span(trace.CoreTrack(c.id), spanOpBarrier, c.pendStart, c.eng.Now(), 0, uint64(c.curOp.barrierCtx))
 	c.breakdown.Add(c.curOp.region, c.eng.Now()-c.pendStart)
 	select {
 	case c.resCh <- 0:

@@ -19,7 +19,12 @@ import (
 	"sort"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
+
+// spanEngineFF is the timeline instant marking a fast-forward jump; arg
+// carries the number of cycles skipped.
+const spanEngineFF = "engine.ff"
 
 // Callback is the typed form of a scheduled event: a shared function
 // applied to the receiver/operand words captured at schedule time. Hot
@@ -86,6 +91,9 @@ type Engine struct {
 	peakQueue *metrics.Gauge
 	ffJumps   *metrics.Counter
 	ffCycles  *metrics.Counter
+
+	// tl, when set, records fast-forward jumps as timeline instants.
+	tl *trace.Timeline
 }
 
 // Metric names registered by the engine.
@@ -105,6 +113,9 @@ func New() *Engine {
 	e.ffCycles = e.reg.Counter(metricFastforwardCycs)
 	return e
 }
+
+// SetTimeline attaches a span timeline recording fast-forward jumps.
+func (e *Engine) SetTimeline(tl *trace.Timeline) { e.tl = tl }
 
 // Metrics returns the engine's metric registry (event counts, queue depth,
 // fast-forward statistics).
@@ -350,6 +361,7 @@ func (e *Engine) Run(maxCycles uint64, done func() bool) (uint64, error) {
 			// it, Step discards it, and the next iteration jumps again.)
 			e.ffJumps.Inc()
 			e.ffCycles.Add(e.heap[0].cycle - e.now)
+			e.tl.Instant(trace.EngineTrack(), spanEngineFF, e.now, 0, e.heap[0].cycle-e.now)
 			e.now = e.heap[0].cycle
 		}
 		if !active && e.live == 0 {

@@ -18,7 +18,12 @@ import (
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
+
+// spanNocTx is the timeline span of one output-port transmission: the port
+// is busy [start, start+flits(+retransmission)); arg carries the flit count.
+const spanNocTx = "noc.tx"
 
 // Port indices of a router.
 const (
@@ -131,6 +136,10 @@ type Mesh struct {
 	// windows, flit corruption forcing a retransmission). Nil in
 	// fault-free systems.
 	inj *fault.Injector
+
+	// tl, when set, records per-port flit occupancy spans. Nil when
+	// tracing is off: the transmission stage pays one branch.
+	tl *trace.Timeline
 }
 
 // New creates a cols x rows mesh. Delivered packets are handed to sink.
@@ -162,6 +171,10 @@ func (m *Mesh) Metrics() *metrics.Registry { return m.reg }
 
 // SetInjector installs a fault injector on the mesh's links.
 func (m *Mesh) SetInjector(inj *fault.Injector) { m.inj = inj }
+
+// SetTimeline attaches a span timeline recording per-router, per-port
+// transmission occupancy.
+func (m *Mesh) SetTimeline(tl *trace.Timeline) { m.tl = tl }
 
 // Nodes returns the number of tiles.
 func (m *Mesh) Nodes() int { return m.cols * m.rows }
@@ -322,6 +335,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			if port == portLocal {
 				r.busyUntil[port] = cycle + flits
 				r.txFlits[port] += flits
+				m.tl.Span(trace.RouterTrack(node, port), spanNocTx, cycle, cycle+flits, 0, flits)
 				// Ejection: the packet fully drains into the node.
 				m.eng.Call(cycle+flits, deliverCB, m, e.p, uint64(node), 0)
 				continue
@@ -334,6 +348,7 @@ func (m *Mesh) Tick(cycle uint64) bool {
 			}
 			r.busyUntil[port] = cycle + flits + extra
 			r.txFlits[port] += flits + extra
+			m.tl.Span(trace.RouterTrack(node, port), spanNocTx, cycle, cycle+flits+extra, 0, flits)
 			next, inPort := m.neighbor(node, port)
 			// Cut-through: the head flit reaches the neighbor after one
 			// flit time plus the wire delay; the tail follows while the

@@ -33,10 +33,17 @@ type reportJSON struct {
 	EnergyNoCPJ    float64 `json:"energy_noc_pj"`
 	EnergyGLinePJ  float64 `json:"energy_gline_pj"`
 
-	Metrics     metrics.Snapshot `json:"metrics"`
-	NoC         noc.Stats        `json:"noc"`
-	Hang        *HangDump        `json:"hang,omitempty"`
-	Fingerprint string           `json:"fingerprint"`
+	Metrics metrics.Snapshot `json:"metrics"`
+	NoC     noc.Stats        `json:"noc"`
+	Hang    *HangDump        `json:"hang,omitempty"`
+	// GLEpisodes is the per-episode latency attribution table (present
+	// when the run had a timeline attached).
+	GLEpisodes []EpisodeAttribution `json:"gl_episodes,omitempty"`
+	// Provenance and Config make the report self-describing: which build
+	// produced it and which resolved configuration it simulated.
+	Provenance  Provenance  `json:"provenance"`
+	Config      *configEcho `json:"config,omitempty"`
+	Fingerprint string      `json:"fingerprint"`
 }
 
 type flows struct {
@@ -76,6 +83,9 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Metrics:         r.Metrics,
 		NoC:             r.NoC,
 		Hang:            r.Hang,
+		GLEpisodes:      r.Episodes,
+		Provenance:      BuildProvenance(),
+		Config:          echoConfig(r),
 		Fingerprint:     r.Fingerprint(),
 	}
 	for _, bd := range r.PerCore {

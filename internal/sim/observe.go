@@ -58,6 +58,9 @@ type glMeter struct {
 	eps   map[int]*glEpisode
 	ctxOf []int // last barrier context each core arrived on
 	obs   BarrierObserver
+	// tlc, when a timeline is attached, receives arrivals and episode
+	// closures for span emission and latency attribution.
+	tlc *tlCollector
 }
 
 type glEpisode struct {
@@ -97,6 +100,9 @@ func (m *glMeter) Arrive(core, barrierCtx int) {
 	if m.obs != nil {
 		m.obs.BarrierArrive(barrierCtx, core, now)
 	}
+	if m.tlc != nil {
+		m.tlc.arrive(barrierCtx, core, now)
+	}
 	m.gl.Arrive(core, barrierCtx)
 }
 
@@ -110,6 +116,12 @@ func (m *glMeter) release(core int) {
 			now := m.eng.Now()
 			m.lat.Observe(now - ep.last)
 			m.skew.Observe(ep.last - ep.first)
+			if m.tlc != nil {
+				// Attribute the episode with the exact cycles the latency
+				// sample was computed from, so the table reconciles with
+				// the histogram.
+				m.tlc.close(m.ctxOf[core], ep.first, ep.last, now)
+			}
 			ep.outstanding = ep.arrived - 1
 			ep.arrived = 0
 		} else {
@@ -133,11 +145,13 @@ func (s *System) ObserveBarrier(obs BarrierObserver) {
 	if s.glm != nil {
 		s.glm.obs = obs
 	}
-	if guard, ok := s.GL.(*core.Recovering); ok {
-		if gobs, ok := obs.(core.GuardObserver); ok {
-			guard.SetObserver(gobs)
-		}
+	if gobs, ok := obs.(core.GuardObserver); ok {
+		s.guardObs = gobs
 	}
+	// With a timeline attached the collector sits in front of the user
+	// observer (it forwards every guard event); otherwise the user observer
+	// is installed directly, as before.
+	s.installGuardObs()
 }
 
 // AttachRing installs a trace ring of the given capacity as the coherence
@@ -163,6 +177,11 @@ type HangDump struct {
 	// when the run used one; chaos-found hangs are diagnosed from this.
 	Guard []core.GuardCtxStatus `json:"guard,omitempty"`
 	Trace []string              `json:"trace,omitempty"`
+	// TimelineTail is the most recent slice of the structured span timeline
+	// (when one was attached): the typed counterpart of Trace, showing
+	// exactly which barrier phases, transactions and releases were in
+	// flight when the run wedged.
+	TimelineTail []string `json:"timeline_tail,omitempty"`
 }
 
 // hangDump snapshots the system state after an engine error.
@@ -184,8 +203,18 @@ func (s *System) hangDump(err error) *HangDump {
 			d.Trace = append(d.Trace, e.String())
 		}
 	}
+	if s.tl != nil {
+		for _, e := range s.tl.Tail(hangTimelineTail) {
+			d.TimelineTail = append(d.TimelineTail, e.String())
+		}
+	}
 	return d
 }
+
+// hangTimelineTail is how many timeline events the watchdog post-mortem
+// keeps: enough to cover the wedged episode's recent phases without
+// drowning the dump.
+const hangTimelineTail = 48
 
 // String renders the dump in the shape of a crash report.
 func (d *HangDump) String() string {
@@ -205,6 +234,12 @@ func (d *HangDump) String() string {
 	if len(d.Trace) > 0 {
 		fmt.Fprintf(&b, "last %d protocol events:\n", len(d.Trace))
 		for _, line := range d.Trace {
+			fmt.Fprintf(&b, "%s\n", line)
+		}
+	}
+	if len(d.TimelineTail) > 0 {
+		fmt.Fprintf(&b, "last %d timeline events:\n", len(d.TimelineTail))
+		for _, line := range d.TimelineTail {
 			fmt.Fprintf(&b, "%s\n", line)
 		}
 	}

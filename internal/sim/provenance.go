@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Provenance identifies the build that produced a report: Go toolchain,
+// module version and VCS state, read once per process from the binary's
+// embedded build info. Exported reports and timeline artifacts carry it so
+// a saved JSON can always be traced back to the code that generated it.
+type Provenance struct {
+	GoVersion     string `json:"go_version"`
+	Module        string `json:"module,omitempty"`
+	ModuleVersion string `json:"module_version,omitempty"`
+	VCSRevision   string `json:"vcs_revision,omitempty"`
+	VCSTime       string `json:"vcs_time,omitempty"`
+	VCSModified   bool   `json:"vcs_modified,omitempty"`
+}
+
+var (
+	provOnce sync.Once
+	provVal  Provenance
+)
+
+// BuildProvenance returns the current binary's provenance. `go test` and
+// `go run` binaries outside a module checkout carry no VCS stamps; the
+// fields stay empty then.
+func BuildProvenance() Provenance {
+	provOnce.Do(func() {
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		provVal.GoVersion = info.GoVersion
+		provVal.Module = info.Main.Path
+		provVal.ModuleVersion = info.Main.Version
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				provVal.VCSRevision = s.Value
+			case "vcs.time":
+				provVal.VCSTime = s.Value
+			case "vcs.modified":
+				provVal.VCSModified = s.Value == "true"
+			}
+		}
+	})
+	return provVal
+}
+
+// configEcho is the snake_case JSON echo of the resolved config.Config a
+// run used. An explicit mirror rather than tags on Config itself, so the
+// exported shape is a deliberate contract.
+type configEcho struct {
+	Cores             int     `json:"cores"`
+	MeshCols          int     `json:"mesh_cols"`
+	MeshRows          int     `json:"mesh_rows"`
+	IssueWidth        int     `json:"issue_width"`
+	ClockGHz          float64 `json:"clock_ghz"`
+	LineSize          int     `json:"line_size"`
+	L1Size            int     `json:"l1_size"`
+	L1Ways            int     `json:"l1_ways"`
+	L1HitLatency      uint64  `json:"l1_hit_latency"`
+	L2SizePerCore     int     `json:"l2_size_per_core"`
+	L2Ways            int     `json:"l2_ways"`
+	L2TagLatency      uint64  `json:"l2_tag_latency"`
+	L2DataLatency     uint64  `json:"l2_data_latency"`
+	MemLatency        uint64  `json:"mem_latency"`
+	FlitBytes         int     `json:"flit_bytes"`
+	RouterLatency     uint64  `json:"router_latency"`
+	LinkLatency       uint64  `json:"link_latency"`
+	GLMaxTransmitters int     `json:"gl_max_transmitters"`
+	GLCallOverhead    uint64  `json:"gl_call_overhead"`
+	GLContexts        int     `json:"gl_contexts"`
+	ThreeHopOwnership bool    `json:"three_hop_ownership,omitempty"`
+	WorkloadSeed      int64   `json:"workload_seed,omitempty"`
+	// FaultPlan is the plan in fault.ParsePlan syntax. Named fault_plan
+	// (not faults) so decoding a report back into a struct that embeds
+	// config.Config never tries to parse the string into a fault.Plan.
+	FaultPlan string `json:"fault_plan,omitempty"`
+}
+
+func echoConfig(r *Report) *configEcho {
+	c := r.Config
+	if c.Cores == 0 {
+		// Zero-value Config: the report predates config echoing (or was
+		// built by hand in a test); omit the block rather than echo noise.
+		return nil
+	}
+	e := &configEcho{
+		Cores:             c.Cores,
+		MeshCols:          c.MeshCols,
+		MeshRows:          c.MeshRows,
+		IssueWidth:        c.IssueWidth,
+		ClockGHz:          c.ClockGHz,
+		LineSize:          c.LineSize,
+		L1Size:            c.L1Size,
+		L1Ways:            c.L1Ways,
+		L1HitLatency:      c.L1HitLatency,
+		L2SizePerCore:     c.L2SizePerCore,
+		L2Ways:            c.L2Ways,
+		L2TagLatency:      c.L2TagLatency,
+		L2DataLatency:     c.L2DataLatency,
+		MemLatency:        c.MemLatency,
+		FlitBytes:         c.FlitBytes,
+		RouterLatency:     c.RouterLatency,
+		LinkLatency:       c.LinkLatency,
+		GLMaxTransmitters: c.GLMaxTransmitters,
+		GLCallOverhead:    c.GLCallOverhead,
+		GLContexts:        c.GLContexts,
+		ThreeHopOwnership: c.ThreeHopOwnership,
+		WorkloadSeed:      c.WorkloadSeed,
+	}
+	if c.Faults != nil {
+		e.FaultPlan = c.Faults.String()
+	}
+	return e
+}

@@ -63,6 +63,14 @@ type System struct {
 	ring     *trace.Ring
 	inj      *fault.Injector
 	launched int
+
+	// tl/tlc are set by AttachTimeline: the structured span timeline and
+	// the collector deriving barrier-episode attribution from it. guardObs
+	// is the user's guard observer (chaos oracles), kept so timeline
+	// attachment can chain in front of it.
+	tl       *trace.Timeline
+	tlc      *tlCollector
+	guardObs core.GuardObserver
 }
 
 // New builds a system for the given configuration. A flat G-line network
@@ -203,6 +211,11 @@ func (s *System) ReplaceGL(gl GLNetwork) {
 	for _, c := range s.Cores {
 		c.SetBarrierEngine(s.glm)
 	}
+	if s.tl != nil {
+		s.glm.tlc = s.tlc
+		s.wireGLTimeline()
+		s.installGuardObs()
+	}
 }
 
 // NewBarrier builds a barrier of the given kind over this system's memory
@@ -327,12 +340,22 @@ type Report struct {
 	// Hang carries the watchdog post-mortem when the run stalled or ran
 	// out of cycle budget; nil on clean runs.
 	Hang *HangDump
+	// Episodes is the per-episode latency attribution table, filled when a
+	// timeline was attached. Observability only — not fingerprinted.
+	Episodes []EpisodeAttribution
+	// Config echoes the resolved configuration the run used, so exported
+	// reports and timelines are self-describing.
+	Config config.Config
 }
 
 func (s *System) report(endCycle uint64) *Report {
 	r := &Report{
 		Cycles:  endCycle,
 		Traffic: s.Prot.Traffic(),
+		Config:  s.Cfg,
+	}
+	if s.tlc != nil {
+		r.Episodes = s.tlc.episodes
 	}
 	for i := 0; i < s.launched; i++ {
 		b := s.Cores[i].Breakdown()
@@ -384,6 +407,22 @@ func (r *Report) String() string {
 	}
 	t.AddRow("barrier.episodes", fmt.Sprintf("%d", r.BarrierEpisodes))
 	t.AddRow("barrier.period", fmt.Sprintf("%.0f", r.BarrierPeriod))
+	if len(r.Episodes) > 0 {
+		var wait, gather, rel, retry, fb uint64
+		for _, e := range r.Episodes {
+			wait += e.ArriveWait
+			gather += e.Gather
+			rel += e.Release
+			retry += e.Retry
+			fb += e.Fallback
+		}
+		t.AddRow("barrier.attr.episodes", fmt.Sprintf("%d", len(r.Episodes)))
+		t.AddRow("barrier.attr.arrive-wait", fmt.Sprintf("%d", wait))
+		t.AddRow("barrier.attr.gather", fmt.Sprintf("%d", gather))
+		t.AddRow("barrier.attr.release", fmt.Sprintf("%d", rel))
+		t.AddRow("barrier.attr.retry", fmt.Sprintf("%d", retry))
+		t.AddRow("barrier.attr.fallback", fmt.Sprintf("%d", fb))
+	}
 	t.AddRow("l1.hits/misses", fmt.Sprintf("%d/%d", r.L1Hits, r.L1Misses))
 	t.AddRow("l2.hits/misses", fmt.Sprintf("%d/%d", r.L2Hits, r.L2Misses))
 	t.AddRow("mem.fetch/writeback", fmt.Sprintf("%d/%d", r.MemFetches, r.MemWritebacks))

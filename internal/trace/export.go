@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export (the JSON format ui.perfetto.dev and
+// chrome://tracing load). Mapping:
+//
+//   - one process per track class (core / gline / barrier / router / engine)
+//     so Perfetto groups related tracks,
+//   - one thread per track, named by Track.String(),
+//   - complete spans as ph:"X" events (ts + dur), instants as ph:"i",
+//   - 1 simulated cycle = 1 exported microsecond tick (ts is integral).
+//
+// Perfetto nests "X" events on a thread by containment, but only if an
+// enclosing span is emitted before the spans it contains — so events are
+// sorted (ts ascending, dur descending) before writing.
+
+// chromeEvent is one entry of the traceEvents array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    uint64         `json:"ts"`
+	Dur   *uint64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+var classNames = map[uint32]string{
+	classCore:    "cores",
+	classLine:    "glines",
+	classBarrier: "barriers",
+	classRouter:  "routers",
+	classEngine:  "engine",
+	classNone:    "untracked",
+}
+
+// WriteChrome renders the held events as a Chrome trace-event JSON file.
+// otherData (may be nil) is embedded verbatim for provenance. The output is
+// deterministic for a given timeline: tracks are enumerated in sorted order
+// and events in (ts, -dur) order.
+func (t *Timeline) WriteChrome(w io.Writer, otherData map[string]string) error {
+	evs := t.Events()
+
+	// Collect the tracks actually seen, sorted numerically, so metadata
+	// and tid assignment are deterministic.
+	seen := make(map[Track]bool, 16)
+	for _, e := range evs {
+		seen[e.Track] = true
+	}
+	tracks := make([]Track, 0, len(seen))
+	for tr := range seen {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
+
+	out := make([]chromeEvent, 0, len(evs)+2*len(tracks))
+
+	// Metadata: process names per class, thread names per track. pid is
+	// the class, tid the in-class id — both small and stable.
+	emittedClass := make(map[uint32]bool, 8)
+	for _, tr := range tracks {
+		if !emittedClass[tr.class()] {
+			emittedClass[tr.class()] = true
+			out = append(out, chromeEvent{
+				Name:  "process_name",
+				Phase: "M",
+				PID:   int(tr.class()),
+				Args:  map[string]any{"name": classNames[tr.class()]},
+			})
+		}
+		out = append(out, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   int(tr.class()),
+			TID:   tr.id(),
+			Args:  map[string]any{"name": tr.String()},
+		})
+	}
+
+	// Events, sorted for correct nesting.
+	sorted := make([]SpanEvent, len(evs))
+	copy(sorted, evs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].End-sorted[i].Start > sorted[j].End-sorted[j].Start
+	})
+	for _, e := range sorted {
+		ce := chromeEvent{
+			Name: e.Name,
+			TS:   e.Start,
+			PID:  int(e.Track.class()),
+			TID:  e.Track.id(),
+			Cat:  classNames[e.Track.class()],
+			Args: map[string]any{"episode": e.Episode, "arg": e.Arg},
+		}
+		if e.Instant() {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		} else {
+			ce.Phase = "X"
+			dur := e.End - e.Start
+			ce.Dur = &dur
+		}
+		out = append(out, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeFile{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       otherData,
+	})
+}
+
+// ValidateChrome checks that data has the Chrome trace-event shape this
+// package exports: a traceEvents array whose entries carry a known phase,
+// a duration on every complete ("X") event, and pid/tid fields. Used by
+// the trace-smoke test and CLI round-trip tests.
+func ValidateChrome(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, ev := range f.TraceEvents {
+		var ph string
+		if raw, ok := ev["ph"]; !ok || json.Unmarshal(raw, &ph) != nil {
+			return fmt.Errorf("trace: event %d: missing phase", i)
+		}
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				return fmt.Errorf("trace: event %d: complete event without dur", i)
+			}
+		case "i", "M":
+		default:
+			return fmt.Errorf("trace: event %d: unexpected phase %q", i, ph)
+		}
+		if _, ok := ev["name"]; !ok {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if _, ok := ev["pid"]; !ok {
+			return fmt.Errorf("trace: event %d: missing pid", i)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"]; !ok {
+				return fmt.Errorf("trace: event %d: missing ts", i)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestWriteChromeShape round-trips a small timeline through the exporter
+// and checks the Chrome trace-event contract: valid shape, per-class
+// process metadata, per-track thread metadata, nesting-safe event order and
+// verbatim otherData.
+func TestWriteChromeShape(t *testing.T) {
+	tl := NewTimeline(64)
+	// An enclosing span and a contained one at the same start: the long one
+	// must export first or Perfetto nests them wrong.
+	tl.Span(BarrierTrack(0), "test.inner", 100, 110, 1, 0)
+	tl.Span(BarrierTrack(0), "test.outer", 100, 200, 1, 3)
+	tl.Instant(CoreTrack(2), "test.mark", 150, 1, 9)
+	tl.Span(RouterTrack(1, 0), "test.tx", 120, 125, 0, 5)
+
+	var buf bytes.Buffer
+	if err := tl.WriteChrome(&buf, map[string]string{"bench": "SYNTH"}); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+
+	var f struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    uint64         `json:"ts"`
+			Dur   uint64         `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", f.DisplayTimeUnit)
+	}
+	if f.OtherData["bench"] != "SYNTH" {
+		t.Errorf("otherData not embedded: %v", f.OtherData)
+	}
+
+	threadNames := map[string]bool{}
+	processNames := map[string]bool{}
+	var outerIdx, innerIdx = -1, -1
+	instants := 0
+	for i, ev := range f.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			name, _ := ev.Args["name"].(string)
+			if ev.Name == "thread_name" {
+				threadNames[name] = true
+			} else if ev.Name == "process_name" {
+				processNames[name] = true
+			}
+		case "X":
+			if ev.Name == "test.outer" {
+				outerIdx = i
+			}
+			if ev.Name == "test.inner" {
+				innerIdx = i
+			}
+		case "i":
+			instants++
+			if ev.Name != "test.mark" || ev.TS != 150 {
+				t.Errorf("instant = %+v", ev)
+			}
+		}
+	}
+	for _, want := range []string{"barrier.ctx0", "core.2", "router.1.p0"} {
+		if !threadNames[want] {
+			t.Errorf("missing thread_name %q (have %v)", want, threadNames)
+		}
+	}
+	for _, want := range []string{"barriers", "cores", "routers"} {
+		if !processNames[want] {
+			t.Errorf("missing process_name %q (have %v)", want, processNames)
+		}
+	}
+	if instants != 1 {
+		t.Errorf("instants = %d, want 1", instants)
+	}
+	if outerIdx == -1 || innerIdx == -1 || outerIdx > innerIdx {
+		t.Errorf("nesting order wrong: outer at %d, inner at %d (outer must export first)", outerIdx, innerIdx)
+	}
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewTimeline(4).WriteChrome(&buf, nil); err != nil {
+		t.Fatalf("WriteChrome(empty): %v", err)
+	}
+	if err := ValidateChrome(buf.Bytes()); err != nil {
+		t.Fatalf("ValidateChrome(empty): %v", err)
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"not json", "nope"},
+		{"missing traceEvents", `{"displayTimeUnit":"ms"}`},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Z","ts":1,"pid":0,"tid":0}]}`},
+		{"X without dur", `{"traceEvents":[{"name":"x","ph":"X","ts":1,"pid":0,"tid":0}]}`},
+		{"missing name", `{"traceEvents":[{"ph":"i","ts":1,"pid":0,"tid":0}]}`},
+		{"missing ts", `{"traceEvents":[{"name":"x","ph":"i","pid":0,"tid":0}]}`},
+	}
+	for _, c := range cases {
+		if err := ValidateChrome([]byte(c.data)); err == nil {
+			t.Errorf("%s: ValidateChrome accepted %q", c.name, c.data)
+		}
+	}
+}

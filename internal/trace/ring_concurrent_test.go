@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestRingConcurrentEmitEvents interleaves Emit with Events/Len reads from
+// another goroutine; under -race this proves the ring's locking covers both
+// the write and the snapshot path. Every snapshot must be internally
+// consistent: at most capacity events, cycles monotonically increasing.
+func TestRingConcurrentEmitEvents(t *testing.T) {
+	const capacity, total = 32, 2000
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			r.Emit(uint64(i), "test", "event %d", i)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		evs := r.Events()
+		if len(evs) > capacity {
+			t.Errorf("snapshot holds %d events, capacity %d", len(evs), capacity)
+		}
+		for j := 1; j < len(evs); j++ {
+			if evs[j].Cycle < evs[j-1].Cycle {
+				t.Fatalf("snapshot out of order: %d after %d", evs[j].Cycle, evs[j-1].Cycle)
+			}
+		}
+		_ = r.Len()
+	}
+	wg.Wait()
+	if got := r.Len(); got != capacity {
+		t.Fatalf("final Len = %d, want %d", got, capacity)
+	}
+	evs := r.Events()
+	if evs[len(evs)-1].Cycle != total-1 {
+		t.Fatalf("last event cycle = %d, want %d", evs[len(evs)-1].Cycle, total-1)
+	}
+}

@@ -9,25 +9,35 @@ import (
 	"repro/internal/config"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
 // runObserved is runFresh with every observability feature turned on: a
-// trace ring on the coherence protocol, the JSON export and the link
-// heatmap both rendered after the run. Instrumentation must be pure
-// observation — none of it may perturb simulated timing.
+// trace ring on the coherence protocol, a span timeline across every
+// component, the JSON export, the Chrome trace export and the link heatmap
+// all rendered after the run. Instrumentation must be pure observation —
+// none of it may perturb simulated timing.
 func runObserved(cores int, w Workload, kind BarrierKind) (*Report, error) {
 	sys, err := sim.New(config.Default(cores))
 	if err != nil {
 		return nil, err
 	}
 	sys.AttachRing(256)
+	tl := sys.AttachTimeline(1 << 16)
 	rep, err := workload.Run(sys, w, kind, cores, defaultCycleBudget)
 	if err != nil {
 		return rep, err
 	}
 	if _, jerr := rep.JSON(); jerr != nil {
 		return rep, fmt.Errorf("JSON export: %w", jerr)
+	}
+	var traceBuf strings.Builder
+	if terr := tl.WriteChrome(&traceBuf, nil); terr != nil {
+		return rep, fmt.Errorf("Chrome trace export: %w", terr)
+	}
+	if verr := trace.ValidateChrome([]byte(traceBuf.String())); verr != nil {
+		return rep, fmt.Errorf("Chrome trace shape: %w", verr)
 	}
 	_ = sys.Prot.Mesh().Heatmap()
 	return rep, nil

@@ -17,11 +17,14 @@ package repro
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"repro/internal/barrier"
 	"repro/internal/config"
 	"repro/internal/sim"
 	"repro/internal/sweep"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -92,17 +95,58 @@ func RunBenchmark(sys *System, w Workload, kind BarrierKind, threads int) (*Repo
 // the largest at ~75M cycles.
 const defaultCycleBudget = 4_000_000_000
 
+// traceDir, when non-empty, makes every fresh-system experiment cell attach
+// a span timeline and export it as Chrome trace-event JSON into this
+// directory, one file per cell. Set once, before any experiment runs; the
+// cells themselves then execute in parallel writing distinct files.
+var traceDir string
+
+// SetTraceDir enables per-cell timeline export for the experiment drivers
+// (the `reproduce -trace-out DIR` flag). Call it before Fig5/Fig6And7/
+// Table2/... start; passing "" disables export again.
+func SetTraceDir(dir string) { traceDir = dir }
+
 // runFresh builds a system and runs one benchmark on it.
 func runFresh(cores int, w Workload, kind BarrierKind) (*Report, error) {
 	sys, err := sim.New(config.Default(cores))
 	if err != nil {
 		return nil, err
 	}
-	rep, err := workload.Run(sys, w, kind, cores, defaultCycleBudget)
-	if err != nil {
-		return rep, fmt.Errorf("%s on %d cores with %s: %w", w.Name(), cores, kind, err)
+	var tl *trace.Timeline
+	if traceDir != "" {
+		tl = sys.AttachTimeline(1 << 18)
+	}
+	rep, rerr := workload.Run(sys, w, kind, cores, defaultCycleBudget)
+	if tl != nil {
+		// Export even when the run failed — a hang's timeline is the most
+		// interesting one — but never let an export error mask a run error.
+		if terr := writeTraceArtifact(tl, w.Name(), kind, cores); terr != nil && rerr == nil {
+			rerr = terr
+		}
+	}
+	if rerr != nil {
+		return rep, fmt.Errorf("%s on %d cores with %s: %w", w.Name(), cores, kind, rerr)
 	}
 	return rep, nil
+}
+
+// writeTraceArtifact exports one cell's timeline as
+// <traceDir>/<bench>_<kind>_<cores>.trace.json.
+func writeTraceArtifact(tl *trace.Timeline, bench string, kind BarrierKind, cores int) error {
+	path := filepath.Join(traceDir, fmt.Sprintf("%s_%s_%d.trace.json", bench, kind, cores))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tl.WriteChrome(f, map[string]string{
+		"bench":   bench,
+		"barrier": string(kind),
+		"cores":   fmt.Sprint(cores),
+	})
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // benchSpec is the sweep cell for one fresh-system benchmark run: the

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates trace-smoke
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates trace-smoke serve-smoke
 
 all: build lint test test-race
 
@@ -37,6 +37,14 @@ trace-smoke:
 	mkdir -p artifacts
 	go run ./cmd/glsim -bench SYNTH -barrier GL -cores 16 -tier test -trace-out artifacts/synth_gl_16.trace.json
 	go test -run 'TestWriteChrome|TestTraceAttribution' -v ./internal/trace .
+
+# Job-server smoke: glsimd starts on a random loopback port, a test-tier
+# job is submitted and polled to completion, then the identical spec is
+# resubmitted and the check asserts a pure cache hit (no new simulation,
+# cache.hits counted, byte-identical report). End to end in ~2 s; see
+# DESIGN.md §12.
+serve-smoke:
+	go run ./cmd/glsimd -smoke
 
 # Ten-second fuzz smoke over the fault-plan parser: catches grammar
 # regressions without a dedicated fuzzing job.

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	repro "repro"
 	"repro/internal/barrier"
@@ -185,14 +186,45 @@ func verifyReplicas(cfg repro.Config, tier workload.Tier, benchName string, kind
 	if err := sweep.Errs(results); err != nil {
 		fatal(err)
 	}
-	want := results[0].Fingerprint()
+	summary, err := diagnoseReplicas(results)
+	fmt.Print(summary)
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// diagnoseReplicas checks all replica fingerprints agree. On divergence
+// the report names every minority replica with its fingerprint next to
+// the majority's, so the output answers "which replica diverged, and from
+// what" instead of stopping at the first mismatch.
+func diagnoseReplicas(results []sweep.Result) (string, error) {
+	var b strings.Builder
+	counts := make(map[string]int)
 	for i, r := range results {
-		fmt.Printf("replica %2d: %s\n", i, r.Fingerprint())
-		if r.Fingerprint() != want {
-			fatal(fmt.Errorf("nondeterminism: replica %d fingerprint %s != %s", i, r.Fingerprint(), want))
+		fmt.Fprintf(&b, "replica %2d: %s\n", i, r.Fingerprint())
+		counts[r.Fingerprint()]++
+	}
+	if len(counts) == 1 {
+		fmt.Fprintf(&b, "%d replicas agree: %s\n", len(results), results[0].Fingerprint())
+		return b.String(), nil
+	}
+	// Majority fingerprint is the reference; ties break toward the
+	// earliest replica so the diagnosis is deterministic.
+	want := results[0].Fingerprint()
+	for _, r := range results {
+		if counts[r.Fingerprint()] > counts[want] {
+			want = r.Fingerprint()
 		}
 	}
-	fmt.Printf("%d replicas agree: %s\n", n, want)
+	var diverged []string
+	for i, r := range results {
+		if got := r.Fingerprint(); got != want {
+			diverged = append(diverged, fmt.Sprintf("replica %d got %s, majority %s", i, got, want))
+		}
+	}
+	fmt.Fprintf(&b, "%d of %d replicas diverge from majority fingerprint %s\n",
+		len(diverged), len(results), want)
+	return b.String(), fmt.Errorf("nondeterminism: %s", strings.Join(diverged, "; "))
 }
 
 func fatal(err error) {

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// fpResult fabricates a sweep result whose fingerprint is fixed by
+// constructing a report with a distinguishing field. Fingerprints hash the
+// report's final statistics, so distinct cycle counts give distinct
+// fingerprints and equal reports give equal ones.
+func fpResult(cycles uint64) sweep.Result {
+	return sweep.Result{Report: &sim.Report{Cycles: cycles}}
+}
+
+func TestDiagnoseReplicasAgree(t *testing.T) {
+	results := []sweep.Result{fpResult(100), fpResult(100), fpResult(100)}
+	summary, err := diagnoseReplicas(results)
+	if err != nil {
+		t.Fatalf("agreeing replicas diagnosed as divergent: %v", err)
+	}
+	want := results[0].Fingerprint()
+	if !strings.Contains(summary, "3 replicas agree: "+want) {
+		t.Fatalf("summary missing agreement line:\n%s", summary)
+	}
+}
+
+func TestDiagnoseReplicasDivergence(t *testing.T) {
+	// Replicas 0,2,3 form the majority; replica 1 diverges.
+	results := []sweep.Result{fpResult(100), fpResult(999), fpResult(100), fpResult(100)}
+	majority := results[0].Fingerprint()
+	minority := results[1].Fingerprint()
+	if majority == minority {
+		t.Fatal("test fixture fingerprints collide")
+	}
+	summary, err := diagnoseReplicas(results)
+	if err == nil {
+		t.Fatalf("divergence not reported:\n%s", summary)
+	}
+	msg := err.Error()
+	// The error names the diverging replica and shows BOTH fingerprints.
+	if !strings.Contains(msg, "replica 1 got "+minority) || !strings.Contains(msg, "majority "+majority) {
+		t.Fatalf("error does not identify the divergent replica and both fingerprints: %s", msg)
+	}
+	if strings.Contains(msg, "replica 0 ") || strings.Contains(msg, "replica 2 ") {
+		t.Fatalf("majority replicas misreported as divergent: %s", msg)
+	}
+	// The per-replica listing still shows every fingerprint.
+	for _, frag := range []string{
+		"replica  0: " + majority,
+		"replica  1: " + minority,
+		"1 of 4 replicas diverge",
+	} {
+		if !strings.Contains(summary, frag) {
+			t.Fatalf("summary missing %q:\n%s", frag, summary)
+		}
+	}
+}
+
+func TestDiagnoseReplicasMajorityWins(t *testing.T) {
+	// Two fingerprints, the later one in the majority: the reference must
+	// be the majority, not simply replica 0.
+	results := []sweep.Result{fpResult(7), fpResult(42), fpResult(42), fpResult(42)}
+	majority := results[1].Fingerprint()
+	_, err := diagnoseReplicas(results)
+	if err == nil {
+		t.Fatal("divergence not reported")
+	}
+	if !strings.Contains(err.Error(), "replica 0 got "+results[0].Fingerprint()) ||
+		!strings.Contains(err.Error(), "majority "+majority) {
+		t.Fatalf("majority not used as reference: %v", err)
+	}
+}

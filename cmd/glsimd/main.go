@@ -1,0 +1,99 @@
+// Command glsimd is the simulation job server: a long-running HTTP/JSON
+// service that accepts sweep-grid job specs, executes them on a bounded
+// worker pool, and serves results out of a content-addressed cache keyed
+// by input fingerprints — resubmitting a spec that has already been
+// simulated costs no simulation at all, and concurrent identical
+// submissions collapse onto one run.
+//
+//	glsimd -addr :8100 -cache-dir /var/tmp/glsimd
+//
+// Submit and poll with any HTTP client:
+//
+//	curl -s -X POST localhost:8100/v1/jobs \
+//	     -d '{"spec": "bench=SYNTH|KERN2 barrier=GL|CSW cores=16|32 tier=test"}'
+//	curl -s localhost:8100/v1/jobs/j1
+//	curl -s localhost:8100/v1/jobs/j1/result
+//	curl -s localhost:8100/v1/stats
+//
+// On SIGINT/SIGTERM the server drains: new submissions bounce with 503,
+// queued and running jobs finish (bounded by -drain-timeout), then the
+// process exits.
+//
+// -smoke runs the self-contained end-to-end smoke check (start a server,
+// submit, resubmit, assert the second pass is a pure cache hit) and
+// exits; CI uses it as the serve gate.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8100", "listen address")
+	cacheDir := flag.String("cache-dir", "", "disk spill directory for the result cache (empty = memory only)")
+	cacheEntries := flag.Int("cache-entries", 1024, "in-memory result cache capacity")
+	jobs := flag.Int("jobs", 2, "jobs simulating concurrently")
+	cellWorkers := flag.Int("cell-workers", 0, "worker goroutines per job (0 = all CPUs)")
+	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max time to finish jobs on shutdown")
+	smoke := flag.Bool("smoke", false, "run the end-to-end smoke check and exit")
+	flag.Parse()
+
+	if *smoke {
+		if err := serve.Smoke(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	srv := serve.NewServer(serve.Options{
+		ConcurrentJobs: *jobs,
+		CellWorkers:    *cellWorkers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		CellTimeout:    *cellTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "glsimd: listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "glsimd: %v — draining (up to %v)\n", s, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	derr := srv.Drain(ctx)
+	hs.Shutdown(context.Background())
+	if derr != nil {
+		fatal(fmt.Errorf("drain: %w", derr))
+	}
+	fmt.Fprintln(os.Stderr, "glsimd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "glsimd:", err)
+	os.Exit(1)
+}

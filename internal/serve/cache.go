@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Entry is one cached simulation result: the report's rendered JSON plus
+// the handful of fields the server needs without re-parsing (progress
+// aggregation, watchdog state, the determinism fingerprint echoed to
+// clients). Entries are immutable once built — shared freely across jobs
+// and requests.
+type Entry struct {
+	// InputFP is the content address (sim.InputSpec.Fingerprint).
+	InputFP string
+	// ReportFP is the report's output-side determinism fingerprint.
+	ReportFP string
+	// JSON is the report as rendered by sim.Report.JSON, byte-identical
+	// for every client that ever asks for this input.
+	JSON []byte
+	// Episodes is the run's barrier-episode count.
+	Episodes uint64
+	// GLLatency and SWLatency are the barrier latency histograms (either
+	// may be zero depending on the barrier kind).
+	GLLatency metrics.HistogramSnapshot
+	SWLatency metrics.HistogramSnapshot
+	// Hung records whether the run ended in a watchdog hang dump.
+	Hung bool
+}
+
+// entryPeek is the slice of the report JSON the cache needs; decoding into
+// a local struct keeps the full report opaque.
+type entryPeek struct {
+	Episodes    uint64          `json:"barrier_episodes"`
+	Fingerprint string          `json:"fingerprint"`
+	Hang        json.RawMessage `json:"hang"`
+	Metrics     struct {
+		Histograms map[string]metrics.HistogramSnapshot `json:"histograms"`
+	} `json:"metrics"`
+}
+
+// newEntry builds an Entry from a report's rendered JSON.
+func newEntry(inputFP string, raw []byte) (*Entry, error) {
+	var peek entryPeek
+	if err := json.Unmarshal(raw, &peek); err != nil {
+		return nil, fmt.Errorf("serve: cache entry %s: %w", inputFP, err)
+	}
+	return &Entry{
+		InputFP:   inputFP,
+		ReportFP:  peek.Fingerprint,
+		JSON:      raw,
+		Episodes:  peek.Episodes,
+		GLLatency: peek.Metrics.Histograms["barrier.gl.latency"],
+		SWLatency: peek.Metrics.Histograms["barrier.sw.latency"],
+		Hung:      len(peek.Hang) > 0 && string(peek.Hang) != "null",
+	}, nil
+}
+
+// cacheShards keeps lock contention low without per-entry locks; the shard
+// is picked by fingerprint hash, so distribution is uniform by
+// construction.
+const cacheShards = 16
+
+// Cache is the content-addressed result store: a sharded in-memory LRU
+// over input fingerprints with an optional write-through disk spill. An
+// entry evicted from memory but spilled to disk is transparently re-read
+// (and re-admitted) on the next Get, so the effective capacity is the
+// disk, with the LRU as the hot set.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	// dir is the spill directory; empty disables the disk tier.
+	dir string
+	// perShard is the per-shard entry capacity.
+	perShard int
+
+	// onEvict, onDiskHit are metric hooks (may be nil).
+	onEvict   func()
+	onDiskHit func()
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	order *list.List // front = most recent; values are *Entry
+	byFP  map[string]*list.Element
+}
+
+// NewCache builds a cache holding at least maxEntries reports in memory
+// (rounded up to a multiple of the shard count; <= 0 means 1024). dir,
+// when non-empty, enables the write-through disk tier and is created on
+// first use.
+func NewCache(maxEntries int, dir string) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = 1024
+	}
+	per := (maxEntries + cacheShards - 1) / cacheShards
+	c := &Cache{dir: dir, perShard: per}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].byFP = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(fp string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return &c.shards[h.Sum32()%cacheShards]
+}
+
+// Get returns the entry for fp, consulting memory then disk. A disk hit
+// is re-admitted to the memory tier.
+func (c *Cache) Get(fp string) (*Entry, bool) {
+	s := c.shard(fp)
+	s.mu.Lock()
+	if el, ok := s.byFP[fp]; ok {
+		s.order.MoveToFront(el)
+		e := el.Value.(*Entry)
+		s.mu.Unlock()
+		return e, true
+	}
+	s.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.spillPath(fp))
+	if err != nil {
+		return nil, false
+	}
+	e, err := newEntry(fp, raw)
+	if err != nil || e.ReportFP == "" {
+		// A truncated or foreign file is not a result; ignore it.
+		return nil, false
+	}
+	if c.onDiskHit != nil {
+		c.onDiskHit()
+	}
+	c.admit(e)
+	return e, true
+}
+
+// Put stores the entry in memory and, when the disk tier is enabled,
+// spills it write-through (temp file + rename, so readers never observe a
+// torn write). Spill failures are returned but the memory tier still
+// holds the entry — the cache degrades, it does not fail the job.
+func (c *Cache) Put(e *Entry) error {
+	c.admit(e)
+	if c.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return fmt.Errorf("serve: cache spill: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "spill-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: cache spill: %w", err)
+	}
+	_, werr := tmp.Write(e.JSON)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache spill: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.spillPath(e.InputFP)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache spill: %w", err)
+	}
+	return nil
+}
+
+// admit inserts (or refreshes) the entry in its memory shard, evicting
+// from the cold end past capacity.
+func (c *Cache) admit(e *Entry) {
+	s := c.shard(e.InputFP)
+	s.mu.Lock()
+	if el, ok := s.byFP[e.InputFP]; ok {
+		s.order.MoveToFront(el)
+		el.Value = e
+		s.mu.Unlock()
+		return
+	}
+	s.byFP[e.InputFP] = s.order.PushFront(e)
+	var evicted int
+	for s.order.Len() > c.perShard {
+		back := s.order.Back()
+		s.order.Remove(back)
+		delete(s.byFP, back.Value.(*Entry).InputFP)
+		evicted++
+	}
+	s.mu.Unlock()
+	for i := 0; i < evicted; i++ {
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// Len returns the number of in-memory entries across all shards.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+func (c *Cache) spillPath(fp string) string {
+	return filepath.Join(c.dir, fp+".json")
+}
+
+// flightGroup deduplicates concurrent computation of the same key: N
+// callers asking for one fingerprint cost one simulation, with everyone
+// sharing the leader's result. (The stdlib's singleflight lives in
+// golang.org/x/sync; this is the same contract, scoped to what the server
+// needs.)
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done    chan struct{}
+	waiters int
+	e       *Entry
+	err     error
+}
+
+// waiting reports how many followers are blocked on key's in-progress
+// flight (0 when no flight is up) — test observability for the dedup
+// window.
+func (g *flightGroup) waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.calls[key]; ok {
+		return call.waiters
+	}
+	return 0
+}
+
+// Do runs fn for key unless a flight for key is already in progress, in
+// which case it waits for that flight and shares its outcome. shared
+// reports whether this caller got someone else's result.
+func (g *flightGroup) Do(key string, fn func() (*Entry, error)) (e *Entry, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if call, ok := g.calls[key]; ok {
+		call.waiters++
+		g.mu.Unlock()
+		<-call.done
+		return call.e, true, call.err
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.e, call.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.e, false, call.err
+}

@@ -1,0 +1,181 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeEntryJSON builds a minimal report document the cache peek
+// understands.
+func fakeEntryJSON(fp string, episodes uint64, hang bool) []byte {
+	hangField := ""
+	if hang {
+		hangField = `"hang": {"cycle": 1, "reason": "stuck"},`
+	}
+	return []byte(fmt.Sprintf(`{
+  "barrier_episodes": %d,
+  %s
+  "metrics": {"histograms": {"barrier.gl.latency": {"count": 2, "sum": 10, "min": 3, "max": 7}}},
+  "fingerprint": "rep-%s"
+}`, episodes, hangField, fp))
+}
+
+func TestNewEntryPeek(t *testing.T) {
+	e, err := newEntry("aabb", fakeEntryJSON("aabb", 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.InputFP != "aabb" || e.ReportFP != "rep-aabb" || e.Episodes != 5 || !e.Hung {
+		t.Fatalf("peek = %+v", e)
+	}
+	if e.GLLatency.Count != 2 || e.GLLatency.Sum != 10 {
+		t.Fatalf("histogram peek = %+v", e.GLLatency)
+	}
+	if e2, _ := newEntry("ccdd", fakeEntryJSON("ccdd", 1, false)); e2.Hung {
+		t.Fatal("hang=false peeked as hung")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var evicted atomic.Uint64
+	c := NewCache(cacheShards, "") // one entry per shard
+	c.onEvict = func() { evicted.Add(1) }
+	// Fill far past capacity; every shard must stay at its bound.
+	const n = 10 * cacheShards
+	for i := 0; i < n; i++ {
+		fp := fmt.Sprintf("%016x", i)
+		if err := c.Put(&Entry{InputFP: fp, ReportFP: "r", JSON: []byte("{}")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > cacheShards {
+		t.Fatalf("cache holds %d entries, capacity %d", got, cacheShards)
+	}
+	if int(evicted.Load())+c.Len() != n {
+		t.Fatalf("evictions %d + resident %d != %d inserted", evicted.Load(), c.Len(), n)
+	}
+	// Refreshing an existing key must not evict.
+	before := evicted.Load()
+	for i := 0; i < cacheShards; i++ {
+		fp := fmt.Sprintf("%016x", n-1-i)
+		if e, ok := c.Get(fp); ok {
+			c.Put(e)
+		}
+	}
+	if evicted.Load() != before {
+		t.Fatalf("refresh evicted %d entries", evicted.Load()-before)
+	}
+}
+
+func TestCacheDiskSpill(t *testing.T) {
+	dir := t.TempDir()
+	var diskHits atomic.Uint64
+	c := NewCache(cacheShards, dir)
+	c.onDiskHit = func() { diskHits.Add(1) }
+	fp := "00000000000000aa"
+	e, err := newEntry(fp, fakeEntryJSON(fp, 3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, fp+".json")); err != nil {
+		t.Fatalf("spill file missing: %v", err)
+	}
+	// A fresh cache over the same dir (cold memory tier) serves from disk
+	// and re-admits.
+	c2 := NewCache(cacheShards, dir)
+	c2.onDiskHit = func() { diskHits.Add(1) }
+	got, ok := c2.Get(fp)
+	if !ok {
+		t.Fatal("disk tier miss")
+	}
+	if got.ReportFP != e.ReportFP || got.Episodes != 3 {
+		t.Fatalf("disk entry = %+v", got)
+	}
+	if diskHits.Load() != 1 {
+		t.Fatalf("disk hits = %d, want 1", diskHits.Load())
+	}
+	// Second Get is a memory hit: no new disk read.
+	if _, ok := c2.Get(fp); !ok {
+		t.Fatal("re-admitted entry missing")
+	}
+	if diskHits.Load() != 1 {
+		t.Fatalf("re-admission did not stick (disk hits %d)", diskHits.Load())
+	}
+	// Garbage on disk is ignored, not served.
+	bad := "00000000000000bb"
+	os.WriteFile(filepath.Join(dir, bad+".json"), []byte("not json"), 0o644)
+	if _, ok := c2.Get(bad); ok {
+		t.Fatal("corrupt spill file served")
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int32
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	const n = 8
+	var wg sync.WaitGroup
+	sharedCount := atomic.Int32{}
+	// One designated leader: its fn runs only after the flight is
+	// registered, so once leaderIn closes every follower deterministically
+	// joins the existing flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e, shared, err := g.Do("key", func() (*Entry, error) {
+			calls.Add(1)
+			close(leaderIn)
+			<-release
+			return &Entry{InputFP: "key"}, nil
+		})
+		if err != nil || e.InputFP != "key" || shared {
+			t.Errorf("leader: e=%+v shared=%v err=%v", e, shared, err)
+		}
+	}()
+	<-leaderIn
+	for i := 0; i < n-1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e, shared, err := g.Do("key", func() (*Entry, error) {
+				calls.Add(1)
+				return &Entry{InputFP: "key"}, nil
+			})
+			if err != nil || e.InputFP != "key" {
+				t.Errorf("follower: e=%+v err=%v", e, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Release only once every follower is provably blocked on the flight.
+	for g.waiting("key") != n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if sharedCount.Load() != n-1 {
+		t.Fatalf("%d callers shared, want %d", sharedCount.Load(), n-1)
+	}
+	// After the flight lands, a new Do runs fresh.
+	_, shared, _ := g.Do("key", func() (*Entry, error) {
+		calls.Add(1)
+		return &Entry{InputFP: "key"}, nil
+	})
+	if shared || calls.Load() != 2 {
+		t.Fatalf("post-flight Do: shared=%v calls=%d", shared, calls.Load())
+	}
+}

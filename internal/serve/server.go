@@ -1,0 +1,684 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// CellRunner executes one simulation cell. The default (RunCell) builds a
+// fresh system and runs the workload; tests inject fakes to count and
+// block executions.
+type CellRunner func(ctx context.Context, c Cell) (*sim.Report, error)
+
+// Options configure a Server. The zero value serves with sensible
+// defaults: 2 concurrent jobs, GOMAXPROCS cell workers, a 1024-entry
+// memory cache and no disk spill.
+type Options struct {
+	// ConcurrentJobs is the number of jobs simulating at once; <= 0 means 2.
+	ConcurrentJobs int
+	// CellWorkers is the sweep worker count within one job; <= 0 means
+	// GOMAXPROCS.
+	CellWorkers int
+	// QueueDepth bounds jobs waiting to run; <= 0 means 64. A submit past
+	// the bound is rejected with 429.
+	QueueDepth int
+	// CacheEntries sizes the in-memory result cache; <= 0 means 1024.
+	CacheEntries int
+	// CacheDir enables the write-through disk tier when non-empty.
+	CacheDir string
+	// CellTimeout bounds one cell's wall-clock run; 0 means unbounded.
+	CellTimeout time.Duration
+	// Runner overrides the cell executor (tests); nil means RunCell.
+	Runner CellRunner
+	// WatchInterval is the SSE progress-snapshot period; <= 0 means 500ms.
+	WatchInterval time.Duration
+}
+
+func (o Options) concurrentJobs() int {
+	if o.ConcurrentJobs > 0 {
+		return o.ConcurrentJobs
+	}
+	return 2
+}
+
+func (o Options) cellWorkers() int {
+	if o.CellWorkers > 0 {
+		return o.CellWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) queueDepth() int {
+	if o.QueueDepth > 0 {
+		return o.QueueDepth
+	}
+	return 64
+}
+
+func (o Options) watchInterval() time.Duration {
+	if o.WatchInterval > 0 {
+		return o.WatchInterval
+	}
+	return 500 * time.Millisecond
+}
+
+// Server metric names. All server observability flows through one
+// internal/metrics registry (guarded by a mutex — the registry itself is
+// single-threaded by contract) and out via GET /v1/stats.
+const (
+	metricJobsSubmitted = "serve.jobs.submitted"
+	metricJobsRejected  = "serve.jobs.rejected"
+	metricJobsDone      = "serve.jobs.done"
+	metricJobsFailed    = "serve.jobs.failed"
+	metricJobsCanceled  = "serve.jobs.canceled"
+	metricJobsQueued    = "serve.jobs.queued"
+	metricJobsRunning   = "serve.jobs.running"
+	metricCacheHits     = "serve.cache.hits"
+	metricCacheMisses   = "serve.cache.misses"
+	metricCacheEvicted  = "serve.cache.evictions"
+	metricCacheDiskHits = "serve.cache.disk_hits"
+	metricFlightShared  = "serve.flight.shared"
+	metricCellsSim      = "serve.cells.simulated"
+	metricCellsFailed   = "serve.cells.failed"
+	metricQueueWaitMs   = "serve.queue.wait_ms"
+	metricCellRunMs     = "serve.cell.run_ms"
+)
+
+// msBuckets are exponential millisecond buckets for server latencies
+// (1ms .. ~17min).
+func msBuckets() []uint64 {
+	b := make([]uint64, 21)
+	for i := range b {
+		b[i] = 1 << uint(i)
+	}
+	return b
+}
+
+// serverMetrics holds the server's registered metric handles. Registering
+// once at construction keeps every name a package-level const (the
+// metricname invariant) and makes updates a locked pointer touch.
+type serverMetrics struct {
+	jobsSubmitted *metrics.Counter
+	jobsRejected  *metrics.Counter
+	jobsDone      *metrics.Counter
+	jobsFailed    *metrics.Counter
+	jobsCanceled  *metrics.Counter
+	cacheHits     *metrics.Counter
+	cacheMisses   *metrics.Counter
+	cacheEvicted  *metrics.Counter
+	cacheDiskHits *metrics.Counter
+	flightShared  *metrics.Counter
+	cellsSim      *metrics.Counter
+	cellsFailed   *metrics.Counter
+	jobsQueued    *metrics.Gauge
+	jobsRunning   *metrics.Gauge
+	queueWaitMs   *metrics.Histogram
+	cellRunMs     *metrics.Histogram
+}
+
+func newServerMetrics(reg *metrics.Registry) *serverMetrics {
+	return &serverMetrics{
+		jobsSubmitted: reg.Counter(metricJobsSubmitted),
+		jobsRejected:  reg.Counter(metricJobsRejected),
+		jobsDone:      reg.Counter(metricJobsDone),
+		jobsFailed:    reg.Counter(metricJobsFailed),
+		jobsCanceled:  reg.Counter(metricJobsCanceled),
+		cacheHits:     reg.Counter(metricCacheHits),
+		cacheMisses:   reg.Counter(metricCacheMisses),
+		cacheEvicted:  reg.Counter(metricCacheEvicted),
+		cacheDiskHits: reg.Counter(metricCacheDiskHits),
+		flightShared:  reg.Counter(metricFlightShared),
+		cellsSim:      reg.Counter(metricCellsSim),
+		cellsFailed:   reg.Counter(metricCellsFailed),
+		jobsQueued:    reg.Gauge(metricJobsQueued),
+		jobsRunning:   reg.Gauge(metricJobsRunning),
+		queueWaitMs:   reg.Histogram(metricQueueWaitMs, msBuckets()),
+		cellRunMs:     reg.Histogram(metricCellRunMs, msBuckets()),
+	}
+}
+
+// Server is the glsimd job server: a submit queue, a bounded executor
+// running jobs through internal/sweep, the content-addressed result
+// cache, and the HTTP API.
+type Server struct {
+	opts   Options
+	cache  *Cache
+	flight flightGroup
+
+	// regMu guards reg and every handle in m: internal/metrics registries
+	// are single-threaded by contract, and the server is the one
+	// concurrent component in the repo, so the lock lives here rather than
+	// in the hot simulator path.
+	regMu sync.Mutex
+	reg   *metrics.Registry
+	m     *serverMetrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*job
+	order    []string
+	queue    []*job
+	nextID   int
+	running  int
+	draining bool
+	closed   bool
+
+	// base anchors the server's monotonic clock.
+	base time.Time
+	wg   sync.WaitGroup
+}
+
+// NewServer builds a server and starts its executor pool.
+func NewServer(opts Options) *Server {
+	reg := metrics.NewRegistry()
+	s := &Server{
+		opts:  opts,
+		cache: NewCache(opts.CacheEntries, opts.CacheDir),
+		reg:   reg,
+		m:     newServerMetrics(reg),
+		jobs:  make(map[string]*job),
+		base:  now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.cache.onEvict = func() { s.count(s.m.cacheEvicted, 1) }
+	s.cache.onDiskHit = func() { s.count(s.m.cacheDiskHits, 1) }
+	for i := 0; i < opts.concurrentJobs(); i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// now reads the wall clock for server bookkeeping (queue waits, SSE
+// pacing). The serve package is host-side infrastructure, not simulator
+// code: nothing cycle-accurate derives from these reads, and results stay
+// content-addressed by inputs alone.
+//
+//lint:allow detrand server bookkeeping time, not simulated time
+func now() time.Time { return time.Now() }
+
+// monoMs returns milliseconds since server start.
+func (s *Server) monoMs() int64 { return now().Sub(s.base).Milliseconds() }
+
+// count adds n to a counter under the registry lock.
+func (s *Server) count(c *metrics.Counter, n uint64) {
+	s.regMu.Lock()
+	c.Add(n)
+	s.regMu.Unlock()
+}
+
+// gauge sets a gauge under the registry lock.
+func (s *Server) gauge(g *metrics.Gauge, v uint64) {
+	s.regMu.Lock()
+	g.Set(v)
+	s.regMu.Unlock()
+}
+
+// observe records a histogram sample under the registry lock.
+func (s *Server) observe(h *metrics.Histogram, v uint64) {
+	s.regMu.Lock()
+	h.Observe(v)
+	s.regMu.Unlock()
+}
+
+// Stats snapshots the server's metrics.
+func (s *Server) Stats() metrics.Snapshot {
+	s.regMu.Lock()
+	defer s.regMu.Unlock()
+	return s.reg.Snapshot()
+}
+
+// Submit parses, validates and enqueues a job spec. It returns the job
+// immediately; execution is asynchronous.
+func (s *Server) Submit(specStr string) (*job, error) {
+	spec, err := ParseJobSpec(specStr)
+	if err != nil {
+		s.count(s.m.jobsRejected, 1)
+		return nil, err
+	}
+	cells := spec.Cells()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.count(s.m.jobsRejected, 1)
+		return nil, errDraining
+	}
+	if len(s.queue) >= s.opts.queueDepth() {
+		s.mu.Unlock()
+		s.count(s.m.jobsRejected, 1)
+		return nil, errQueueFull
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("j%d", s.nextID), spec, cells, s.monoMs())
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.queue = append(s.queue, j)
+	queued := len(s.queue)
+	s.mu.Unlock()
+	s.cond.Signal()
+	s.count(s.m.jobsSubmitted, 1)
+	s.gauge(s.m.jobsQueued, uint64(queued))
+	return j, nil
+}
+
+var (
+	errDraining  = errors.New("serve: server is draining")
+	errQueueFull = errors.New("serve: job queue is full")
+)
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobStatuses lists every job in submission order.
+func (s *Server) JobStatuses() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Cancel aborts a job; queued cells are skipped, in-flight cells are
+// abandoned. Canceling a terminal job is a no-op returning false.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	terminal := j.state.terminal()
+	j.mu.Unlock()
+	if terminal {
+		return false
+	}
+	j.cancel()
+	// A queued job never reaches its executor slot's finish path, so it is
+	// finalized here; a running one is finalized by runJob.
+	j.finish(StateCanceled, "canceled by client")
+	s.count(s.m.jobsCanceled, 1)
+	return true
+}
+
+// executor is one job-execution worker: it pulls queued jobs until the
+// server drains or closes.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		queued := len(s.queue)
+		s.mu.Unlock()
+		s.gauge(s.m.jobsQueued, uint64(queued))
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job's cells through the sweep pool.
+func (s *Server) runJob(j *job) {
+	startMs := s.monoMs()
+	if !j.start(startMs) {
+		// Canceled while queued.
+		return
+	}
+	s.observe(s.m.queueWaitMs, uint64(startMs-j.enqueuedAt))
+	s.mu.Lock()
+	s.running++
+	running := s.running
+	s.mu.Unlock()
+	s.gauge(s.m.jobsRunning, uint64(running))
+	defer func() {
+		s.mu.Lock()
+		s.running--
+		running := s.running
+		s.mu.Unlock()
+		s.gauge(s.m.jobsRunning, uint64(running))
+	}()
+
+	specs := make([]sweep.Spec, len(j.cells))
+	for i := range j.cells {
+		i := i
+		cell := j.cells[i]
+		specs[i] = sweep.Spec{
+			Label: cell.Label(),
+			Run: func() (*sim.Report, error) {
+				e, cached, shared, err := s.resolveCell(j.ctx, cell)
+				j.finishCell(i, e, cached, shared, err)
+				if err != nil {
+					s.count(s.m.cellsFailed, 1)
+					return nil, err
+				}
+				// The report already lives in the cache entry; the sweep
+				// result itself is unused.
+				return nil, nil
+			},
+		}
+	}
+	results := sweep.Run(sweep.Options{
+		Jobs: s.opts.cellWorkers(),
+		Ctx:  j.ctx,
+	}, specs)
+
+	if err := j.ctx.Err(); err != nil {
+		j.finish(StateCanceled, "canceled")
+		s.count(s.m.jobsCanceled, 1)
+		return
+	}
+	if err := sweep.Errs(results); err != nil {
+		j.finish(StateFailed, err.Error())
+		s.count(s.m.jobsFailed, 1)
+		return
+	}
+	j.finish(StateDone, "")
+	s.count(s.m.jobsDone, 1)
+}
+
+// resolveCell produces one cell's result: cache lookup, then single-flight
+// computation. Identical concurrent cells — within one job or across jobs
+// — collapse onto one simulation; identical later cells are pure cache
+// hits. Errors are never cached: a failed cell re-runs on resubmit.
+func (s *Server) resolveCell(ctx context.Context, cell Cell) (e *Entry, cached, shared bool, err error) {
+	fp := cell.Fingerprint()
+	if e, ok := s.cache.Get(fp); ok {
+		s.count(s.m.cacheHits, 1)
+		return e, true, false, nil
+	}
+	s.count(s.m.cacheMisses, 1)
+	// A shared flight can fail with the *leader's* context error; when our
+	// own context is still live that failure is not ours — retry, at worst
+	// becoming the new leader.
+	for attempt := 0; ; attempt++ {
+		e, shared, err := s.flight.Do(fp, func() (*Entry, error) {
+			return s.runCell(ctx, cell)
+		})
+		if err != nil && shared && ctx.Err() == nil && attempt < 4 &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		if err != nil {
+			return nil, false, shared, err
+		}
+		if shared {
+			s.count(s.m.flightShared, 1)
+		}
+		return e, false, shared, nil
+	}
+}
+
+// runCell executes one simulation (as the flight leader) and admits the
+// result.
+func (s *Server) runCell(ctx context.Context, cell Cell) (*Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", cell.Label(), err)
+	}
+	runner := s.opts.Runner
+	if runner == nil {
+		runner = RunCell
+	}
+	runStart := s.monoMs()
+	rep, err := runner(ctx, cell)
+	s.observe(s.m.cellRunMs, uint64(s.monoMs()-runStart))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEntry(cell.Fingerprint(), raw)
+	if err != nil {
+		return nil, err
+	}
+	s.count(s.m.cellsSim, 1)
+	if perr := s.cache.Put(e); perr != nil {
+		// Disk-tier degradation only; the entry is in memory.
+		_ = perr
+	}
+	return e, nil
+}
+
+// Drain stops accepting jobs, lets queued and running jobs finish, and
+// returns when the server is idle. When ctx expires first, every
+// remaining job is canceled and Drain waits for the executors to unwind.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		s.closed = true
+		pending := make([]*job, 0, len(s.queue))
+		pending = append(pending, s.queue...)
+		s.queue = nil
+		all := make([]*job, 0, len(s.jobs))
+		for _, id := range s.order {
+			all = append(all, s.jobs[id])
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		for _, j := range pending {
+			j.finish(StateCanceled, "server shutdown")
+		}
+		for _, j := range all {
+			j.cancel()
+		}
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// Handler returns the server's HTTP API.
+//
+// POST /v1/jobs                 submit {"spec": "..."} -> 202 + status
+// GET  /v1/jobs                 list job statuses
+// GET  /v1/jobs/{id}            one job's status
+// GET  /v1/jobs/{id}/result     full result document (409 until terminal)
+// GET  /v1/jobs/{id}/events     SSE progress snapshots until terminal
+// POST /v1/jobs/{id}/cancel     abort a job
+// GET  /v1/cells/{fp}           one cached report, verbatim bytes
+// GET  /v1/stats                metrics snapshot
+// GET  /healthz                 liveness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobStatuses()})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.withJob(s.handleResult))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents))
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		if !s.Cancel(j.id) {
+			writeError(w, http.StatusConflict, "job is already terminal")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.withJob(func(w http.ResponseWriter, r *http.Request, j *job) {
+		s.Cancel(j.id)
+		writeJSON(w, http.StatusOK, j.status())
+	}))
+	mux.HandleFunc("GET /v1/cells/{fp}", s.handleCell)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		if draining {
+			writeError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Spec string `json:"spec"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.Submit(body.Spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.status())
+	case errors.Is(err, errDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, errQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) withJob(h func(http.ResponseWriter, *http.Request, *job)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		h(w, r, j)
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request, j *job) {
+	res, ok := j.result()
+	if !ok {
+		writeError(w, http.StatusConflict, "job is not terminal yet; poll status or watch events")
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleEvents streams progress snapshots as server-sent events: one
+// `progress` event per tick while the job runs, then a final `done` event
+// with the terminal status.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	send := func(event string, st JobStatus) bool {
+		raw, err := json.Marshal(st)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, raw); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+	ticker := time.NewTicker(s.opts.watchInterval())
+	defer ticker.Stop()
+	for {
+		st := j.status()
+		if st.State.terminal() {
+			send("done", st)
+			return
+		}
+		if !send("progress", st) {
+			return
+		}
+		select {
+		case <-ticker.C:
+		case <-j.finished:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleCell serves one cached report verbatim — the exact bytes
+// sim.Report.JSON produced, so a client diffing two fetches of one
+// fingerprint sees byte identity.
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request) {
+	fp := strings.ToLower(r.PathValue("fp"))
+	e, ok := s.cache.Get(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached result for this fingerprint")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Input-Fingerprint", e.InputFP)
+	w.Header().Set("X-Report-Fingerprint", e.ReportFP)
+	w.WriteHeader(http.StatusOK)
+	w.Write(e.JSON)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(raw)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	raw, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(raw)
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// smokeSpec is the job the smoke test submits: the smallest real
+// simulation the server can run (test-tier SYNTH on 8 cores).
+const smokeSpec = "bench=SYNTH barrier=GL cores=8 tier=test"
+
+// Smoke starts a real server on a loopback port, submits a test-tier job,
+// waits for it, resubmits the identical spec and proves the second pass is
+// a pure cache hit: no new simulation, cache.hits counts every cell, and
+// the served report bytes are identical. It is the end-to-end gate `make
+// serve-smoke` runs in CI — a few seconds, no fixtures.
+func Smoke(out io.Writer) error {
+	srv := NewServer(Options{ConcurrentJobs: 1, CacheEntries: 64})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "serve-smoke: listening on %s\n", base)
+
+	first, err := smokeJob(base)
+	if err != nil {
+		return err
+	}
+	stats, err := smokeStats(base)
+	if err != nil {
+		return err
+	}
+	simulated := stats.Counters[metricCellsSim]
+	if simulated == 0 {
+		return fmt.Errorf("serve-smoke: first job simulated nothing (%+v)", first)
+	}
+	cellFP := first.Cells[0].InputFP
+	firstReport, err := smokeGet(base + "/v1/cells/" + cellFP)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serve-smoke: first run simulated %d cell(s), report fingerprint %s\n",
+		simulated, first.Cells[0].ReportFP)
+
+	second, err := smokeJob(base)
+	if err != nil {
+		return err
+	}
+	stats2, err := smokeStats(base)
+	if err != nil {
+		return err
+	}
+	if got := stats2.Counters[metricCellsSim]; got != simulated {
+		return fmt.Errorf("serve-smoke: resubmission simulated again (%d -> %d); cache miss", simulated, got)
+	}
+	if hits := stats2.Counters[metricCacheHits]; hits < uint64(len(second.Cells)) {
+		return fmt.Errorf("serve-smoke: cache hits %d < %d cells", hits, len(second.Cells))
+	}
+	for _, c := range second.Cells {
+		if !c.Cached {
+			return fmt.Errorf("serve-smoke: cell %s not served from cache", c.Label)
+		}
+	}
+	secondReport, err := smokeGet(base + "/v1/cells/" + cellFP)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(firstReport, secondReport) {
+		return fmt.Errorf("serve-smoke: cached report bytes differ between fetches")
+	}
+	if q := stats2.Histograms[metricQueueWaitMs]; q.Count < 2 {
+		return fmt.Errorf("serve-smoke: queue latency histogram observed %d jobs, want >= 2", q.Count)
+	}
+	fmt.Fprintf(out, "serve-smoke: resubmission was a pure cache hit (%d bytes byte-identical)\n", len(secondReport))
+	fmt.Fprintln(out, "serve-smoke: PASS")
+	hs.Shutdown(context.Background())
+	return srv.Drain(context.Background())
+}
+
+// smokeJob submits smokeSpec and polls the job to a terminal state.
+func smokeJob(base string) (jobResult, error) {
+	body, _ := json.Marshal(map[string]string{"spec": smokeSpec})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobResult{}, err
+	}
+	var st JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return jobResult{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return jobResult{}, fmt.Errorf("serve-smoke: submit: HTTP %d", resp.StatusCode)
+	}
+	// Bounded poll: test-tier SYNTH takes well under a second.
+	for i := 0; i < 600; i++ {
+		raw, err := smokeGet(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return jobResult{}, err
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return jobResult{}, err
+		}
+		if st.State.terminal() {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if st.State != StateDone {
+		return jobResult{}, fmt.Errorf("serve-smoke: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	raw, err := smokeGet(base + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return jobResult{}, err
+	}
+	var res jobResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return jobResult{}, err
+	}
+	if len(res.Cells) == 0 {
+		return jobResult{}, fmt.Errorf("serve-smoke: job %s has no cells", st.ID)
+	}
+	return res, nil
+}
+
+func smokeStats(base string) (metrics.Snapshot, error) {
+	raw, err := smokeGet(base + "/v1/stats")
+	if err != nil {
+		return metrics.Snapshot{}, err
+	}
+	var s metrics.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return metrics.Snapshot{}, err
+	}
+	return s, nil
+}
+
+func smokeGet(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve-smoke: GET %s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	return raw, nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/config"
+)
+
+// InputSpec is the canonicalized description of one simulation cell's
+// *inputs*: everything that determines the run's outputs, and nothing
+// else. Because the simulator is a pure function of these fields (the
+// determinism contract Report.Fingerprint pins on the output side), two
+// cells with equal input fingerprints must produce byte-identical reports
+// — which is what makes simulation results content-addressable: the serve
+// cache, artifact dedup and cross-client sharing all key on this hash.
+type InputSpec struct {
+	// Config is the full resolved machine configuration, including
+	// WorkloadSeed and the fault plan (hashed through its canonical
+	// String() round-trip form).
+	Config config.Config
+	// Bench is the workload name ("SYNTH", "KERN2", ..., "PIPE").
+	Bench string
+	// Tier is the input-scale tier ("test", "scaled", "repro", "paper").
+	Tier string
+	// Barrier is the barrier implementation name ("GL", "CSW", "DSW").
+	Barrier string
+	// Threads is the resolved thread count (never 0; callers resolve the
+	// "all cores" default before fingerprinting).
+	Threads int
+	// MaxCycles is the simulation cycle budget. It is part of the inputs
+	// because an insufficient budget truncates the run and changes the
+	// outputs; callers wanting budget-insensitive keys must canonicalize
+	// the budget themselves.
+	MaxCycles uint64
+}
+
+// Fingerprint returns a stable 64-bit hash (16 hex digits) over the spec.
+// It is invariant across processes, architectures and Go releases (FNV-1a
+// over explicitly ordered little-endian words — no map iteration, no
+// pointers, no floats compared by formatting) and sensitive to every
+// field: each field is hashed under its own label so field values cannot
+// alias across fields. TestInputFingerprintCoversEveryConfigField enforces
+// that a new Config field cannot be added without extending this hash.
+func (in InputSpec) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	field := func(label string, v uint64) {
+		h.Write([]byte(label))
+		word(v)
+	}
+	str := func(label, s string) {
+		h.Write([]byte(label))
+		word(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	b2u := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	c := in.Config
+	field("cores", uint64(c.Cores))
+	field("mesh.cols", uint64(c.MeshCols))
+	field("mesh.rows", uint64(c.MeshRows))
+	field("issue.width", uint64(c.IssueWidth))
+	field("clock.ghz", math.Float64bits(c.ClockGHz))
+	field("line.size", uint64(c.LineSize))
+	field("l1.size", uint64(c.L1Size))
+	field("l1.ways", uint64(c.L1Ways))
+	field("l1.hit", c.L1HitLatency)
+	field("l2.size", uint64(c.L2SizePerCore))
+	field("l2.ways", uint64(c.L2Ways))
+	field("l2.tag", c.L2TagLatency)
+	field("l2.data", c.L2DataLatency)
+	field("mem.latency", c.MemLatency)
+	field("flit.bytes", uint64(c.FlitBytes))
+	field("router.latency", c.RouterLatency)
+	field("link.latency", c.LinkLatency)
+	field("gl.maxtx", uint64(c.GLMaxTransmitters))
+	field("gl.call", c.GLCallOverhead)
+	field("gl.contexts", uint64(c.GLContexts))
+	field("threehop", b2u(c.ThreeHopOwnership))
+	field("workload.seed", uint64(c.WorkloadSeed))
+	// The fault plan hashes through its canonical grammar round-trip:
+	// ParsePlan(p.String()) is equivalent to p, so two plans that print the
+	// same are the same inputs. A nil plan is the empty string.
+	str("faults", c.Faults.String())
+
+	str("bench", in.Bench)
+	str("tier", in.Tier)
+	str("barrier", in.Barrier)
+	field("threads", uint64(in.Threads))
+	field("max.cycles", in.MaxCycles)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

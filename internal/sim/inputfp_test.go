@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/fault"
+)
+
+// baseInput is the reference spec the fingerprint tests perturb.
+func baseInput() InputSpec {
+	return InputSpec{
+		Config:    config.Default(16),
+		Bench:     "SYNTH",
+		Tier:      "test",
+		Barrier:   "GL",
+		Threads:   16,
+		MaxCycles: 1 << 22,
+	}
+}
+
+// TestInputFingerprintGolden pins the hash values themselves: the input
+// fingerprint keys the on-disk result cache, so it must be invariant
+// across processes, machines and releases. If this test fails the hash
+// changed shape and every persisted cache entry is orphaned — bump
+// deliberately, never accidentally.
+func TestInputFingerprintGolden(t *testing.T) {
+	plan, err := fault.ParsePlan("seed=7,gl.drop=1e-4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := baseInput()
+	faulty.Config.Faults = plan
+
+	cases := []struct {
+		name string
+		spec InputSpec
+		want string
+	}{
+		{"base", baseInput(), baseInput().Fingerprint()},
+		{"faulty", faulty, faulty.Fingerprint()},
+	}
+	// First run prints the values to pin; the committed constants below are
+	// the cross-process contract.
+	const wantBase = "0be82462931c90fc"
+	const wantFaulty = "b8af64bebcd798fa"
+	cases[0].want = wantBase
+	cases[1].want = wantFaulty
+	for _, c := range cases {
+		if got := c.spec.Fingerprint(); got != c.want {
+			t.Errorf("%s: fingerprint %s, want %s", c.name, got, c.want)
+		}
+	}
+	// Stability within a process: hashing is a pure function.
+	if a, b := baseInput().Fingerprint(), baseInput().Fingerprint(); a != b {
+		t.Errorf("fingerprint not stable: %s then %s", a, b)
+	}
+}
+
+// configMutators perturbs each config.Config field in a
+// fingerprint-visible way. The companion test walks config.Config by
+// reflection: adding a field to Config without extending both
+// InputSpec.Fingerprint and this table fails the build's tests, so the
+// hash can never silently ignore a new input.
+var configMutators = map[string]func(*config.Config){
+	"Cores":             func(c *config.Config) { c.Cores++ },
+	"MeshCols":          func(c *config.Config) { c.MeshCols++ },
+	"MeshRows":          func(c *config.Config) { c.MeshRows++ },
+	"IssueWidth":        func(c *config.Config) { c.IssueWidth++ },
+	"ClockGHz":          func(c *config.Config) { c.ClockGHz += 0.5 },
+	"LineSize":          func(c *config.Config) { c.LineSize *= 2 },
+	"L1Size":            func(c *config.Config) { c.L1Size *= 2 },
+	"L1Ways":            func(c *config.Config) { c.L1Ways *= 2 },
+	"L1HitLatency":      func(c *config.Config) { c.L1HitLatency++ },
+	"L2SizePerCore":     func(c *config.Config) { c.L2SizePerCore *= 2 },
+	"L2Ways":            func(c *config.Config) { c.L2Ways *= 2 },
+	"L2TagLatency":      func(c *config.Config) { c.L2TagLatency++ },
+	"L2DataLatency":     func(c *config.Config) { c.L2DataLatency++ },
+	"MemLatency":        func(c *config.Config) { c.MemLatency++ },
+	"FlitBytes":         func(c *config.Config) { c.FlitBytes *= 2 },
+	"RouterLatency":     func(c *config.Config) { c.RouterLatency++ },
+	"LinkLatency":       func(c *config.Config) { c.LinkLatency++ },
+	"GLMaxTransmitters": func(c *config.Config) { c.GLMaxTransmitters++ },
+	"GLCallOverhead":    func(c *config.Config) { c.GLCallOverhead++ },
+	"GLContexts":        func(c *config.Config) { c.GLContexts++ },
+	"ThreeHopOwnership": func(c *config.Config) { c.ThreeHopOwnership = true },
+	"WorkloadSeed":      func(c *config.Config) { c.WorkloadSeed = 42 },
+	"Faults":            func(c *config.Config) { c.Faults = &fault.Plan{Seed: 9} },
+}
+
+// TestInputFingerprintCoversEveryConfigField requires (a) a mutator for
+// every Config field and (b) that each mutation, plus each non-config
+// field of InputSpec, changes the fingerprint.
+func TestInputFingerprintCoversEveryConfigField(t *testing.T) {
+	base := baseInput().Fingerprint()
+	rt := reflect.TypeOf(config.Config{})
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		mut, ok := configMutators[name]
+		if !ok {
+			t.Errorf("config.Config.%s has no fingerprint mutator: extend InputSpec.Fingerprint and configMutators", name)
+			continue
+		}
+		spec := baseInput()
+		mut(&spec.Config)
+		if got := spec.Fingerprint(); got == base {
+			t.Errorf("mutating config.Config.%s left the fingerprint unchanged (%s)", name, got)
+		}
+	}
+	specMutators := map[string]func(*InputSpec){
+		"Bench":     func(s *InputSpec) { s.Bench = "KERN2" },
+		"Tier":      func(s *InputSpec) { s.Tier = "scaled" },
+		"Barrier":   func(s *InputSpec) { s.Barrier = "CSW" },
+		"Threads":   func(s *InputSpec) { s.Threads-- },
+		"MaxCycles": func(s *InputSpec) { s.MaxCycles++ },
+	}
+	st := reflect.TypeOf(InputSpec{})
+	for i := 0; i < st.NumField(); i++ {
+		name := st.Field(i).Name
+		if name == "Config" {
+			continue
+		}
+		mut, ok := specMutators[name]
+		if !ok {
+			t.Errorf("InputSpec.%s has no fingerprint mutator: extend InputSpec.Fingerprint and specMutators", name)
+			continue
+		}
+		spec := baseInput()
+		mut(&spec)
+		if got := spec.Fingerprint(); got == base {
+			t.Errorf("mutating InputSpec.%s left the fingerprint unchanged (%s)", name, got)
+		}
+	}
+}
+
+// TestInputFingerprintFieldsDoNotAlias checks the per-field labels keep
+// equal values in different fields from colliding: moving the same number
+// between two adjacent uint64 fields must change the hash.
+func TestInputFingerprintFieldsDoNotAlias(t *testing.T) {
+	a := baseInput()
+	a.Threads = 7
+	a.MaxCycles = 13
+	b := baseInput()
+	b.Threads = 13
+	b.MaxCycles = 7
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatalf("swapping Threads and MaxCycles values collides: %s", a.Fingerprint())
+	}
+	// Equivalent fault plans (different spelling, same canonical form)
+	// must collide — the grammar round-trip is the canonicalizer.
+	p1, err := fault.ParsePlan("gl.drop=1e-3,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := fault.ParsePlan(p1.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := baseInput(), baseInput()
+	s1.Config.Faults, s2.Config.Faults = p1, p2
+	if s1.Fingerprint() != s2.Fingerprint() {
+		t.Fatalf("canonically equal fault plans fingerprint differently: %s vs %s", s1.Fingerprint(), s2.Fingerprint())
+	}
+}

@@ -17,8 +17,10 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -56,6 +58,20 @@ type Options struct {
 	// the abandoned run keeps its goroutine until its own cycle budget or
 	// watchdog ends it, but can no longer touch the sweep's results.
 	Timeout time.Duration
+	// Ctx, when non-nil, aborts the sweep: cells that have not started when
+	// the context is canceled record ErrAborted, and a cell in flight is
+	// abandoned (like a timeout) so Run returns promptly. A nil Ctx — every
+	// pre-existing call site — is context.Background() and executes
+	// bit-identically to before the field existed.
+	Ctx context.Context
+}
+
+// ctx resolves the effective context.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // jobs resolves the effective worker count.
@@ -88,6 +104,10 @@ var ErrCanceled = errors.New("sweep: canceled after earlier failure")
 // ErrTimeout marks cells abandoned after exceeding Options.Timeout.
 var ErrTimeout = errors.New("sweep: cell exceeded timeout")
 
+// ErrAborted marks cells skipped or abandoned because Options.Ctx was
+// canceled (a job abort or server drain).
+var ErrAborted = errors.New("sweep: aborted by context")
+
 // Run executes every spec on opts.jobs() workers and returns one Result
 // per spec, in submission order. It never returns early: with FailFast
 // off, every cell runs to completion; with FailFast on, cells that have
@@ -104,15 +124,20 @@ func Run(opts Options, specs []Spec) []Result {
 			return results
 		}
 	}
+	ctx := opts.ctx()
 	var failed atomic.Bool
 	runOne := func(i int) {
 		r := &results[i]
 		r.Label = specs[i].Label
+		if err := ctx.Err(); err != nil {
+			r.Err = fmt.Errorf("%w: %v", ErrAborted, err)
+			return
+		}
 		if opts.FailFast && failed.Load() {
 			r.Err = ErrCanceled
 			return
 		}
-		r.Report, r.Err = runCell(specs[i].Run, opts.Timeout)
+		r.Report, r.Err = runCell(ctx, specs[i].Run, opts.Timeout)
 		if r.Err == nil && opts.ArtifactDir != "" && r.Report != nil {
 			r.Err = writeArtifact(opts.ArtifactDir, i, r.Label, r.Report)
 		}
@@ -170,6 +195,11 @@ func writeArtifact(dir string, index int, label string, rep *sim.Report) error {
 }
 
 // sanitizeLabel maps a human-facing cell label to a filename-safe slug.
+// Sanitization is lossy — "a/b" and "a:b" both map to "a-b", and long
+// labels truncate — so whenever information was dropped the slug carries
+// an 8-hex-digit hash of the raw label: two distinct labels can never
+// silently share an artifact filename, no matter which sweep (and hence
+// which index) they run under.
 func sanitizeLabel(label string) string {
 	if label == "" {
 		return "cell"
@@ -185,8 +215,15 @@ func sanitizeLabel(label string) string {
 		}
 	}, label)
 	const maxLen = 80
+	lossy := mapped != label
 	if len(mapped) > maxLen {
 		mapped = mapped[:maxLen]
+		lossy = true
+	}
+	if lossy {
+		h := fnv.New32a()
+		h.Write([]byte(label))
+		mapped = fmt.Sprintf("%s-%08x", mapped, h.Sum32())
 	}
 	return mapped
 }
@@ -202,11 +239,14 @@ func protect(run func() (*sim.Report, error)) (rep *sim.Report, err error) {
 	return run()
 }
 
-// runCell executes one cell under the optional wall-clock deadline. The
-// cell runs on its own goroutine delivering through a buffered channel, so
-// a timed-out run can finish (or crash) later without racing the worker.
-func runCell(run func() (*sim.Report, error), timeout time.Duration) (*sim.Report, error) {
-	if timeout <= 0 {
+// runCell executes one cell under the optional wall-clock deadline and
+// cancellation context. With neither (nil-Done context, zero timeout) the
+// cell runs directly on the worker goroutine — the pre-context code path,
+// bit-identical for existing call sites. Otherwise the cell runs on its
+// own goroutine delivering through a buffered channel, so a timed-out or
+// aborted run can finish (or crash) later without racing the worker.
+func runCell(ctx context.Context, run func() (*sim.Report, error), timeout time.Duration) (*sim.Report, error) {
+	if timeout <= 0 && ctx.Done() == nil {
 		return protect(run)
 	}
 	type outcome struct {
@@ -218,13 +258,19 @@ func runCell(run func() (*sim.Report, error), timeout time.Duration) (*sim.Repor
 		rep, err := protect(run)
 		ch <- outcome{rep, err}
 	}()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	select {
 	case o := <-ch:
 		return o.rep, o.err
-	case <-timer.C:
+	case <-deadline:
 		return nil, fmt.Errorf("%w (%v)", ErrTimeout, timeout)
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %v", ErrAborted, context.Cause(ctx))
 	}
 }
 

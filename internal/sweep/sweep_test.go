@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -213,7 +214,7 @@ func TestArtifactDirWritesPerCellJSON(t *testing.T) {
 	if names[0] != "000_cell0.json" {
 		t.Errorf("first artifact %q, want 000_cell0.json", names[0])
 	}
-	if names[3] != "003_weird---label-v2.json" {
+	if names[3] != "003_weird---label-v2-3497ca91.json" {
 		t.Errorf("sanitized artifact %q", names[3])
 	}
 	// Each artifact is parseable JSON whose fingerprint matches its cell.
@@ -248,17 +249,52 @@ func TestArtifactDirCreationFailure(t *testing.T) {
 }
 
 func TestSanitizeLabel(t *testing.T) {
+	// Lossless labels pass through unchanged; lossy sanitization (mapped
+	// characters or truncation) appends an 8-hex hash of the raw label.
 	cases := map[string]string{
 		"":                       "cell",
-		"gl 16c":                 "gl-16c",
-		"a/b\\c:d":               "a-b-c-d",
+		"gl 16c":                 "gl-16c-70802cd2",
+		"a/b\\c:d":               "a-b-c-d-f9ee7492",
 		"ok-name_1.2":            "ok-name_1.2",
-		strings.Repeat("x", 200): strings.Repeat("x", 80),
+		strings.Repeat("x", 200): strings.Repeat("x", 80) + "-b3e4b6e5",
 	}
 	for in, want := range cases {
 		if got := sanitizeLabel(in); got != want {
 			t.Errorf("sanitizeLabel(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+// TestSanitizeLabelCollisions pins the satellite fix: two distinct labels
+// whose sanitized forms used to coincide must now produce distinct
+// filenames, even at the same cell index (e.g. cell 0 of two different
+// sweeps sharing an artifact directory).
+func TestSanitizeLabelCollisions(t *testing.T) {
+	pairs := [][2]string{
+		{"a/b", "a:b"},
+		{"SYNTH/GL/16", "SYNTH:GL:16"},
+		{strings.Repeat("y", 81), strings.Repeat("y", 82)},
+	}
+	for _, p := range pairs {
+		if a, b := sanitizeLabel(p[0]), sanitizeLabel(p[1]); a == b {
+			t.Errorf("labels %q and %q still collide on %q", p[0], p[1], a)
+		}
+	}
+	// End to end: same index, different raw labels, one directory — the
+	// second artifact must not overwrite the first.
+	dir := t.TempDir()
+	if err := writeArtifact(dir, 0, "a/b", fakeReport(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeArtifact(dir, 0, "a:b", fakeReport(2)); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d artifacts after two same-index writes, want 2", len(entries))
 	}
 }
 
@@ -328,6 +364,70 @@ func TestTimeoutDisabledByDefault(t *testing.T) {
 	results := Run(Options{Jobs: 1}, grid(3))
 	for i, r := range results {
 		if r.Err != nil {
+			t.Fatalf("cell %d: %v", i, r.Err)
+		}
+	}
+}
+
+// TestContextCancelBetweenCells checks an already-canceled context marks
+// every cell ErrAborted without running any of them.
+func TestContextCancelBetweenCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	specs := []Spec{{Label: "never", Run: func() (*sim.Report, error) {
+		ran++
+		return fakeReport(0), nil
+	}}}
+	specs = append(specs, grid(4)...)
+	results := Run(Options{Jobs: 2, Ctx: ctx}, specs)
+	if ran != 0 {
+		t.Fatalf("canceled sweep still ran %d cells", ran)
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrAborted) {
+			t.Errorf("cell %d: err = %v, want ErrAborted", i, r.Err)
+		}
+	}
+}
+
+// TestContextCancelMidCell checks a cancel landing while a cell is in
+// flight abandons that cell promptly (ErrAborted) and skips the rest.
+func TestContextCancelMidCell(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	defer close(release)
+	entered := make(chan struct{})
+	specs := []Spec{
+		{Label: "stuck", Run: func() (*sim.Report, error) {
+			close(entered)
+			<-release // held open: only cancellation can unblock the sweep
+			return fakeReport(0), nil
+		}},
+	}
+	specs = append(specs, grid(3)...)
+	go func() {
+		<-entered
+		cancel()
+	}()
+	results := Run(Options{Jobs: 1, Ctx: ctx}, specs)
+	if !errors.Is(results[0].Err, ErrAborted) {
+		t.Fatalf("in-flight cell err = %v, want ErrAborted", results[0].Err)
+	}
+	for i, r := range results[1:] {
+		if !errors.Is(r.Err, ErrAborted) {
+			t.Errorf("cell %d: err = %v, want ErrAborted", i+1, r.Err)
+		}
+	}
+}
+
+// TestNilContextIsBackground pins the compatibility contract: a zero
+// Options (nil Ctx) runs cells directly on the worker goroutine exactly as
+// before the field existed.
+func TestNilContextIsBackground(t *testing.T) {
+	results := Run(Options{}, grid(5))
+	for i, r := range results {
+		if r.Err != nil || r.Report == nil {
 			t.Fatalf("cell %d: %v", i, r.Err)
 		}
 	}

@@ -81,6 +81,8 @@ bench:
 # with extra b.ReportMetric columns parse correctly. When an older
 # BENCH_*.json exists, cmd/benchdelta prints the per-benchmark delta
 # against the most recent one (it reads legacy bare-array snapshots too).
+# Set BENCH_FAIL_ABOVE=<pct> to turn the delta into a gate: the target
+# fails when any benchmark's ns/op regressed by more than that percentage.
 bench-json:
 	@tmp=$$(mktemp); \
 	if ! go test -bench=. -benchmem -run '^$$' ./... >"$$tmp" 2>&1; then \
@@ -104,7 +106,8 @@ bench-json:
 		END{print "\n]\n}"}' "$$tmp" > BENCH_$$(date +%Y%m%d).json; \
 	rm -f "$$tmp"; \
 	echo "wrote BENCH_$$(date +%Y%m%d).json"; \
-	if [ -n "$$prev" ]; then go run ./cmd/benchdelta "$$prev" BENCH_$$(date +%Y%m%d).json; \
+	if [ -n "$$prev" ]; then \
+		go run ./cmd/benchdelta $${BENCH_FAIL_ABOVE:+-fail-above $$BENCH_FAIL_ABOVE} "$$prev" BENCH_$$(date +%Y%m%d).json; \
 	else echo "bench-json: no previous BENCH_*.json baseline; nothing to compare yet"; fi
 
 # Regenerate every paper table/figure at the repro tier (paper data sizes).

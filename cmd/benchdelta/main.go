@@ -7,21 +7,26 @@
 //
 // Usage:
 //
-//	benchdelta OLD.json NEW.json
+//	benchdelta [-fail-above <pct>] OLD.json NEW.json
 //
 // Snapshots are either the current object form ({git_sha, generated_at,
 // results}) or the legacy bare array of results; both load. A missing OLD
 // baseline is not an error — the first snapshot of a repo has nothing to
 // diff against — so benchdelta says so and exits 0.
 //
-// Exit status: 0 on success (any deltas, including regressions — judging
-// them is the reader's job — and a missing baseline), 2 on usage or parse
-// errors. Benchmarks present in only one file are listed as added/removed.
+// With `-fail-above <pct>`, any benchmark whose time per op regressed by
+// more than pct percent fails the run — the CI gate mode. Without it, any
+// deltas (including regressions — judging them is the reader's job) exit 0.
+//
+// Exit status: 0 on success, 1 when -fail-above tripped, 2 on usage or
+// parse errors. Benchmarks present in only one file are listed as
+// added/removed; they never trip the gate (no pair to compare).
 package main
 
 import (
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"io/fs"
@@ -48,32 +53,47 @@ type snapshot struct {
 	Results     []result `json:"results"`
 }
 
+// errRegression marks a -fail-above trip: exit 1, distinct from usage and
+// parse errors (exit 2).
+var errRegression = errors.New("time regression above threshold")
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "benchdelta: %v\n", err)
+		if errors.Is(err, errRegression) {
+			os.Exit(1)
+		}
 		os.Exit(2)
 	}
 }
 
 func run(args []string, out io.Writer) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: benchdelta OLD.json NEW.json")
+	fs2 := flag.NewFlagSet("benchdelta", flag.ContinueOnError)
+	fs2.SetOutput(io.Discard)
+	failAbove := fs2.Float64("fail-above", -1,
+		"fail (exit 1) when any benchmark's ns/op regressed by more than this percentage; negative disables")
+	if err := fs2.Parse(args); err != nil {
+		return fmt.Errorf("usage: benchdelta [-fail-above <pct>] OLD.json NEW.json")
 	}
-	oldSnap, err := load(args[0])
+	paths := fs2.Args()
+	if len(paths) != 2 {
+		return fmt.Errorf("usage: benchdelta [-fail-above <pct>] OLD.json NEW.json")
+	}
+	oldSnap, err := load(paths[0])
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
 			// First snapshot: nothing to diff against is normal, not a
 			// failure.
-			fmt.Fprintf(out, "benchdelta: no baseline %s; nothing to compare yet\n", args[0])
+			fmt.Fprintf(out, "benchdelta: no baseline %s; nothing to compare yet\n", paths[0])
 			return nil
 		}
 		return err
 	}
-	newSnap, err := load(args[1])
+	newSnap, err := load(paths[1])
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "benchdelta %s -> %s\n", describe(args[0], oldSnap), describe(args[1], newSnap))
+	fmt.Fprintf(out, "benchdelta %s -> %s\n", describe(paths[0], oldSnap), describe(paths[1], newSnap))
 	fmt.Fprintf(out, "%-40s %14s %14s %8s %12s %12s %8s\n",
 		"benchmark", "old ns/op", "new ns/op", "Δtime", "old allocs", "new allocs", "Δallocs")
 	oldBy := map[string]result{}
@@ -81,6 +101,8 @@ func run(args []string, out io.Writer) error {
 		oldBy[r.Name] = r
 	}
 	seen := map[string]bool{}
+	var regressed []string
+	worst, worstPct := "", 0.0
 	for _, n := range newSnap.Results {
 		seen[n.Name] = true
 		o, ok := oldBy[n.Name]
@@ -92,11 +114,23 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-40s %14.0f %14.0f %8s %12.0f %12.0f %8s\n",
 			n.Name, o.NsPerOp, n.NsPerOp, pct(o.NsPerOp, n.NsPerOp),
 			o.AllocsPerOp, n.AllocsPerOp, pct(o.AllocsPerOp, n.AllocsPerOp))
+		if *failAbove >= 0 && o.NsPerOp > 0 {
+			if p := 100 * (n.NsPerOp - o.NsPerOp) / o.NsPerOp; p > *failAbove {
+				regressed = append(regressed, n.Name)
+				if p > worstPct || worst == "" {
+					worst, worstPct = n.Name, p
+				}
+			}
+		}
 	}
 	for _, o := range oldSnap.Results {
 		if !seen[o.Name] {
 			fmt.Fprintf(out, "%-40s %14.0f %14s %8s\n", o.Name, o.NsPerOp, "-", "removed")
 		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%w: %d benchmark(s) slower by more than %.1f%% (worst: %s %+.1f%%)",
+			errRegression, len(regressed), *failAbove, worst, worstPct)
 	}
 	return nil
 }

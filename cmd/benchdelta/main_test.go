@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -67,6 +68,44 @@ func TestLegacyArrayAndProvenanceHeader(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestFailAbove pins the CI gate mode: a regression past the threshold
+// returns errRegression (exit 1 in main), one within it passes, and
+// added/removed benchmarks never trip the gate.
+func TestFailAbove(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := write(t, dir, "old.json", legacySnapshot)
+	// BenchmarkRun: 1000 -> 1200 ns/op = +20%.
+	newPath := write(t, dir, "new.json", `{
+  "results": [
+    {"name":"BenchmarkRun-8","iters":100,"ns_per_op":1200,"bytes_per_op":0,"allocs_per_op":0},
+    {"name":"BenchmarkNew-8","iters":100,"ns_per_op":50,"bytes_per_op":0,"allocs_per_op":1}
+  ]
+}`)
+	var out strings.Builder
+	err := run([]string{"-fail-above", "10", oldPath, newPath}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Fatalf("+20%% over a 10%% threshold returned %v, want errRegression", err)
+	}
+	for _, want := range []string{"BenchmarkRun-8", "+20.0%"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error does not name %q: %v", want, err)
+		}
+	}
+	// The full delta table still prints before the verdict.
+	if !strings.Contains(out.String(), "added") {
+		t.Errorf("gate mode suppressed the delta table:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-fail-above", "25", oldPath, newPath}, &out); err != nil {
+		t.Errorf("+20%% over a 25%% threshold failed: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{oldPath, newPath}, &out); err != nil {
+		t.Errorf("no threshold still failed: %v", err)
 	}
 }
 

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	glvet [-only detrand,cyclepure] [-list] [packages...]
+//	glvet [-only detrand,cyclepure] [-list] [-json] [packages...]
 //
 // Package patterns are directories, or `dir/...` trees; the default is
 // `./...` from the working directory. Suppress a finding with a
@@ -20,6 +20,8 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -28,9 +30,12 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/cyclepure"
 	"repro/internal/analysis/detrand"
 	"repro/internal/analysis/faultsite"
+	"repro/internal/analysis/lockguard"
+	"repro/internal/analysis/lockorder"
 	"repro/internal/analysis/metricname"
 	"repro/internal/analysis/spanname"
 )
@@ -44,6 +49,9 @@ func suite() []*analysis.Analyzer {
 		spanname.Analyzer,
 		faultsite.Analyzer,
 		allocfree.Analyzer,
+		lockguard.Analyzer,
+		lockorder.Analyzer,
+		ctxflow.Analyzer,
 	}
 }
 
@@ -57,6 +65,7 @@ func run(args []string, out, errOut io.Writer) int {
 	fs.SetOutput(errOut)
 	only := fs.String("only", "", "comma-separated analyzer subset to run")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -77,7 +86,11 @@ func run(args []string, out, errOut io.Writer) int {
 			name = strings.TrimSpace(name)
 			a, ok := known[name]
 			if !ok {
-				fmt.Fprintf(errOut, "glvet: unknown analyzer %q\n", name)
+				names := make([]string, len(analyzers))
+				for i, a := range analyzers {
+					names[i] = a.Name
+				}
+				fmt.Fprintf(errOut, "glvet: unknown analyzer %q (valid: %s)\n", name, strings.Join(names, ", "))
 				return 2
 			}
 			sel = append(sel, a)
@@ -93,8 +106,15 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintf(errOut, "glvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(out, d)
+	if *jsonOut {
+		if err := writeJSON(out, diags); err != nil {
+			fmt.Fprintf(errOut, "glvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, d)
+		}
 	}
 	if len(diags) > 0 {
 		return 1
@@ -102,9 +122,43 @@ func run(args []string, out, errOut io.Writer) int {
 	return 0
 }
 
+// jsonDiagnostic is the machine-readable diagnostic shape: stable field
+// names for CI tooling, one object per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON renders the diagnostics as an indented JSON array (an empty
+// run emits `[]`, never `null`, so consumers can always iterate).
+func writeJSON(out io.Writer, diags []analysis.Diagnostic) error {
+	jd := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		jd = append(jd, jsonDiagnostic{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jd)
+}
+
+// errTypeCheck marks a run aborted because target packages do not
+// type-check; the individual errors were already printed.
+var errTypeCheck = errors.New("target packages have type errors")
+
 // analyze loads the patterns and runs the analyzers. Type errors in target
-// packages are reported to errOut (the tree should build; glvet does not
-// hide a broken package behind analyzer output) but do not abort analysis.
+// packages abort the run with errTypeCheck (exit 2) before any analyzer
+// sees the broken types — findings over a tree that does not build would
+// be noise at best and a panic at worst. Fixture packages under testdata
+// are exempt: analyzer fixtures tolerate soft errors by design.
 func analyze(patterns []string, analyzers []*analysis.Analyzer, errOut io.Writer) ([]analysis.Diagnostic, error) {
 	loader, err := analysis.NewLoader("")
 	if err != nil {
@@ -114,10 +168,18 @@ func analyze(patterns []string, analyzers []*analysis.Analyzer, errOut io.Writer
 	if err != nil {
 		return nil, err
 	}
+	broken := false
 	for _, pkg := range targets {
+		if strings.Contains(pkg.Path, "/testdata/") {
+			continue
+		}
 		for _, terr := range pkg.TypeErrors {
+			broken = true
 			fmt.Fprintf(errOut, "glvet: %s: %v\n", pkg.Path, terr)
 		}
+	}
+	if broken {
+		return nil, errTypeCheck
 	}
 	return analysis.Run(prog, targets, analyzers)
 }

@@ -2,21 +2,25 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // TestGlvetClean is the repo gate: the full analyzer suite over every
 // package in the module must report nothing. A failure here means a change
-// introduced a nondeterminism source, an impure cycle-path construct, or a
-// metrics/fault-site hygiene violation — fix it or justify a
-// `//lint:allow <analyzer> <reason>`.
+// introduced a nondeterminism source, an impure cycle-path construct, a
+// metrics/fault-site hygiene violation, a concurrency-discipline breach
+// (lockguard/lockorder/ctxflow), or a stale `//lint:allow` left behind by
+// refactored code — fix it or justify a `//lint:allow <analyzer> <reason>`.
 func TestGlvetClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-module analysis is not short")
 	}
 	var out, errOut bytes.Buffer
-	code := run([]string{"../..."}, &out, &errOut)
+	code := run([]string{"../../..."}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("glvet exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
@@ -30,7 +34,7 @@ func TestList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("glvet -list exited %d: %s", code, errOut.String())
 	}
-	for _, name := range []string{"detrand", "cyclepure", "metricname", "faultsite"} {
+	for _, name := range []string{"detrand", "cyclepure", "metricname", "faultsite", "lockguard", "lockorder", "ctxflow"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -44,5 +48,89 @@ func TestUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), `unknown analyzer "nosuch"`) {
 		t.Errorf("missing unknown-analyzer message: %s", errOut.String())
+	}
+	// The error names every valid analyzer, so the fix is in the message.
+	for _, name := range []string{"detrand", "cyclepure", "metricname", "spanname",
+		"faultsite", "allocfree", "lockguard", "lockorder", "ctxflow"} {
+		if !strings.Contains(errOut.String(), name) {
+			t.Errorf("unknown-analyzer message does not list %s: %s", name, errOut.String())
+		}
+	}
+}
+
+// TestJSONOutput runs the suite over a fixture package that is known to
+// produce diagnostics and checks the machine-readable shape.
+func TestJSONOutput(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "-only", "ctxflow",
+		"../../internal/analysis/ctxflow/testdata/src/ctxflowtest"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("glvet -json over fixture exited %d, want 1\nstderr: %s", code, errOut.String())
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Column <= 0 || d.Analyzer != "ctxflow" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestTypeErrorExitsTwo pins the broken-tree contract: a target package
+// that fails type-checking aborts the run with exit 2 — the type errors on
+// stderr, no analyzer findings over garbage types, and no panic.
+func TestTypeErrorExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module broken\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "bad"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "package bad\n\nfunc B() int { return undefinedName }\n"
+	if err := os.WriteFile(filepath.Join(dir, "bad", "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./bad"}, &out, &errOut); code != 2 {
+		t.Fatalf("glvet over broken package exited %d, want 2\nstdout: %s\nstderr: %s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "undefinedName") {
+		t.Errorf("stderr does not carry the type error: %s", errOut.String())
+	}
+}
+
+// TestJSONEmpty checks a clean run emits an empty array, not null.
+func TestJSONEmpty(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "."}, &out, &errOut); code != 0 {
+		t.Fatalf("glvet -json . exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", out.String())
 	}
 }

@@ -86,7 +86,7 @@ func Run(prog *Program, targets []*Package, analyzers []*Analyzer) ([]Diagnostic
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	diags = filterSuppressed(prog, targets, diags)
+	diags = filterSuppressed(prog, targets, analyzers, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -107,18 +107,30 @@ func Run(prog *Program, targets []*Package, analyzers []*Analyzer) ([]Diagnostic
 const allowDirective = "//lint:allow "
 
 // allowRange is one parsed allow comment's effect: diagnostics from the
-// named analyzer are suppressed on lines [start, end] of file.
+// named analyzer are suppressed on lines [start, end] of file. pos is the
+// comment's own position (for stale-suppression reporting) and used records
+// whether the range ever suppressed anything this run.
 type allowRange struct {
 	analyzer   string
 	start, end int
+	pos        token.Position
+	used       bool
 }
 
 // filterSuppressed drops diagnostics covered by a `//lint:allow` comment on
 // the same or preceding line (or, for a comment in a function's doc comment,
 // anywhere in that function), and reports malformed allow comments (missing
-// reason) as diagnostics of their own.
-func filterSuppressed(prog *Program, targets []*Package, diags []Diagnostic) []Diagnostic {
-	allowed := map[string][]allowRange{}
+// reason) as diagnostics of their own. An allow comment that suppressed
+// nothing is stale and reported too — but only when its analyzer actually
+// ran, so a `-only` subset run (or a single-analyzer fixture test) does not
+// condemn the other analyzers' suppressions.
+func filterSuppressed(prog *Program, targets []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	allowed := map[string][]*allowRange{}
+	var files []string
 	var out []Diagnostic
 	for _, pkg := range targets {
 		for _, f := range pkg.Files {
@@ -152,8 +164,11 @@ func filterSuppressed(prog *Program, targets []*Package, diags []Diagnostic) []D
 					if s, ok := docSpan[cg]; ok {
 						span = s
 					}
+					if _, seen := allowed[pos.Filename]; !seen {
+						files = append(files, pos.Filename)
+					}
 					allowed[pos.Filename] = append(allowed[pos.Filename],
-						allowRange{analyzer: name, start: span[0], end: span[1]})
+						&allowRange{analyzer: name, start: span[0], end: span[1], pos: pos})
 				}
 			}
 		}
@@ -162,12 +177,31 @@ func filterSuppressed(prog *Program, targets []*Package, diags []Diagnostic) []D
 		suppressed := false
 		for _, r := range allowed[d.Pos.Filename] {
 			if r.analyzer == d.Analyzer && d.Pos.Line >= r.start && d.Pos.Line <= r.end {
+				r.used = true
 				suppressed = true
-				break
+				// Keep scanning: overlapping ranges for the same analyzer
+				// (same-line plus previous-line comments) are all live for
+				// this diagnostic.
 			}
 		}
 		if !suppressed {
 			out = append(out, d)
+		}
+	}
+	// Stale suppressions: allow comments whose analyzer ran but matched
+	// nothing. They rot silently otherwise — the code they excused has moved
+	// or been fixed, and the comment now licenses a future regression.
+	for _, file := range files {
+		for _, r := range allowed[file] {
+			if r.used || !ran[r.analyzer] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      r.pos,
+				Analyzer: "glvet",
+				Message: fmt.Sprintf("stale suppression: //lint:allow %s no longer matches any %s diagnostic; remove it",
+					r.analyzer, r.analyzer),
+			})
 		}
 	}
 	return out

@@ -34,8 +34,9 @@ var demoAnalyzer = &analysis.Analyzer{
 }
 
 // TestSuppression checks every //lint:allow placement against the allowtest
-// fixture: same line, previous line, doc comment (function scope), and the
-// reason-less allow that is reported instead of honored.
+// fixture: same line, previous line, doc comment (function scope), the
+// reason-less allow that is reported instead of honored, and the stale
+// allow that suppresses nothing and is reported itself.
 func TestSuppression(t *testing.T) {
 	loader, err := analysis.NewLoader("")
 	if err != nil {
@@ -54,12 +55,14 @@ func TestSuppression(t *testing.T) {
 		got = append(got, fmt.Sprintf("%s@%d: %s", d.Analyzer, d.Pos.Line, d.Message))
 	}
 	// Line 10: the uncovered mark() in f. Line 21: the reason-less allow is
-	// reported. Line 21 again: mark() inside malformed() survives because
-	// its allow was rejected.
+	// reported. Line 22: mark() inside malformed() survives because its
+	// allow was rejected. Line 27: the allow in stale() suppresses nothing
+	// and is reported as a stale suppression.
 	want := []string{
 		"demo@10: mark called",
 		"glvet@21: allow comment needs an analyzer name and a reason: //lint:allow <analyzer> <reason>",
 		"demo@22: mark called",
+		"glvet@27: stale suppression: //lint:allow demo no longer matches any demo diagnostic; remove it",
 	}
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Errorf("diagnostics mismatch:\ngot:\n%s\nwant:\n%s",

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A CallNode is one declared function in the whole-program call graph.
+type CallNode struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Out lists the static callees: direct calls, concrete method calls,
+	// and interface method calls resolved to every in-module
+	// implementation. Calls inside nested function literals count as the
+	// enclosing declaration's edges (the literal runs on behalf of its
+	// creator as far as reachability is concerned).
+	Out []*types.Func
+}
+
+// A CallGraph maps every declared function with a body to its node. It is
+// the shared substrate of the flow-aware analyzers: cyclepure walks it from
+// the cycle-path roots, ctxflow from context-carrying entry points, and
+// lockorder propagates transitive lock acquisitions over it.
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+
+	impls map[string][]*types.Func
+}
+
+// BuildCallGraph collects every declared function in the loaded program and
+// its static call edges. Function values that cross a data structure (e.g.
+// engine event closures) are not traced; analyzers that care mark their
+// creation sites with directives instead.
+func BuildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+	pkgs := prog.SortedPackages()
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Nodes[fn] = &CallNode{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+	g.impls = methodImplementers(pkgs)
+	for _, node := range g.Nodes {
+		node.Out = g.callEdges(node)
+	}
+	return g
+}
+
+// CalleesAt resolves one call expression to its static callees: the direct
+// or concrete-method target, or — for interface dispatch — every in-module
+// implementation of the method.
+func (g *CallGraph) CalleesAt(info *types.Info, call *ast.CallExpr) []*types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{f}
+		}
+	case *ast.SelectorExpr:
+		f, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal && types.IsInterface(sel.Recv()) {
+			iface := sel.Recv().Underlying().(*types.Interface)
+			var out []*types.Func
+			for _, impl := range g.impls[f.Name()] {
+				if ImplementsVia(impl, iface) {
+					out = append(out, impl)
+				}
+			}
+			return out
+		}
+		return []*types.Func{f}
+	}
+	return nil
+}
+
+// methodImplementers maps a method name to every in-module concrete method
+// with that name, for interface-call resolution.
+func methodImplementers(pkgs []*Package) map[string][]*types.Func {
+	impls := map[string][]*types.Func{}
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				impls[m.Name()] = append(impls[m.Name()], m)
+			}
+		}
+	}
+	return impls
+}
+
+// callEdges extracts the call edges of one function body.
+func (g *CallGraph) callEdges(node *CallNode) []*types.Func {
+	var out []*types.Func
+	seen := map[*types.Func]bool{}
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, f := range g.CalleesAt(info, call) {
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// ImplementsVia reports whether the method's receiver type (or its pointer)
+// satisfies the interface.
+func ImplementsVia(m *types.Func, iface *types.Interface) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if types.Implements(recv, iface) {
+		return true
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr {
+		return types.Implements(types.NewPointer(recv), iface)
+	}
+	return false
+}
+
+// ReceiverNamed unwraps a receiver (or any) type to its named type, through
+// one level of pointer.
+func ReceiverNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,444 @@
+// Package ctxflow implements the glvet analyzer that enforces context
+// cancellation on the serving-side blocking paths. The simulator core is
+// single-threaded and cyclepure keeps it that way; the packages around it
+// (internal/serve, internal/sweep, internal/chaos) block on channels by
+// design — and every such wait reachable from a context-carrying entry
+// point must be abandonable, or a dead peer turns into a leaked goroutine
+// and a stuck drain.
+//
+// Entry points are functions (in the analyzed packages) whose signature
+// carries a context.Context or *http.Request parameter. The analyzer walks
+// the shared call graph (analysis.BuildCallGraph) from those entries and
+// flags, in every reachable function of the target packages:
+//
+//   - a bare channel receive or send outside any select;
+//   - a select with neither a `case <-ctx.Done():` (a receive from Done()
+//     on a context.Context value, e.g. `ctx.Done()` or `r.Context().Done()`)
+//     nor a `default` clause.
+//
+// Two idioms are exempt because they cannot hang:
+//
+//   - sends to a channel the function itself made with a constant positive
+//     buffer (`ch := make(chan T, 1)`), the deliver-once result idiom —
+//     the first send always has room;
+//   - receives from time.After(...), a bounded timed wait.
+//
+// Separately, a function that accepts a context.Context but never mentions
+// it while its body blocks is reported at the parameter: it promises
+// cancellation in its signature and drops it before the wait.
+//
+// Intentional uncancellable waits carry `//lint:allow ctxflow <reason>`.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag blocking channel ops reachable from context entry points that do not select on ctx.Done()",
+	Run:  run,
+}
+
+// targetPkgs are the packages whose blocking paths must honor
+// cancellation. Fixture packages (under testdata) are always targets.
+var targetPkgs = map[string]bool{
+	"repro/internal/serve": true,
+	"repro/internal/sweep": true,
+	"repro/internal/chaos": true,
+}
+
+func isTarget(path string) bool {
+	return targetPkgs[path] || strings.Contains(path, "/testdata/")
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass.Prog)
+
+	// Only packages in this pass are checked: a package loaded merely as a
+	// dependency is not analyzed here (and the driver collects allow
+	// comments only from the packages under analysis). isTarget narrows
+	// further to the concurrency-relevant tree.
+	analyzed := map[*analysis.Package]bool{}
+	for _, pkg := range pass.Packages {
+		analyzed[pkg] = true
+	}
+	checked := func(node *analysis.CallNode) bool {
+		return analyzed[node.Pkg] && isTarget(node.Pkg.Path)
+	}
+
+	// Entry points: context-carrying functions of the target packages,
+	// deterministically ordered.
+	var entries []*types.Func
+	for fn, node := range g.Nodes {
+		if checked(node) && ctxParam(fn) != nil {
+			entries = append(entries, fn)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Pos() < entries[j].Pos() })
+
+	// BFS with parent links for path rendering in diagnostics.
+	parent := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, e := range entries {
+		if _, ok := parent[e]; !ok {
+			parent[e] = nil
+			queue = append(queue, e)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		if node == nil {
+			continue
+		}
+		if checked(node) {
+			checkBody(pass, node, chain(parent, fn))
+			checkDroppedCtx(pass, node)
+		}
+		for _, callee := range node.Out {
+			if _, seen := parent[callee]; !seen {
+				parent[callee] = fn
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody flags unguarded blocking channel operations in one reachable
+// function.
+func checkBody(pass *analysis.Pass, node *analysis.CallNode, path string) {
+	info := node.Pkg.Info
+	comm := commOps(node.Decl.Body)
+	buffered := bufferedLocalChans(info, node.Decl.Body)
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectGuarded(info, n) {
+				pass.Reportf(n.Pos(), "select on the context path (%s) has no ctx.Done() case and no default", path)
+			}
+		case *ast.SendStmt:
+			if comm[n] {
+				return true
+			}
+			if id, ok := n.Chan.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && buffered[v] {
+					return true // deliver-once: buffered channel made here
+				}
+			}
+			pass.Reportf(n.Pos(), "blocking channel send on the context path (%s) without a ctx.Done() select", path)
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || comm[n] || isTimeAfter(info, n.X) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "blocking channel receive on the context path (%s) without a ctx.Done() select", path)
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx reports a context.Context parameter that the blocking
+// function never uses.
+func checkDroppedCtx(pass *analysis.Pass, node *analysis.CallNode) {
+	sig, ok := node.Fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	var param *types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		if p := sig.Params().At(i); isContextType(p.Type()) {
+			param = p
+			break
+		}
+	}
+	if param == nil || param.Name() == "" || param.Name() == "_" {
+		return
+	}
+	info := node.Pkg.Info
+	used := false
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == param {
+			used = true
+		}
+		return !used
+	})
+	if used || !hasBlockingOp(info, node.Decl.Body) {
+		return
+	}
+	pass.Reportf(param.Pos(), "context parameter %s is never used: cancellation is dropped before the function blocks",
+		param.Name())
+}
+
+// hasBlockingOp reports whether the body contains any potentially
+// unbounded wait (ignoring guards — the caller already knows no guard can
+// reference the dropped context).
+func hasBlockingOp(info *types.Info, body *ast.BlockStmt) bool {
+	comm := commOps(body)
+	buffered := bufferedLocalChans(info, body)
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				found = true
+			}
+		case *ast.SendStmt:
+			if comm[n] {
+				return true
+			}
+			if id, ok := n.Chan.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && buffered[v] {
+					return true
+				}
+			}
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !comm[n] && !isTimeAfter(info, n.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// commOps collects the channel operations that are select communication
+// clauses; their blocking behavior is judged at the select, not the op.
+func commOps(body *ast.BlockStmt) map[ast.Node]bool {
+	ops := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			switch s := cc.Comm.(type) {
+			case *ast.SendStmt:
+				ops[s] = true
+			case *ast.ExprStmt:
+				if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					ops[u] = true
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) == 1 {
+					if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+						ops[u] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ops
+}
+
+// selectGuarded reports whether a select can always make progress or be
+// cancelled: it has a default clause or receives from a context's Done
+// channel.
+func selectGuarded(info *types.Info, sel *ast.SelectStmt) bool {
+	if hasDefaultClause(sel) {
+		return true
+	}
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = s.X
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				recv = s.Rhs[0]
+			}
+		}
+		u, ok := recv.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			continue
+		}
+		if isDoneCall(info, u.X) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isDoneCall matches a call to Done() on a context.Context value.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	return isContextType(info.TypeOf(sel.X))
+}
+
+// isTimeAfter matches a direct time.After(...) receive operand.
+func isTimeAfter(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "After"
+}
+
+// bufferedLocalChans collects variables bound to channels the body itself
+// makes with a constant positive buffer.
+func bufferedLocalChans(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isBufferedMake(info, as.Rhs[i]) {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBufferedMake matches make(chan T, k) with constant k > 0.
+func isBufferedMake(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	if _, ok := info.TypeOf(call.Args[0]).Underlying().(*types.Chan); !ok {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constantPositive(tv.Value.ExactString())
+}
+
+// constantPositive reports whether a constant's exact decimal string is a
+// positive integer.
+func constantPositive(s string) bool {
+	if s == "" || s[0] == '-' || s == "0" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxParam returns the first context-carrying parameter (context.Context
+// or *http.Request) of a function, or nil.
+func ctxParam(fn *types.Func) *types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) || isHTTPRequest(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequest matches *net/http.Request, whose Context() carries the
+// request's cancellation.
+func isHTTPRequest(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// chain renders the entry→fn call path for diagnostics.
+func chain(parent map[*types.Func]*types.Func, fn *types.Func) string {
+	var names []string
+	for f := fn; f != nil; f = parent[f] {
+		names = append(names, shortName(f))
+		if len(names) > 6 {
+			names = append(names, "…")
+			break
+		}
+	}
+	s := names[len(names)-1]
+	for i := len(names) - 2; i >= 0; i-- {
+		s += " → " + names[i]
+	}
+	return s
+}
+
+func shortName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := analysis.ReceiverNamed(sig.Recv().Type()); named != nil {
+			return named.Obj().Name() + "." + f.Name()
+		}
+	}
+	return f.Name()
+}

@@ -1,0 +1,117 @@
+// Package ctxflowtest is the ctxflow fixture: blocking channel operations
+// on context-carrying paths, with and without cancellation guards.
+package ctxflowtest
+
+import (
+	"context"
+	"time"
+)
+
+// waitGuarded selects on ctx.Done alongside the receive: clean.
+func waitGuarded(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// bareRecv blocks with no escape hatch.
+func bareRecv(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch // want `blocking channel receive on the context path \(bareRecv\) without a ctx\.Done\(\) select`
+}
+
+// dropped promises cancellation in its signature and never consults it.
+func dropped(ctx context.Context, ch chan int) int { // want `context parameter ctx is never used: cancellation is dropped before the function blocks`
+	return <-ch // want `blocking channel receive on the context path \(dropped\) without a ctx\.Done\(\) select`
+}
+
+// entry reaches the blocking helper; the helper carries no ctx of its own,
+// so the finding names the path from the entry.
+func entry(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return helper(ch)
+}
+
+func helper(ch chan int) int {
+	return <-ch // want `blocking channel receive on the context path \(entry → helper\) without a ctx\.Done\(\) select`
+}
+
+// orphan is not reachable from any context entry: clean.
+func orphan(ch chan int) int {
+	return <-ch
+}
+
+// useOrphan keeps orphan referenced without putting it on a context path.
+func useOrphan(ch chan int) int {
+	return orphan(ch)
+}
+
+// deliverOnce sends into a channel it made with buffer 1 (the result
+// deliver-once idiom): the send always has room, clean.
+func deliverOnce(ctx context.Context) int {
+	ch := make(chan int, 1)
+	go func() { ch <- 42 }()
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// pushUnbuffered blocks on an unbuffered send.
+func pushUnbuffered(ctx context.Context, ch chan int) {
+	_ = ctx
+	ch <- 1 // want `blocking channel send on the context path \(pushUnbuffered\) without a ctx\.Done\(\) select`
+}
+
+// raceTwo selects between two data channels with no done case or default.
+func raceTwo(ctx context.Context, a, b chan int) int {
+	_ = ctx
+	select { // want `select on the context path \(raceTwo\) has no ctx\.Done\(\) case and no default`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// pollNonBlocking has a default clause: clean.
+func pollNonBlocking(ctx context.Context, ch chan int) int {
+	_ = ctx
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// timedWait blocks on a bounded timer, not a hang: clean.
+func timedWait(ctx context.Context) {
+	_ = ctx
+	<-time.After(time.Millisecond)
+}
+
+// sanctioned documents an intentional uncancellable wait.
+func sanctioned(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return <-ch //lint:allow ctxflow final handoff must complete even after cancellation
+}
+
+// use keeps the fixture free of unused warnings.
+func use(ctx context.Context, ch chan int) {
+	_ = waitGuarded(ctx, ch)
+	_ = bareRecv(ctx, ch)
+	_ = dropped(ctx, ch)
+	_ = entry(ctx, ch)
+	_ = deliverOnce(ctx)
+	pushUnbuffered(ctx, ch)
+	_ = raceTwo(ctx, ch, ch)
+	_ = pollNonBlocking(ctx, ch)
+	timedWait(ctx)
+	_ = sanctioned(ctx, ch)
+}

@@ -18,8 +18,9 @@
 // named Wait on types implementing repro/internal/barrier.Barrier (the
 // per-episode barrier entry points).
 //
-// The graph follows static calls and interface method calls (resolved to
-// every in-module implementation); function values that cross a data
+// The call graph is the framework's shared one (analysis.BuildCallGraph):
+// it follows static calls and interface method calls (resolved to every
+// in-module implementation); function values that cross a data
 // structure — e.g. engine event closures — are not traced, so their
 // creation sites should carry the directive when they feed the cycle path.
 // Formatting that only builds strings (fmt.Sprintf, fmt.Errorf) is allowed:
@@ -67,16 +68,8 @@ var printers = map[string]bool{
 	"Fprint": true, "Fprintf": true, "Fprintln": true,
 }
 
-// funcNode is one function in the call graph.
-type funcNode struct {
-	fn   *types.Func
-	decl *ast.FuncDecl
-	pkg  *analysis.Package
-	out  []*types.Func
-}
-
 func run(pass *analysis.Pass) error {
-	g := buildGraph(pass)
+	g := analysis.BuildCallGraph(pass.Prog)
 	roots := findRoots(pass, g)
 
 	// BFS with parent links for path reconstruction in diagnostics.
@@ -95,14 +88,14 @@ func run(pass *analysis.Pass) error {
 	for len(queue) > 0 {
 		fn := queue[0]
 		queue = queue[1:]
-		node := g[fn]
+		node := g.Nodes[fn]
 		if node == nil {
 			continue
 		}
-		if targets[node.pkg] {
+		if targets[node.Pkg] {
 			checkBody(pass, node, chain(parent, fn))
 		}
-		for _, callee := range node.out {
+		for _, callee := range node.Out {
 			if _, seen := parent[callee]; !seen {
 				parent[callee] = fn
 				queue = append(queue, callee)
@@ -131,144 +124,20 @@ func chain(parent map[*types.Func]*types.Func, fn *types.Func) string {
 
 func shortName(f *types.Func) string {
 	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
-		if named := receiverNamed(sig.Recv().Type()); named != nil {
+		if named := analysis.ReceiverNamed(sig.Recv().Type()); named != nil {
 			return named.Obj().Name() + "." + f.Name()
 		}
 	}
 	return f.Name()
 }
 
-// buildGraph collects every declared function in the loaded program and its
-// static call edges (direct calls, concrete method calls, and interface
-// method calls resolved to all in-module implementations).
-func buildGraph(pass *analysis.Pass) map[*types.Func]*funcNode {
-	g := map[*types.Func]*funcNode{}
-	pkgs := pass.Prog.SortedPackages()
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				g[fn] = &funcNode{fn: fn, decl: fd, pkg: pkg}
-			}
-		}
-	}
-	impls := methodImplementers(pkgs)
-	for _, node := range g {
-		node.out = edges(node, impls)
-	}
-	return g
-}
-
-// methodImplementers maps a method name to every in-module concrete method
-// with that name, for interface-call resolution.
-func methodImplementers(pkgs []*analysis.Package) map[string][]*types.Func {
-	impls := map[string][]*types.Func{}
-	for _, pkg := range pkgs {
-		scope := pkg.Types.Scope()
-		for _, name := range scope.Names() {
-			tn, ok := scope.Lookup(name).(*types.TypeName)
-			if !ok {
-				continue
-			}
-			named, ok := tn.Type().(*types.Named)
-			if !ok {
-				continue
-			}
-			for i := 0; i < named.NumMethods(); i++ {
-				m := named.Method(i)
-				impls[m.Name()] = append(impls[m.Name()], m)
-			}
-		}
-	}
-	return impls
-}
-
-// edges extracts the call edges of one function body.
-func edges(node *funcNode, impls map[string][]*types.Func) []*types.Func {
-	var out []*types.Func
-	seen := map[*types.Func]bool{}
-	add := func(f *types.Func) {
-		if f != nil && !seen[f] {
-			seen[f] = true
-			out = append(out, f)
-		}
-	}
-	info := node.pkg.Info
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch fun := call.Fun.(type) {
-		case *ast.Ident:
-			if f, ok := info.Uses[fun].(*types.Func); ok {
-				add(f)
-			}
-		case *ast.SelectorExpr:
-			f, ok := info.Uses[fun.Sel].(*types.Func)
-			if !ok {
-				break
-			}
-			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
-				if types.IsInterface(sel.Recv()) {
-					// Interface dispatch: conservatively fan out to every
-					// in-module implementation of the method.
-					iface := sel.Recv().Underlying().(*types.Interface)
-					for _, impl := range impls[f.Name()] {
-						if implementsVia(impl, iface) {
-							add(impl)
-						}
-					}
-					break
-				}
-			}
-			add(f)
-		}
-		return true
-	})
-	return out
-}
-
-// implementsVia reports whether the method's receiver type (or its pointer)
-// satisfies the interface.
-func implementsVia(m *types.Func, iface *types.Interface) bool {
-	sig, ok := m.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	recv := sig.Recv().Type()
-	if types.Implements(recv, iface) {
-		return true
-	}
-	if _, isPtr := recv.(*types.Pointer); !isPtr {
-		return types.Implements(types.NewPointer(recv), iface)
-	}
-	return false
-}
-
-// receiverNamed unwraps a receiver type to its named type.
-func receiverNamed(t types.Type) *types.Named {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, _ := t.(*types.Named)
-	return named
-}
-
 // findRoots returns the cycle-path root functions, deterministically
 // ordered.
-func findRoots(pass *analysis.Pass, g map[*types.Func]*funcNode) []*types.Func {
+func findRoots(pass *analysis.Pass, g *analysis.CallGraph) []*types.Func {
 	ifaces := loadRootIfaces(pass)
 	var roots []*types.Func
-	for fn, node := range g {
-		if analysis.HasDirective(node.decl, "cyclepath") {
+	for fn, node := range g.Nodes {
+		if analysis.HasDirective(node.Decl, "cyclepath") {
 			roots = append(roots, fn)
 			continue
 		}
@@ -277,7 +146,7 @@ func findRoots(pass *analysis.Pass, g map[*types.Func]*funcNode) []*types.Func {
 			continue
 		}
 		for _, ri := range ifaces {
-			if fn.Name() == ri.method && implementsVia(fn, ri.iface) {
+			if fn.Name() == ri.method && analysis.ImplementsVia(fn, ri.iface) {
 				roots = append(roots, fn)
 				break
 			}
@@ -317,9 +186,9 @@ func loadRootIfaces(pass *analysis.Pass) []rootIface {
 
 // checkBody scans one reachable function (including its nested function
 // literals, which run on the same path when invoked) for impure constructs.
-func checkBody(pass *analysis.Pass, node *funcNode, path string) {
-	info := node.pkg.Info
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+func checkBody(pass *analysis.Pass, node *analysis.CallNode, path string) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
 			pass.Reportf(n.Pos(), "goroutine spawned in cycle path (%s)", path)

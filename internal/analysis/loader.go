@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -267,9 +268,17 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
-			names = append(names, e.Name())
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
 		}
+		// Respect build constraints the way the go tool does: both
+		// `//go:build` lines and _GOOS/_GOARCH filename suffixes. A file
+		// excluded from the host build (generators behind `ignore`, other
+		// platforms' sources) must not leak type errors into analysis.
+		if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
+			continue
+		}
+		names = append(names, e.Name())
 	}
 	if len(names) == 0 {
 		return nil, nil

@@ -1,0 +1,120 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// writeModule lays out a throwaway module for loader edge-case tests:
+// files maps module-relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module loadertest\n\ngo 1.21\n"
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestLoaderSkipsConstrainedFiles pins build-constraint handling: a file
+// behind `//go:build ignore` (the generator idiom) and another platform's
+// _GOOS file must not leak their contents — or their type errors — into
+// the loaded package.
+func TestLoaderSkipsConstrainedFiles(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"p/a.go": "package p\n\nfunc A() int { return 1 }\n",
+		// Would collide with A and reference an undefined name if loaded.
+		"p/gen.go": "//go:build ignore\n\npackage main\n\nfunc main() { undefinedHelper() }\n",
+		// Another platform's file: excluded by filename suffix alone.
+		"p/b_plan9.go": "package p\n\nfunc A() int { return 2 }\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	_, targets, err := loader.Load(filepath.Join(root, "p"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(targets))
+	}
+	pkg := targets[0]
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("constrained files leaked type errors: %v", pkg.TypeErrors)
+	}
+	if len(pkg.Files) != 1 {
+		t.Errorf("loaded %d files, want 1 (a.go only)", len(pkg.Files))
+	}
+}
+
+// TestLoaderTestOnlyPackage pins the test-only-directory contract: a
+// directory holding nothing but _test.go files is not a loadable package —
+// both an explicit path and a wildcard walk must skip it without error.
+func TestLoaderTestOnlyPackage(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"q/q_test.go": "package q\n\nimport \"testing\"\n\nfunc TestQ(t *testing.T) {}\n",
+		"r/r.go":      "package r\n\nfunc R() {}\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	_, targets, err := loader.Load(filepath.Join(root, "q"), filepath.Join(root, "..."))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	for _, pkg := range targets {
+		if pkg.Path == "loadertest/q" {
+			t.Errorf("test-only package loaded as a target: %s", pkg.Path)
+		}
+	}
+	if len(targets) != 1 || targets[0].Path != "loadertest/r" {
+		t.Errorf("targets = %v, want [loadertest/r]", paths(targets))
+	}
+}
+
+// TestLoaderTypeErrorIsSoft pins the broken-package contract: a target
+// that fails type-checking loads without panicking, carries its errors in
+// TypeErrors, and still exposes a usable (partial) types.Package.
+func TestLoaderTypeErrorIsSoft(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc B() int { return undefinedName }\n",
+	})
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	_, targets, err := loader.Load(filepath.Join(root, "bad"))
+	if err != nil {
+		t.Fatalf("load returned hard error for soft type failure: %v", err)
+	}
+	if len(targets) != 1 {
+		t.Fatalf("targets = %d, want 1", len(targets))
+	}
+	pkg := targets[0]
+	if len(pkg.TypeErrors) == 0 {
+		t.Error("broken package reported no type errors")
+	}
+	if pkg.Types == nil {
+		t.Error("broken package has no types.Package")
+	}
+}
+
+func paths(pkgs []*analysis.Package) []string {
+	out := make([]string, len(pkgs))
+	for i, p := range pkgs {
+		out[i] = p.Path
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+// Package lockguard implements the glvet analyzer that machine-enforces
+// the repo's locking discipline: a struct field annotated
+//
+//	//glvet:guardedby mu
+//
+// (in the field's doc or trailing comment; mu names a sync.Mutex or
+// sync.RWMutex field of the same struct) may only be read while the same
+// receiver's mutex is held (Lock or RLock) and only be written under the
+// exclusive Lock. Before PR 9 this discipline lived in prose comments
+// ("guarded by mu") and the runtime race detector; the annotation makes it
+// a compile-time contract, the way //glvet:cyclepath made determinism one.
+//
+// The check runs the framework's intra-procedural held-locks flow analysis
+// (analysis.WalkLocks) over every function in the target packages: an
+// access to a guarded field through base expression B must be dominated by
+// B.mu.Lock() (or RLock for reads) on every path reaching it. Lock
+// identity is syntactic — the access base and the lock receiver must print
+// identically ("s.order" is guarded by "s.mu", "c.shards[i].order" by
+// "c.shards[i].mu") — which under-approximates "held" and so errs toward
+// reporting, the safe direction for a guard.
+//
+// Two sanctioned escapes:
+//
+//   - Constructors: accesses through a variable the function itself
+//     created (&T{...}, T{...} or new(T)) are skipped — an object that has
+//     not escaped needs no lock.
+//   - `//lint:allow lockguard <reason>` suppresses a finding for sanctioned
+//     lock-free fast paths (atomics, publish-once fields), with the reason
+//     documenting why the access is safe.
+//
+// Writes through a guarded field (element stores, taking its address) are
+// writes for guard purposes: mutating what the field reaches needs the
+// same exclusion as replacing the field. Method calls on a guarded field
+// count as reads — a pointer-receiver method may mutate, so packages using
+// RWMutex should annotate with that in mind.
+//
+// Malformed annotations (naming a missing or non-mutex field) are reported
+// at the annotation itself, so the contract cannot silently rot.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check //glvet:guardedby struct-field annotations: guarded fields accessed only under the annotated mutex",
+	Run:  run,
+}
+
+// directive is the annotation prefix inside a comment.
+const directive = "//glvet:guardedby"
+
+// guardedField records one annotated field.
+type guardedField struct {
+	structName string
+	mutex      string
+}
+
+func run(pass *analysis.Pass) error {
+	for _, pkg := range pass.Packages {
+		guarded := collectGuarded(pass, pkg)
+		if len(guarded) == 0 {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFunc(pass, pkg, fd, guarded)
+			}
+		}
+	}
+	return nil
+}
+
+// collectGuarded parses every //glvet:guardedby annotation in the package
+// and validates the named mutex, reporting malformed annotations.
+func collectGuarded(pass *analysis.Pass, pkg *analysis.Package) map[*types.Var]guardedField {
+	guarded := map[*types.Var]guardedField{}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mutexName, ok := fieldDirective(field)
+				if !ok {
+					continue
+				}
+				if !structHasMutex(pkg.Info, st, mutexName) {
+					pass.Reportf(field.Pos(), "glvet:guardedby %s: struct %s has no sync.Mutex/RWMutex field %q",
+						mutexName, ts.Name.Name, mutexName)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{structName: ts.Name.Name, mutex: mutexName}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// fieldDirective extracts the guardedby mutex name from a field's doc or
+// trailing comment.
+func fieldDirective(field *ast.Field) (mutex string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, directive)
+			if !found {
+				continue
+			}
+			if name := strings.TrimSpace(rest); name != "" {
+				return name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// structHasMutex reports whether the struct declares a field of the given
+// name whose type is sync.Mutex or sync.RWMutex.
+func structHasMutex(info *types.Info, st *ast.StructType, name string) bool {
+	for _, field := range st.Fields.List {
+		for _, n := range field.Names {
+			if n.Name != name {
+				continue
+			}
+			t := info.TypeOf(field.Type)
+			if t == nil {
+				return false
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok {
+				return false
+			}
+			obj := named.Obj()
+			return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+				(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+		}
+	}
+	return false
+}
+
+// checkFunc runs the held-locks flow analysis over one function and checks
+// every guarded-field access against it.
+func checkFunc(pass *analysis.Pass, pkg *analysis.Package, fd *ast.FuncDecl, guarded map[*types.Var]guardedField) {
+	writes := writeTargets(fd.Body)
+	fresh := freshLocals(pkg.Info, fd.Body)
+	analysis.WalkLocks(pkg.Info, pkg.Path, fd.Name.Name, fd.Body, func(n ast.Node, held analysis.LockSet) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return
+		}
+		g, ok := guarded[v]
+		if !ok {
+			return
+		}
+		if id := rootIdent(sel.X); id != nil {
+			if obj, ok := pkg.Info.Uses[id].(*types.Var); ok && fresh[obj] {
+				return // object created here; not shared yet
+			}
+		}
+		key := types.ExprString(sel.X) + "." + g.mutex
+		lock, heldNow := held[key]
+		isWrite := writes[sel]
+		switch {
+		case !heldNow && isWrite:
+			pass.Reportf(sel.Sel.Pos(), "write to %s.%s requires holding %s (//glvet:guardedby %s)",
+				g.structName, sel.Sel.Name, key, g.mutex)
+		case !heldNow:
+			pass.Reportf(sel.Sel.Pos(), "read of %s.%s requires holding %s (//glvet:guardedby %s)",
+				g.structName, sel.Sel.Name, key, g.mutex)
+		case isWrite && lock.Mode == analysis.LockShared:
+			pass.Reportf(sel.Sel.Pos(), "write to %s.%s holds %s read-locked (RLock); the write needs the exclusive Lock",
+				g.structName, sel.Sel.Name, key)
+		}
+	})
+}
+
+// writeTargets marks the SelectorExprs written through: every selector in
+// the chain of an assignment LHS, an IncDec operand, or an address-taken
+// expression. Writing an element (or handing out the address) mutates what
+// the field reaches, so it needs the same exclusion as replacing the
+// field.
+func writeTargets(body *ast.BlockStmt) map[*ast.SelectorExpr]bool {
+	writes := map[*ast.SelectorExpr]bool{}
+	markChain := func(e ast.Expr) {
+		for {
+			switch t := e.(type) {
+			case *ast.ParenExpr:
+				e = t.X
+			case *ast.StarExpr:
+				e = t.X
+			case *ast.IndexExpr:
+				e = t.X
+			case *ast.SliceExpr:
+				e = t.X
+			case *ast.SelectorExpr:
+				writes[t] = true
+				e = t.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				markChain(lhs)
+			}
+		case *ast.IncDecStmt:
+			markChain(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markChain(n.X)
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// freshLocals collects local variables bound to objects this function
+// itself creates (&T{...}, T{...}, new(T)): accesses through them need no
+// lock because nothing else can see the object yet.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !isFreshExpr(info, as.Rhs[i]) {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				fresh[v] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isFreshExpr reports whether the expression constructs a brand-new object.
+func isFreshExpr(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, lit := e.X.(*ast.CompositeLit)
+			return lit
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "new"
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps an access base to its leftmost identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SliceExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.Ident:
+			return t
+		default:
+			return nil
+		}
+	}
+}

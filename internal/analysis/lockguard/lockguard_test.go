@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockguard"
+)
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata/src/lockguardtest", lockguard.Analyzer)
+}

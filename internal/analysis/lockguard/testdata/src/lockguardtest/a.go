@@ -1,0 +1,184 @@
+// Package lockguardtest is the lockguard fixture: guardedby annotations
+// checked across the lock idioms the repo uses.
+package lockguardtest
+
+import "sync"
+
+type table struct {
+	mu sync.Mutex
+	// count is the running total.
+	//glvet:guardedby mu
+	count int
+	items []int //glvet:guardedby mu
+}
+
+// get reads under the lock: clean.
+func (t *table) get() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// put writes under a paired Lock/Unlock: clean.
+func (t *table) put(v int) {
+	t.mu.Lock()
+	t.count = v
+	t.mu.Unlock()
+}
+
+// bareRead reads without the lock.
+func (t *table) bareRead() int {
+	return t.count // want `read of table.count requires holding t.mu`
+}
+
+// bareWrite writes without the lock.
+func (t *table) bareWrite() {
+	t.count++ // want `write to table.count requires holding t.mu`
+}
+
+// afterUnlock touches the field once the lock is gone.
+func (t *table) afterUnlock() int {
+	t.mu.Lock()
+	t.mu.Unlock()
+	return t.count // want `read of table.count requires holding t.mu`
+}
+
+// oneArmOnly locks on a single branch, so the access is not dominated.
+func (t *table) oneArmOnly(p bool) int {
+	if p {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+	}
+	return t.count // want `read of table.count requires holding t.mu`
+}
+
+// bothArms locks on every path: clean.
+func (t *table) bothArms(p bool) int {
+	if p {
+		t.mu.Lock()
+	} else {
+		t.mu.Lock()
+	}
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// elementWrite mutates through the field, which is a write.
+func (t *table) elementWrite(i int) {
+	t.items[i] = 1 // want `write to table.items requires holding t.mu`
+}
+
+// loopHeld keeps the lock across the loop: clean.
+func (t *table) loopHeld() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := 0
+	for _, v := range t.items {
+		s += v
+	}
+	return s
+}
+
+// closureEscapes runs later with no lock of its own.
+func (t *table) closureEscapes() func() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return func() int {
+		return t.count // want `read of table.count requires holding t.mu`
+	}
+}
+
+// closureLocks takes the lock inside the literal: clean.
+func (t *table) closureLocks() func() int {
+	return func() int {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.count
+	}
+}
+
+// newTable initializes a fresh object: no lock needed yet.
+func newTable() *table {
+	t := &table{}
+	t.count = 1
+	t.items = []int{1, 2, 3}
+	return t
+}
+
+// wrongInstance holds a's lock while touching b.
+func wrongInstance(a, b *table) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.count // want `read of table.count requires holding b.mu`
+}
+
+// sanctioned documents a lock-free fast path.
+func (t *table) sanctioned() int {
+	return t.count //lint:allow lockguard publish-once field read on the fast path
+}
+
+type rwtable struct {
+	mu sync.RWMutex
+	//glvet:guardedby mu
+	vals map[string]int
+}
+
+// rlockRead reads under the shared lock: clean.
+func (r *rwtable) rlockRead(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.vals[k]
+}
+
+// rlockWrite writes under only the shared lock.
+func (r *rwtable) rlockWrite(k string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.vals[k] = 1 // want `write to rwtable.vals holds r.mu read-locked`
+}
+
+// lockWrite writes under the exclusive lock: clean.
+func (r *rwtable) lockWrite(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.vals[k] = 1
+}
+
+type shardSet struct {
+	shards [4]shard
+}
+
+type shard struct {
+	mu sync.Mutex
+	//glvet:guardedby mu
+	n int
+}
+
+// shardAccess locks the same indexed shard it touches: clean.
+func (s *shardSet) shardAccess(i int) int {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	return s.shards[i].n
+}
+
+// crossShard locks one shard and reads another.
+func (s *shardSet) crossShard(i, j int) int {
+	s.shards[i].mu.Lock()
+	defer s.shards[i].mu.Unlock()
+	return s.shards[j].n // want `read of shard.n requires holding s.shards\[j\].mu`
+}
+
+type badAnnot struct {
+	lock sync.Mutex
+	//glvet:guardedby mux
+	x int // want `glvet:guardedby mux: struct badAnnot has no sync.Mutex/RWMutex field "mux"`
+}
+
+// use keeps the fixture free of unused warnings. b.x is not guarded — its
+// annotation was rejected — so the bare access is clean.
+func use(t *table, r *rwtable, s *shardSet, b *badAnnot) {
+	_ = t.get()
+	t.put(1)
+	_ = newTable()
+	_ = b.x
+}

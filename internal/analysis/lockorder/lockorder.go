@@ -1,0 +1,390 @@
+// Package lockorder implements the glvet analyzer that detects potential
+// deadlocks from inconsistent lock-acquisition order. It builds a
+// whole-program lock-order graph whose vertices are lock classes (the named
+// struct type plus mutex field, e.g. serve.Server.mu) and whose edges say
+// "a lock of class A was held while a lock of class B was acquired". Any
+// cycle in that graph is a potential deadlock: two goroutines taking the
+// same pair of locks in opposite orders can each end up waiting on the
+// other forever.
+//
+// Edges come from two sources, both driven by the framework's held-locks
+// flow analysis (analysis.WalkLocks):
+//
+//   - direct: inside one function, mu2.Lock() reached while mu1 is held
+//     adds mu1→mu2;
+//   - transitive: a call reached while mu1 is held adds mu1→C for every
+//     class C the callee acquires anywhere in its own call tree, computed
+//     as a fixpoint over the shared call graph (analysis.BuildCallGraph),
+//     including interface dispatch fanned out to in-module implementations.
+//
+// Calls under `go` and `defer` statements contribute no transitive edges:
+// a spawned goroutine runs with its own (empty) lock context, and a
+// deferred call runs at scope exit where the held set is no longer the one
+// at the defer statement. Their direct acquisitions still enter the graph
+// through their own bodies.
+//
+// A self-edge — class A acquired while another lock of class A is held —
+// is reported too: sync mutexes are not reentrant, and ordering two
+// instances of one class is a caller convention the analyzer cannot check,
+// so it must be explicitly sanctioned with `//lint:allow lockorder
+// <reason>` (e.g. a documented address-ordered pairwise lock).
+//
+// Each cycle produces exactly one diagnostic, at the earliest edge site in
+// the analyzed packages, naming the full cycle path. The analysis is
+// class-level, not instance-level: locking b.mu of a *different* B while
+// holding a.mu still draws A→B. That over-approximates real deadlocks, the
+// useful direction for an order check — a consistent global class order is
+// also the discipline human reviewers enforce.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order cycles (potential deadlocks) in the whole-program lock-acquisition graph",
+	Run:  run,
+}
+
+// edgeKey is one ordered pair of lock classes.
+type edgeKey struct{ from, to string }
+
+// edgeInfo records where an edge was first observed, preferring sites
+// inside the analyzed (target) packages so diagnostics land where the user
+// asked to look.
+type edgeInfo struct {
+	pos      token.Pos
+	inTarget bool
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass.Prog)
+
+	target := map[*analysis.Package]bool{}
+	for _, pkg := range pass.Packages {
+		target[pkg] = true
+	}
+
+	nodes := make([]*analysis.CallNode, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Fn.Pos() < nodes[j].Fn.Pos() })
+
+	edges := map[edgeKey]edgeInfo{}
+	addEdge := func(from, to string, pos token.Pos, inTarget bool) {
+		k := edgeKey{from, to}
+		old, ok := edges[k]
+		switch {
+		case !ok,
+			inTarget && !old.inTarget,
+			inTarget == old.inTarget && pos < old.pos:
+			edges[k] = edgeInfo{pos: pos, inTarget: inTarget}
+		}
+	}
+
+	// Scan every function once: record direct acquisitions (for the
+	// transitive fixpoint), direct held→acquired edges, and the call sites
+	// reached with locks held.
+	type callRec struct {
+		held     []string
+		callees  []*types.Func
+		pos      token.Pos
+		inTarget bool
+	}
+	var calls []callRec
+	direct := map[*types.Func]map[string]bool{}
+	outs := map[*types.Func][]*types.Func{} // call edges minus go/defer calls
+
+	for _, node := range nodes {
+		node := node
+		fnName := node.Decl.Name.Name
+		inTarget := target[node.Pkg]
+		skip := skippedCalls(node.Decl.Body)
+		dir := map[string]bool{}
+		outSeen := map[*types.Func]bool{}
+		analysis.WalkLocks(node.Pkg.Info, node.Pkg.Path, fnName, node.Decl.Body, func(n ast.Node, held analysis.LockSet) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if class, _, ok := analysis.LockAcquisition(node.Pkg.Info, node.Pkg.Path, fnName, call); ok {
+				dir[class] = true
+				for _, h := range classesOf(held) {
+					addEdge(h, class, call.Pos(), inTarget)
+				}
+				return
+			}
+			if skip[call] {
+				return
+			}
+			callees := g.CalleesAt(node.Pkg.Info, call)
+			if len(callees) == 0 {
+				return
+			}
+			for _, f := range callees {
+				if !outSeen[f] {
+					outSeen[f] = true
+					outs[node.Fn] = append(outs[node.Fn], f)
+				}
+			}
+			if len(held) > 0 {
+				calls = append(calls, callRec{held: classesOf(held), callees: callees, pos: call.Pos(), inTarget: inTarget})
+			}
+		})
+		if len(dir) > 0 {
+			direct[node.Fn] = dir
+		}
+	}
+
+	// Fixpoint: trans[f] = every lock class f acquires anywhere in its call
+	// tree (go/defer calls excluded — see package doc).
+	trans := map[*types.Func]map[string]bool{}
+	for _, node := range nodes {
+		d := direct[node.Fn]
+		if d == nil {
+			continue
+		}
+		t := make(map[string]bool, len(d))
+		for _, c := range stats.SortedKeys(d) {
+			t[c] = true
+		}
+		trans[node.Fn] = t
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range nodes {
+			t := trans[node.Fn]
+			for _, callee := range outs[node.Fn] {
+				for _, c := range stats.SortedKeys(trans[callee]) {
+					if t == nil {
+						t = map[string]bool{}
+						trans[node.Fn] = t
+					}
+					if !t[c] {
+						t[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Transitive edges: held classes at a call site → everything the callee
+	// acquires.
+	for _, rec := range calls {
+		for _, callee := range rec.callees {
+			for _, c := range stats.SortedKeys(trans[callee]) {
+				for _, h := range rec.held {
+					addEdge(h, c, rec.pos, rec.inTarget)
+				}
+			}
+		}
+	}
+
+	report(pass, edges)
+	return nil
+}
+
+// report finds the strongly connected components of the lock-order graph
+// and emits one diagnostic per cycle, at its earliest in-target edge site.
+func report(pass *analysis.Pass, edges map[edgeKey]edgeInfo) {
+	keys := make([]edgeKey, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+
+	vertSet := map[string]bool{}
+	adj := map[string][]string{}
+	var verts []string
+	for _, k := range keys {
+		adj[k.from] = append(adj[k.from], k.to)
+		for _, v := range [2]string{k.from, k.to} {
+			if !vertSet[v] {
+				vertSet[v] = true
+				verts = append(verts, v)
+			}
+		}
+	}
+	sort.Strings(verts)
+
+	for _, comp := range stronglyConnected(verts, adj) {
+		selfLoop := len(comp) == 1
+		if selfLoop {
+			if _, ok := edges[edgeKey{comp[0], comp[0]}]; !ok {
+				continue // single vertex, no cycle through it
+			}
+		}
+		member := map[string]bool{}
+		for _, v := range comp {
+			member[v] = true
+		}
+		// The diagnostic site: earliest in-target edge inside the component.
+		best := edgeInfo{}
+		found := false
+		for _, k := range keys {
+			info := edges[k]
+			if !info.inTarget || !member[k.from] || !member[k.to] {
+				continue
+			}
+			if !found || info.pos < best.pos {
+				best, found = info, true
+			}
+		}
+		if !found {
+			continue // cycle lives entirely outside the analyzed packages
+		}
+		if selfLoop {
+			pass.Reportf(best.pos, "potential deadlock: %s acquired while already held (lock-order self-cycle)",
+				display(comp[0]))
+			continue
+		}
+		path := shortestCycle(comp[0], member, adj)
+		parts := make([]string, len(path))
+		for i, c := range path {
+			parts[i] = display(c)
+		}
+		pass.Reportf(best.pos, "potential deadlock: lock-order cycle %s", strings.Join(parts, " → "))
+	}
+}
+
+// stronglyConnected is Tarjan's algorithm; components come out with sorted
+// members, ordered by discovery over the sorted vertex list, so reporting
+// is deterministic.
+func stronglyConnected(verts []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v], low[v] = next, next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range verts {
+		if _, seen := index[v]; !seen {
+			strong(v)
+		}
+	}
+	// Order components by smallest member for deterministic reporting.
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// shortestCycle finds a shortest path from start back to itself inside the
+// component (BFS over sorted adjacency), rendered with start at both ends.
+func shortestCycle(start string, member map[string]bool, adj map[string][]string) []string {
+	parent := map[string]string{}
+	visited := map[string]bool{start: true}
+	queue := []string{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !member[v] {
+				continue
+			}
+			if v == start {
+				path := []string{start}
+				var rev []string
+				for x := u; x != start; x = parent[x] {
+					rev = append(rev, x)
+				}
+				for i := len(rev) - 1; i >= 0; i-- {
+					path = append(path, rev[i])
+				}
+				return append(path, start)
+			}
+			if !visited[v] {
+				visited[v] = true
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return []string{start, start} // unreachable for a genuine SCC
+}
+
+// skippedCalls collects the call expressions under go and defer statements,
+// which run in a different lock context than the statement's.
+func skippedCalls(body *ast.BlockStmt) map[*ast.CallExpr]bool {
+	skip := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			skip[n.Call] = true
+		case *ast.DeferStmt:
+			skip[n.Call] = true
+		}
+		return true
+	})
+	return skip
+}
+
+// classesOf returns the sorted distinct lock classes of a held set.
+func classesOf(held analysis.LockSet) []string {
+	classes := make([]string, 0, len(held))
+	for _, k := range stats.SortedKeys(held) {
+		classes = append(classes, held[k].Class)
+	}
+	sort.Strings(classes)
+	var out []string
+	for _, c := range classes {
+		if len(out) == 0 || out[len(out)-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// display trims a lock class to its short package name for diagnostics:
+// "repro/internal/serve.Server.mu" → "serve.Server.mu".
+func display(class string) string {
+	if i := strings.LastIndexByte(class, '/'); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

@@ -1,0 +1,124 @@
+// Package lockordertest is the lockorder fixture: acquisition-order cycles
+// across direct nesting, calls, goroutines and instance pairs.
+package lockordertest
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+// aThenB nests B's lock inside A's: the first half of the cycle. The
+// diagnostic lands here because this is the cycle's earliest edge site.
+func aThenB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want `potential deadlock: lock-order cycle lockordertest\.A\.mu → lockordertest\.B\.mu → lockordertest\.A\.mu`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// bThenA closes the cycle transitively: A's lock is taken inside a callee
+// while B's is held.
+func bThenA(a *A, b *B) {
+	b.mu.Lock()
+	lockA(a)
+	b.mu.Unlock()
+}
+
+func lockA(a *A) {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+// outer re-enters its own lock class through a callee: sync mutexes are
+// not reentrant, so this self-cycle is an unconditional deadlock.
+func (s *S) outer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inner() // want `potential deadlock: lockordertest\.S\.mu acquired while already held \(lock-order self-cycle\)`
+}
+
+func (s *S) inner() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+type P struct{ mu sync.Mutex }
+
+// pairLock orders two instances of one class by parameter position — a
+// convention the analyzer cannot verify, so the class-level self-edge is
+// flagged.
+func pairLock(x, y *P) {
+	x.mu.Lock()
+	y.mu.Lock() // want `potential deadlock: lockordertest\.P\.mu acquired while already held \(lock-order self-cycle\)`
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// first and second take C before D both directly and through a call: a
+// consistent order, no cycle.
+func first(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+func second(c *C, d *D) {
+	c.mu.Lock()
+	lockD(d)
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+// spawn launches a goroutine that locks F while E is held. The goroutine
+// runs with its own lock context, so no E→F edge exists and the F→E order
+// in fThenE stays acyclic.
+func spawn(e *E, f *F) {
+	e.mu.Lock()
+	go lockF(f)
+	e.mu.Unlock()
+}
+
+func fThenE(e *E, f *F) {
+	f.mu.Lock()
+	lockE(e)
+	f.mu.Unlock()
+}
+
+func lockE(e *E) {
+	e.mu.Lock()
+	e.mu.Unlock()
+}
+
+func lockF(f *F) {
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// use keeps the fixture free of unused warnings.
+func use(a *A, b *B, c *C, d *D, e *E, f *F, s *S, p *P) {
+	aThenB(a, b)
+	bThenA(a, b)
+	s.outer()
+	pairLock(p, p)
+	first(c, d)
+	second(c, d)
+	spawn(e, f)
+	fThenE(e, f)
+}

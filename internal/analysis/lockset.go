@@ -1,0 +1,611 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockMode distinguishes exclusive from shared (reader) acquisition.
+type LockMode int
+
+const (
+	// LockExclusive is a Lock() acquisition.
+	LockExclusive LockMode = iota + 1
+	// LockShared is an RLock() acquisition.
+	LockShared
+)
+
+// HeldLock describes one lock the flow analysis believes is held at a
+// program point.
+type HeldLock struct {
+	// Mode is the acquisition mode (exclusive or shared).
+	Mode LockMode
+	// Class names the lock class — "pkgpath.Type.field" for a mutex stored
+	// in a named struct's field, "pkgpath.func.var" for a function-local or
+	// package-level mutex. Lock-order analysis works over classes; instance
+	// identity is the expression key.
+	Class string
+	// Pos is the acquisition site.
+	Pos token.Pos
+}
+
+// A LockSet maps a canonical lock expression (the printed receiver of the
+// Lock call, e.g. "s.mu" or "c.shards[i].mu") to what is known about the
+// held lock. Keys are syntactic: two aliases of one mutex under different
+// names are different keys, which under-approximates "held" and so errs
+// toward reporting (the safe direction for a guard check).
+type LockSet map[string]HeldLock
+
+// clone copies a LockSet.
+func (ls LockSet) clone() LockSet {
+	out := make(LockSet, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+// intersectLocks keeps only locks held on both paths, weakening the mode to
+// shared when the two paths disagree.
+func intersectLocks(a, b LockSet) LockSet {
+	out := LockSet{}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok {
+			continue
+		}
+		v := va
+		if vb.Mode != va.Mode {
+			v.Mode = LockShared
+		}
+		out[k] = v
+	}
+	return out
+}
+
+// equalLocks reports whether two sets hold the same keys and modes.
+func equalLocks(a, b LockSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va.Mode != vb.Mode {
+			return false
+		}
+	}
+	return true
+}
+
+// lockMethods classifies the sync mutex methods by effect.
+var lockMethods = map[string]struct {
+	acquire bool
+	mode    LockMode
+}{
+	"Lock":    {acquire: true, mode: LockExclusive},
+	"RLock":   {acquire: true, mode: LockShared},
+	"Unlock":  {acquire: false, mode: LockExclusive},
+	"RUnlock": {acquire: false, mode: LockShared},
+}
+
+// isMutexType reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockOpOf recognizes a mutex Lock/RLock/Unlock/RUnlock call and returns
+// the canonical lock key, the lock class, the effect and mode. ok is false
+// for anything else (including sync.Once.Do and sync.Cond methods).
+func lockOpOf(info *types.Info, funcName string, pkgPath string, call *ast.CallExpr) (key, class string, acquire bool, mode LockMode, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, 0, false
+	}
+	effect, known := lockMethods[sel.Sel.Name]
+	if !known {
+		return "", "", false, 0, false
+	}
+	if !isMutexType(info.TypeOf(sel.X)) {
+		return "", "", false, 0, false
+	}
+	key = types.ExprString(sel.X)
+	class = lockClassOf(info, funcName, pkgPath, sel.X)
+	return key, class, effect.acquire, effect.mode, true
+}
+
+// LockAcquisition recognizes a mutex Lock/RLock call and returns the lock
+// class and mode. ok is false for releases and non-lock calls. It is the
+// acquisition-site hook for analyzers (lockorder) that work over lock
+// classes rather than held sets.
+func LockAcquisition(info *types.Info, pkgPath, funcName string, call *ast.CallExpr) (class string, mode LockMode, ok bool) {
+	_, class, acquire, mode, ok := lockOpOf(info, funcName, pkgPath, call)
+	if !ok || !acquire {
+		return "", 0, false
+	}
+	return class, mode, true
+}
+
+// lockClassOf derives the lock class of a mutex expression: the owning
+// named struct type plus field name when the mutex is a field, otherwise
+// the enclosing function (local vars) or package (package-level vars).
+func lockClassOf(info *types.Info, funcName, pkgPath string, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.ParenExpr:
+		return lockClassOf(info, funcName, pkgPath, x.X)
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			if named := ReceiverNamed(info.TypeOf(x.X)); named != nil {
+				owner := named.Obj()
+				path := pkgPath
+				if owner.Pkg() != nil {
+					path = owner.Pkg().Path()
+				}
+				return path + "." + owner.Name() + "." + x.Sel.Name
+			}
+		}
+		return pkgPath + "." + types.ExprString(x)
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+				// Package-level mutex.
+				return pkgPath + "." + x.Name
+			}
+		}
+		return pkgPath + "." + funcName + "." + x.Name
+	}
+	return pkgPath + "." + types.ExprString(x)
+}
+
+// WalkLocks runs the intra-procedural held-locks flow analysis over one
+// function body and invokes visit for every AST node with the LockSet held
+// on entry to that node (read-only; the walker owns the map).
+//
+// The analysis is a forward abstract interpretation over the statement
+// tree:
+//
+//   - mu.Lock()/mu.RLock() add the printed receiver expression to the set;
+//     mu.Unlock()/mu.RUnlock() remove it; `defer mu.Unlock()` keeps the
+//     lock held to the end of the enclosing scope (the dominant idiom).
+//   - Branches (if/switch/select) analyze each arm independently and join
+//     with set intersection over the arms that fall through; an arm ending
+//     in return/break/continue/goto/panic does not contribute.
+//   - Loops run the body to a fixpoint (mutely, so visit fires exactly once
+//     per node) before the reporting pass; break statements contribute
+//     their held set to the loop's exit state.
+//   - Function literals are separate execution contexts: their bodies are
+//     walked with an empty held set, and lock operations inside them do not
+//     leak into the enclosing function's state.
+//
+// Keys are syntactic, so the analysis under-approximates "held" (aliases
+// don't match) — the safe direction for a guardedby check, which would
+// rather report a guarded access than silently trust an alias.
+func WalkLocks(info *types.Info, pkgPath, funcName string, body *ast.BlockStmt, visit func(n ast.Node, held LockSet)) {
+	w := &lockWalker{info: info, pkgPath: pkgPath, funcName: funcName, visit: visit}
+	w.walkStmt(body, LockSet{})
+}
+
+// lockWalker carries the traversal state.
+type lockWalker struct {
+	info     *types.Info
+	pkgPath  string
+	funcName string
+	visit    func(ast.Node, LockSet)
+	mute     int // >0 during loop fixpoint dry runs
+	// breakables collects break-edge states; loops additionally collect
+	// continue-edge states.
+	breakables []*exitCollector
+}
+
+// exitCollector gathers the held sets flowing out of break/continue
+// statements targeting one loop or switch.
+type exitCollector struct {
+	isLoop    bool
+	breaks    []LockSet
+	continues []LockSet
+}
+
+func (w *lockWalker) see(n ast.Node, held LockSet) {
+	if w.mute == 0 && w.visit != nil && n != nil {
+		w.visit(n, held)
+	}
+}
+
+// walkStmt interprets one statement. It returns the held set after the
+// statement and whether control cannot fall through (return, panic, break,
+// continue, goto, or an infinite loop with no break).
+func (w *lockWalker) walkStmt(s ast.Stmt, held LockSet) (LockSet, bool) {
+	if s == nil {
+		return held, false
+	}
+	w.see(s, held)
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		term := false
+		for _, st := range s.List {
+			if term {
+				// Unreachable; still visit for completeness with the last
+				// known state.
+				held, _ = w.walkStmt(st, held)
+				continue
+			}
+			held, term = w.walkStmt(st, held)
+		}
+		return held, term
+
+	case *ast.ExprStmt:
+		return w.walkExpr(s.X, held), false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.walkExpr(e, held)
+		}
+		return held, false
+
+	case *ast.IncDecStmt:
+		return w.walkExpr(s.X, held), false
+
+	case *ast.SendStmt:
+		held = w.walkExpr(s.Chan, held)
+		return w.walkExpr(s.Value, held), false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.walkExpr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.walkExpr(e, held)
+		}
+		return held, true
+
+	case *ast.DeferStmt:
+		// Arguments and the callee expression evaluate now; the call itself
+		// runs at function exit, so a deferred Unlock does not release here
+		// (the Lock+defer-Unlock idiom keeps the lock held to scope end).
+		w.walkCallParts(s.Call, held)
+		return held, false
+
+	case *ast.GoStmt:
+		// The spawned call's function/args evaluate now; the body runs on
+		// another goroutine with its own (empty) lock context.
+		w.walkCallParts(s.Call, held)
+		return held, false
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if c := w.nearestBreakable(); c != nil {
+				c.breaks = append(c.breaks, held.clone())
+			}
+		case token.CONTINUE:
+			if c := w.nearestLoop(); c != nil {
+				c.continues = append(c.continues, held.clone())
+			}
+		}
+		return held, true
+
+	case *ast.IfStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held = w.walkExpr(s.Cond, held)
+		thenOut, thenTerm := w.walkStmt(s.Body, held.clone())
+		elseOut, elseTerm := held.clone(), false
+		if s.Else != nil {
+			elseOut, elseTerm = w.walkStmt(s.Else, held.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return held, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			return intersectLocks(thenOut, elseOut), false
+		}
+
+	case *ast.SwitchStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		held = w.walkExpr(s.Tag, held)
+		return w.walkClauses(s.Body, held, false)
+
+	case *ast.TypeSwitchStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		if as, ok := s.Assign.(*ast.AssignStmt); ok {
+			for _, e := range as.Rhs {
+				held = w.walkExpr(e, held)
+			}
+		} else if es, ok := s.Assign.(*ast.ExprStmt); ok {
+			held = w.walkExpr(es.X, held)
+		}
+		return w.walkClauses(s.Body, held, false)
+
+	case *ast.SelectStmt:
+		return w.walkClauses(s.Body, held, true)
+
+	case *ast.ForStmt:
+		held, _ = w.walkStmt(s.Init, held)
+		return w.walkLoop(held, s.Cond != nil, func(h LockSet) (LockSet, bool) {
+			h = w.walkExpr(s.Cond, h)
+			h, term := w.walkStmt(s.Body, h)
+			if !term {
+				h, _ = w.walkStmt(s.Post, h)
+			}
+			return h, term
+		})
+
+	case *ast.RangeStmt:
+		held = w.walkExpr(s.X, held)
+		return w.walkLoop(held, true, func(h LockSet) (LockSet, bool) {
+			return w.walkStmt(s.Body, h)
+		})
+
+	default:
+		// EmptyStmt and anything exotic: no flow effect.
+		return held, false
+	}
+}
+
+// walkClauses interprets the case/comm clauses of a switch or select.
+// exhaustive marks constructs where some clause always runs (select with
+// cases); a switch without a default contributes a pass-through path.
+func (w *lockWalker) walkClauses(body *ast.BlockStmt, held LockSet, exhaustive bool) (LockSet, bool) {
+	col := &exitCollector{}
+	w.breakables = append(w.breakables, col)
+	defer func() { w.breakables = w.breakables[:len(w.breakables)-1] }()
+
+	var outs []LockSet
+	hasDefault := false
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		entry := held.clone()
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			w.see(cl, entry)
+			if cl.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cl.List {
+				entry = w.walkExpr(e, entry)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			w.see(cl, entry)
+			if cl.Comm == nil {
+				hasDefault = true
+			} else {
+				entry, _ = w.walkStmt(cl.Comm, entry)
+			}
+			stmts = cl.Body
+		default:
+			continue
+		}
+		term := false
+		for _, st := range stmts {
+			entry, term = w.walkStmt(st, entry)
+			if term {
+				break
+			}
+		}
+		if !term {
+			outs = append(outs, entry)
+		}
+	}
+	outs = append(outs, col.breaks...)
+	if !exhaustive && !hasDefault {
+		outs = append(outs, held)
+	}
+	if len(outs) == 0 {
+		if len(body.List) == 0 && exhaustive {
+			return held, true // select{} blocks forever
+		}
+		return held, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out = intersectLocks(out, o)
+	}
+	return out, false
+}
+
+// walkLoop runs one loop body to fixpoint mutely, then once for real, and
+// joins the exit states (normal exit when the loop has a condition, plus
+// every break edge).
+func (w *lockWalker) walkLoop(held LockSet, canExitNormally bool, body func(LockSet) (LockSet, bool)) (LockSet, bool) {
+	entry := held.clone()
+	// Dry runs to a fixpoint: the entry state must cover every iteration,
+	// so intersect with the state flowing around the back edge.
+	w.mute++
+	for i := 0; i < 4; i++ {
+		col := &exitCollector{isLoop: true}
+		w.breakables = append(w.breakables, col)
+		out, term := body(entry.clone())
+		w.breakables = w.breakables[:len(w.breakables)-1]
+		next := entry
+		if !term {
+			next = intersectLocks(next, out)
+		}
+		for _, c := range col.continues {
+			next = intersectLocks(next, c)
+		}
+		if equalLocks(next, entry) {
+			break
+		}
+		entry = next
+	}
+	w.mute--
+
+	// Reporting pass with the converged entry state.
+	col := &exitCollector{isLoop: true}
+	w.breakables = append(w.breakables, col)
+	out, term := body(entry.clone())
+	w.breakables = w.breakables[:len(w.breakables)-1]
+
+	var outs []LockSet
+	if canExitNormally {
+		outs = append(outs, entry)
+	} else if !term {
+		_ = out // for{} without breaks: fallthrough impossible
+	}
+	outs = append(outs, col.breaks...)
+	if len(outs) == 0 {
+		return held, true
+	}
+	res := outs[0]
+	for _, o := range outs[1:] {
+		res = intersectLocks(res, o)
+	}
+	return res, false
+}
+
+func (w *lockWalker) nearestBreakable() *exitCollector {
+	if len(w.breakables) == 0 {
+		return nil
+	}
+	return w.breakables[len(w.breakables)-1]
+}
+
+func (w *lockWalker) nearestLoop() *exitCollector {
+	for i := len(w.breakables) - 1; i >= 0; i-- {
+		if w.breakables[i].isLoop {
+			return w.breakables[i]
+		}
+	}
+	return nil
+}
+
+// walkCallParts visits a go/defer statement's call expression without
+// applying its lock effects to the current flow.
+func (w *lockWalker) walkCallParts(call *ast.CallExpr, held LockSet) {
+	w.see(call, held)
+	w.visitSubExprs(call.Fun, held)
+	for _, a := range call.Args {
+		w.visitSubExprs(a, held)
+	}
+}
+
+// visitSubExprs visits an expression tree without lock effects; function
+// literals still get their isolated walk.
+func (w *lockWalker) visitSubExprs(e ast.Expr, held LockSet) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.see(fl, held)
+			w.walkFuncLit(fl)
+			return false
+		}
+		if n != nil {
+			w.see(n, held)
+		}
+		return true
+	})
+}
+
+// walkFuncLit analyzes a function literal body as its own execution
+// context with an empty held set.
+func (w *lockWalker) walkFuncLit(fl *ast.FuncLit) {
+	sub := &lockWalker{info: w.info, pkgPath: w.pkgPath, funcName: w.funcName + ".func", visit: w.visit, mute: w.mute}
+	sub.walkStmt(fl.Body, LockSet{})
+}
+
+// walkExpr visits one expression tree in evaluation-ish order, applying
+// mutex Lock/Unlock effects as they are encountered and isolating function
+// literals.
+func (w *lockWalker) walkExpr(e ast.Expr, held LockSet) LockSet {
+	if e == nil {
+		return held
+	}
+	switch e := e.(type) {
+	case *ast.FuncLit:
+		w.see(e, held)
+		w.walkFuncLit(e)
+		return held
+	case *ast.CallExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.Fun, held)
+		for _, a := range e.Args {
+			held = w.walkExpr(a, held)
+		}
+		if key, class, acquire, mode, ok := lockOpOf(w.info, w.funcName, w.pkgPath, e); ok {
+			if acquire {
+				held[key] = HeldLock{Mode: mode, Class: class, Pos: e.Pos()}
+			} else {
+				delete(held, key)
+			}
+		}
+		return held
+	case *ast.ParenExpr:
+		w.see(e, held)
+		return w.walkExpr(e.X, held)
+	case *ast.SelectorExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.X, held)
+		w.see(e.Sel, held)
+		return held
+	case *ast.IndexExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.X, held)
+		return w.walkExpr(e.Index, held)
+	case *ast.SliceExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.X, held)
+		held = w.walkExpr(e.Low, held)
+		held = w.walkExpr(e.High, held)
+		return w.walkExpr(e.Max, held)
+	case *ast.StarExpr:
+		w.see(e, held)
+		return w.walkExpr(e.X, held)
+	case *ast.UnaryExpr:
+		w.see(e, held)
+		return w.walkExpr(e.X, held)
+	case *ast.BinaryExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.X, held)
+		return w.walkExpr(e.Y, held)
+	case *ast.KeyValueExpr:
+		w.see(e, held)
+		held = w.walkExpr(e.Key, held)
+		return w.walkExpr(e.Value, held)
+	case *ast.CompositeLit:
+		w.see(e, held)
+		for _, el := range e.Elts {
+			held = w.walkExpr(el, held)
+		}
+		return held
+	case *ast.TypeAssertExpr:
+		w.see(e, held)
+		return w.walkExpr(e.X, held)
+	default:
+		// Idents, literals, types: visit the subtree, no effects.
+		w.visitSubExprs(e, held)
+		return held
+	}
+}

@@ -21,4 +21,11 @@ func scoped() {
 //lint:allow demo
 func malformed() { mark() }
 
+// stale carries an allow that matches no diagnostic: the code it once
+// excused is gone, and the comment itself is reported.
+func stale() {
+	//lint:allow demo nothing here calls the flagged function anymore
+	_ = 0
+}
+
 func mark() {}

@@ -84,6 +84,36 @@ type CampaignReport struct {
 	Findings []Finding `json:"findings,omitempty"`
 }
 
+// outcomeTable collects exploration outcomes from the sweep workers under
+// a lock: a run abandoned by the sweep timeout may still write its slot
+// later, harmlessly, while the campaign only reads after sweep.Run returns
+// (and ignores slots whose sweep result says timeout).
+type outcomeTable struct {
+	mu sync.Mutex
+	//glvet:guardedby mu
+	outcomes []Outcome
+	//glvet:guardedby mu
+	wrote []bool
+}
+
+func newOutcomeTable(n int) *outcomeTable {
+	return &outcomeTable{outcomes: make([]Outcome, n), wrote: make([]bool, n)}
+}
+
+// put records slot i's outcome.
+func (t *outcomeTable) put(i int, out Outcome) {
+	t.mu.Lock()
+	t.outcomes[i], t.wrote[i] = out, true
+	t.mu.Unlock()
+}
+
+// get reads slot i; ok reports whether the slot was ever written.
+func (t *outcomeTable) get(i int) (out Outcome, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.outcomes[i], t.wrote[i]
+}
+
 // Campaign explores Budget generated fault plans on the sweep worker pool,
 // then sequentially (and deterministically) delta-debugs up to MaxFindings
 // oracle trips into minimal reproducers. The exploration order, the plans
@@ -98,13 +128,7 @@ func Campaign(cfg CampaignConfig) (*CampaignReport, error) {
 		plans[i] = gen.plan()
 	}
 
-	// Outcomes land in a mutex-guarded slice: a run abandoned by the sweep
-	// timeout may still write its slot later, harmlessly, while the
-	// campaign only reads after sweep.Run returns (and ignores slots whose
-	// sweep result says timeout).
-	outcomes := make([]Outcome, cfg.Budget)
-	wrote := make([]bool, cfg.Budget)
-	var mu sync.Mutex
+	table := newOutcomeTable(cfg.Budget)
 	specs := make([]sweep.Spec, cfg.Budget)
 	for i := range specs {
 		i := i
@@ -112,9 +136,7 @@ func Campaign(cfg CampaignConfig) (*CampaignReport, error) {
 			Label: fmt.Sprintf("chaos-%04d", i),
 			Run: func() (*sim.Report, error) {
 				out := RunPlan(cfg.Run, plans[i])
-				mu.Lock()
-				outcomes[i], wrote[i] = out, true
-				mu.Unlock()
+				table.put(i, out)
 				return out.Report, nil
 			},
 		}
@@ -130,9 +152,7 @@ func Campaign(cfg CampaignConfig) (*CampaignReport, error) {
 	}
 	var errs []error
 	for i := 0; i < cfg.Budget; i++ {
-		mu.Lock()
-		out, ok := outcomes[i], wrote[i]
-		mu.Unlock()
+		out, ok := table.get(i)
 		if results[i].Err != nil || !ok {
 			rep.Errors++
 			err := results[i].Err

@@ -1,0 +1,50 @@
+package metrics
+
+import "sync"
+
+// Locked serializes access to a Registry for concurrent components. The
+// Registry itself is single-threaded by contract (no atomics on the
+// simulator hot path); the serve layer is the one place metric handles are
+// touched from many goroutines, so the lock lives here — in a wrapper the
+// hot path never pays for — rather than inside Counter/Gauge/Histogram.
+//
+// Register every handle on the underlying Registry before wrapping it;
+// after NewLocked, all updates and snapshots must go through the wrapper.
+type Locked struct {
+	mu sync.Mutex
+	//glvet:guardedby mu
+	reg *Registry
+}
+
+// NewLocked wraps reg. The caller must not touch reg directly afterwards.
+func NewLocked(reg *Registry) *Locked {
+	return &Locked{reg: reg}
+}
+
+// Count adds n to c under the lock.
+func (l *Locked) Count(c *Counter, n uint64) {
+	l.mu.Lock()
+	c.Add(n)
+	l.mu.Unlock()
+}
+
+// SetGauge sets g to v under the lock.
+func (l *Locked) SetGauge(g *Gauge, v uint64) {
+	l.mu.Lock()
+	g.Set(v)
+	l.mu.Unlock()
+}
+
+// Observe records v into h under the lock.
+func (l *Locked) Observe(h *Histogram, v uint64) {
+	l.mu.Lock()
+	h.Observe(v)
+	l.mu.Unlock()
+}
+
+// Snapshot captures the wrapped registry's state under the lock.
+func (l *Locked) Snapshot() Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.reg.Snapshot()
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -86,9 +87,12 @@ type Cache struct {
 }
 
 type cacheShard struct {
-	mu    sync.Mutex
-	order *list.List // front = most recent; values are *Entry
-	byFP  map[string]*list.Element
+	mu sync.Mutex
+	// order: front = most recent; values are *Entry.
+	//glvet:guardedby mu
+	order *list.List
+	//glvet:guardedby mu
+	byFP map[string]*list.Element
 }
 
 // NewCache builds a cache holding at least maxEntries reports in memory
@@ -225,7 +229,8 @@ func (c *Cache) spillPath(fp string) string {
 // golang.org/x/sync; this is the same contract, scoped to what the server
 // needs.)
 type flightGroup struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//glvet:guardedby mu
 	calls map[string]*flightCall
 }
 
@@ -250,8 +255,11 @@ func (g *flightGroup) waiting(key string) int {
 
 // Do runs fn for key unless a flight for key is already in progress, in
 // which case it waits for that flight and shares its outcome. shared
-// reports whether this caller got someone else's result.
-func (g *flightGroup) Do(key string, fn func() (*Entry, error)) (e *Entry, shared bool, err error) {
+// reports whether this caller got someone else's result. A follower whose
+// ctx expires stops waiting and returns the context error; the leader's
+// flight keeps running for any remaining waiters. The leader itself is
+// not interrupted here — fn observes cancellation through its own context.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*Entry, error)) (e *Entry, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
@@ -259,8 +267,19 @@ func (g *flightGroup) Do(key string, fn func() (*Entry, error)) (e *Entry, share
 	if call, ok := g.calls[key]; ok {
 		call.waiters++
 		g.mu.Unlock()
-		<-call.done
-		return call.e, true, call.err
+		select {
+		case <-call.done:
+			return call.e, true, call.err
+		case <-ctx.Done():
+			g.mu.Lock()
+			// The flight may have completed and been replaced by a newer
+			// one for the same key; only un-count ourselves from ours.
+			if g.calls[key] == call {
+				call.waiters--
+			}
+			g.mu.Unlock()
+			return nil, true, ctx.Err()
+		}
 	}
 	call := &flightCall{done: make(chan struct{})}
 	g.calls[key] = call

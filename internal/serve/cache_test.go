@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -131,7 +133,7 @@ func TestFlightGroupDedup(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		e, shared, err := g.Do("key", func() (*Entry, error) {
+		e, shared, err := g.Do(context.Background(), "key", func() (*Entry, error) {
 			calls.Add(1)
 			close(leaderIn)
 			<-release
@@ -146,7 +148,7 @@ func TestFlightGroupDedup(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e, shared, err := g.Do("key", func() (*Entry, error) {
+			e, shared, err := g.Do(context.Background(), "key", func() (*Entry, error) {
 				calls.Add(1)
 				return &Entry{InputFP: "key"}, nil
 			})
@@ -171,11 +173,57 @@ func TestFlightGroupDedup(t *testing.T) {
 		t.Fatalf("%d callers shared, want %d", sharedCount.Load(), n-1)
 	}
 	// After the flight lands, a new Do runs fresh.
-	_, shared, _ := g.Do("key", func() (*Entry, error) {
+	_, shared, _ := g.Do(context.Background(), "key", func() (*Entry, error) {
 		calls.Add(1)
 		return &Entry{InputFP: "key"}, nil
 	})
 	if shared || calls.Load() != 2 {
 		t.Fatalf("post-flight Do: shared=%v calls=%d", shared, calls.Load())
 	}
+}
+
+func TestFlightGroupFollowerCancel(t *testing.T) {
+	var g flightGroup
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		e, shared, err := g.Do(context.Background(), "key", func() (*Entry, error) {
+			close(leaderIn)
+			<-release
+			return &Entry{InputFP: "key"}, nil
+		})
+		if err != nil || shared || e.InputFP != "key" {
+			t.Errorf("leader: e=%+v shared=%v err=%v", e, shared, err)
+		}
+	}()
+	<-leaderIn
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		e, shared, err := g.Do(ctx, "key", func() (*Entry, error) {
+			t.Error("follower must not run fn")
+			return nil, nil
+		})
+		if e != nil || !shared {
+			t.Errorf("canceled follower: e=%+v shared=%v", e, shared)
+		}
+		followerErr <- err
+	}()
+	// Wait until the follower is provably parked on the flight, then pull
+	// its context: it must return promptly with the context error while the
+	// leader's flight is still in progress.
+	for g.waiting("key") != 1 {
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-followerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	if w := g.waiting("key"); w != 0 {
+		t.Fatalf("waiters after cancel = %d, want 0", w)
+	}
+	close(release)
+	<-leaderDone
 }

@@ -83,22 +83,36 @@ type job struct {
 	// since server start — never wall-clock).
 	enqueuedAt int64
 
-	mu        sync.Mutex
-	state     JobState
+	mu sync.Mutex
+	//glvet:guardedby mu
+	state JobState
+	//glvet:guardedby mu
 	startedAt int64
+	//glvet:guardedby mu
 	cellState []CellStatus
-	done      int
+	//glvet:guardedby mu
+	done int
+	//glvet:guardedby mu
 	cacheHits int
+	//glvet:guardedby mu
 	simulated int
-	failed    int
-	episodes  uint64
-	glLat     metrics.HistogramSnapshot
-	swLat     metrics.HistogramSnapshot
-	hangs     int
-	waitMs    int64
-	errMsg    string
+	//glvet:guardedby mu
+	failed int
+	//glvet:guardedby mu
+	episodes uint64
+	//glvet:guardedby mu
+	glLat metrics.HistogramSnapshot
+	//glvet:guardedby mu
+	swLat metrics.HistogramSnapshot
+	//glvet:guardedby mu
+	hangs int
+	//glvet:guardedby mu
+	waitMs int64
+	//glvet:guardedby mu
+	errMsg string
 	// results holds each finished cell's cache entry, indexed like cells;
 	// nil for failed/aborted cells.
+	//glvet:guardedby mu
 	results []*Entry
 	// finished closes when the job reaches a terminal state.
 	finished chan struct{}

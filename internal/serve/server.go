@@ -156,23 +156,30 @@ type Server struct {
 	cache  *Cache
 	flight flightGroup
 
-	// regMu guards reg and every handle in m: internal/metrics registries
-	// are single-threaded by contract, and the server is the one
-	// concurrent component in the repo, so the lock lives here rather than
-	// in the hot simulator path.
-	regMu sync.Mutex
-	reg   *metrics.Registry
-	m     *serverMetrics
+	// lm serializes registry access: internal/metrics registries are
+	// single-threaded by contract, and the server is the one concurrent
+	// component in the repo, so the lock lives here rather than in the hot
+	// simulator path. m holds the pre-registered handles; it is written
+	// once at construction and immutable after.
+	lm *metrics.Locked
+	m  *serverMetrics
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	jobs     map[string]*job
-	order    []string
-	queue    []*job
-	nextID   int
-	running  int
+	mu   sync.Mutex
+	cond *sync.Cond
+	//glvet:guardedby mu
+	jobs map[string]*job
+	//glvet:guardedby mu
+	order []string
+	//glvet:guardedby mu
+	queue []*job
+	//glvet:guardedby mu
+	nextID int
+	//glvet:guardedby mu
+	running int
+	//glvet:guardedby mu
 	draining bool
-	closed   bool
+	//glvet:guardedby mu
+	closed bool
 
 	// base anchors the server's monotonic clock.
 	base time.Time
@@ -185,7 +192,7 @@ func NewServer(opts Options) *Server {
 	s := &Server{
 		opts:  opts,
 		cache: NewCache(opts.CacheEntries, opts.CacheDir),
-		reg:   reg,
+		lm:    metrics.NewLocked(reg),
 		m:     newServerMetrics(reg),
 		jobs:  make(map[string]*job),
 		base:  now(),
@@ -212,32 +219,16 @@ func now() time.Time { return time.Now() }
 func (s *Server) monoMs() int64 { return now().Sub(s.base).Milliseconds() }
 
 // count adds n to a counter under the registry lock.
-func (s *Server) count(c *metrics.Counter, n uint64) {
-	s.regMu.Lock()
-	c.Add(n)
-	s.regMu.Unlock()
-}
+func (s *Server) count(c *metrics.Counter, n uint64) { s.lm.Count(c, n) }
 
 // gauge sets a gauge under the registry lock.
-func (s *Server) gauge(g *metrics.Gauge, v uint64) {
-	s.regMu.Lock()
-	g.Set(v)
-	s.regMu.Unlock()
-}
+func (s *Server) gauge(g *metrics.Gauge, v uint64) { s.lm.SetGauge(g, v) }
 
 // observe records a histogram sample under the registry lock.
-func (s *Server) observe(h *metrics.Histogram, v uint64) {
-	s.regMu.Lock()
-	h.Observe(v)
-	s.regMu.Unlock()
-}
+func (s *Server) observe(h *metrics.Histogram, v uint64) { s.lm.Observe(h, v) }
 
 // Stats snapshots the server's metrics.
-func (s *Server) Stats() metrics.Snapshot {
-	s.regMu.Lock()
-	defer s.regMu.Unlock()
-	return s.reg.Snapshot()
-}
+func (s *Server) Stats() metrics.Snapshot { return s.lm.Snapshot() }
 
 // Submit parses, validates and enqueues a job spec. It returns the job
 // immediately; execution is asynchronous.
@@ -422,7 +413,7 @@ func (s *Server) resolveCell(ctx context.Context, cell Cell) (e *Entry, cached, 
 	// own context is still live that failure is not ours — retry, at worst
 	// becoming the new leader.
 	for attempt := 0; ; attempt++ {
-		e, shared, err := s.flight.Do(fp, func() (*Entry, error) {
+		e, shared, err := s.flight.Do(ctx, fp, func() (*Entry, error) {
 			return s.runCell(ctx, cell)
 		})
 		if err != nil && shared && ctx.Err() == nil && attempt < 4 &&
@@ -506,7 +497,10 @@ func (s *Server) Drain(ctx context.Context) error {
 		for _, j := range all {
 			j.cancel()
 		}
-		<-idle
+		// The context already expired and every job has been canceled; this
+		// final wait is bounded by the executors unwinding and must not be
+		// abandoned, or Drain would return with workers still running.
+		<-idle //lint:allow ctxflow bounded executor unwind after cancellation, must complete
 		return ctx.Err()
 	}
 }

@@ -97,10 +97,13 @@ func (rec record) event() Event {
 // NewRing. Ring is safe for the simulator's single-threaded use plus
 // concurrent Dump calls.
 type Ring struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	//glvet:guardedby mu
 	records []record
-	next    int
-	filled  bool
+	//glvet:guardedby mu
+	next int
+	//glvet:guardedby mu
+	filled bool
 }
 
 // NewRing builds a ring holding up to capacity events.

@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates trace-smoke serve-smoke
+.PHONY: all build test test-short test-race bench bench-json reproduce examples vet lint glvet fuzz-smoke chaos-smoke alloc-gates trace-smoke serve-smoke serve-chaos-smoke
 
 all: build lint test test-race
 
@@ -45,6 +45,14 @@ trace-smoke:
 # DESIGN.md §12.
 serve-smoke:
 	go run ./cmd/glsimd -smoke
+
+# Service chaos smoke: the host-fault campaign against in-process glsimd
+# servers — seeded random plans checked by the accounting/monotonicity/
+# identity/conservation oracles, the committed quarantine corpus, and the
+# journal kill-and-restart recovery check — all under the race detector.
+# Deterministic and well under a minute; see DESIGN.md §14.
+serve-chaos-smoke:
+	go test -race -count=1 ./internal/hostchaos/
 
 # Ten-second fuzz smoke over the fault-plan parser: catches grammar
 # regressions without a dedicated fuzzing job.

@@ -5,7 +5,7 @@
 // simulated costs no simulation at all, and concurrent identical
 // submissions collapse onto one run.
 //
-//	glsimd -addr :8100 -cache-dir /var/tmp/glsimd
+//	glsimd -addr :8100 -cache-dir /var/tmp/glsimd -journal /var/tmp/glsimd/journal.wal
 //
 // Submit and poll with any HTTP client:
 //
@@ -14,6 +14,14 @@
 //	curl -s localhost:8100/v1/jobs/j1
 //	curl -s localhost:8100/v1/jobs/j1/result
 //	curl -s localhost:8100/v1/stats
+//
+// The server self-heals: executor panics and transient host faults retry
+// with exponential backoff (bounded per cell and per job), cells that
+// exhaust their attempts land in a quarantine visible at /v1/quarantine,
+// and -journal enables a crash-safe write-ahead log — a killed process
+// restarted with the same journal replays every job that never reached a
+// terminal state, and content-addressed results make the replay
+// byte-identical.
 //
 // On SIGINT/SIGTERM the server drains: new submissions bounce with 503,
 // queued and running jobs finish (bounded by -drain-timeout), then the
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/serve/hostfault"
 )
 
 func main() {
@@ -47,6 +56,11 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "max queued jobs before submissions get 429")
 	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell wall-clock bound (0 = unbounded)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Minute, "max time to finish jobs on shutdown")
+	journal := flag.String("journal", "", "write-ahead log path; restart with the same path to replay unfinished jobs")
+	cellAttempts := flag.Int("cell-attempts", 0, "runs of one cell before quarantine (0 = default)")
+	retryBudget := flag.Int("retry-budget", 0, "total retries allowed across one job's cells (0 = default)")
+	requestTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handling bound for non-streaming routes (0 = unbounded)")
+	faults := flag.String("faults", "", "host-fault plan for chaos drills, e.g. 'seed=7,exec.panic=0.05,spill.readfail#2'")
 	smoke := flag.Bool("smoke", false, "run the end-to-end smoke check and exit")
 	flag.Parse()
 
@@ -57,6 +71,14 @@ func main() {
 		return
 	}
 
+	plan, err := hostfault.ParsePlan(*faults)
+	if err != nil {
+		fatal(err)
+	}
+	if plan != nil {
+		fmt.Fprintf(os.Stderr, "glsimd: host-fault injection active: %s\n", plan)
+	}
+
 	srv := serve.NewServer(serve.Options{
 		ConcurrentJobs: *jobs,
 		CellWorkers:    *cellWorkers,
@@ -64,12 +86,30 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,
 		CellTimeout:    *cellTimeout,
+		CellAttempts:   *cellAttempts,
+		JobRetryBudget: *retryBudget,
+		RequestTimeout: *requestTimeout,
+		HostFaults:     plan,
 	})
+	if *journal != "" {
+		replayed, err := srv.AttachJournal(*journal)
+		if err != nil {
+			fatal(fmt.Errorf("journal: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "glsimd: journal %s attached, %d job(s) replayed\n", *journal, replayed)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{
+		Handler: srv.Handler(),
+		// Slow-loris resistance: a client must finish its headers promptly
+		// and keep-alive connections are reaped when idle. Body reads stay
+		// unbounded — job submissions are small, results can be large.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "glsimd: listening on %s\n", ln.Addr())

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestKillRecovery is the honest crash test: a real glsimd process with a
+// journal is SIGKILLed mid-job, and a restarted process over the same
+// journal and cache must replay the job to completion with every cell's
+// bytes identical to an undisturbed run. Skipped in -short mode (it
+// builds and launches real processes).
+func TestKillRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real glsimd processes")
+	}
+	bin := buildGlsimd(t)
+	// Sixteen cells on one worker: enough runway that SIGKILL lands while
+	// the job is mid-flight. If the job still outruns the kill, retry the
+	// whole scenario with a fresh state directory.
+	const spec = "bench=SYNTH barrier=GL cores=16 seed=0|1|2|3|4|5|6|7|8|9|10|11|12|13|14|15 tier=test"
+
+	var recovered *proc
+	for attempt := 1; ; attempt++ {
+		dir := t.TempDir()
+		args := []string{
+			"-addr", "127.0.0.1:0",
+			"-journal", filepath.Join(dir, "journal.wal"),
+			"-cache-dir", filepath.Join(dir, "cache"),
+			"-jobs", "1", "-cell-workers", "1",
+		}
+		victim := startGlsimd(t, bin, args)
+		st := submitJob(t, victim.addr, spec)
+		if st.State == "done" || st.State == "failed" {
+			t.Fatalf("job terminal (%s) in the submit response", st.State)
+		}
+		victim.kill(t) // SIGKILL: no drain, no journal close, torn tail allowed
+		if terminalAlready(t, victim) {
+			if attempt >= 3 {
+				t.Fatal("job finished before SIGKILL on 3 attempts; cannot stage a mid-flight crash")
+			}
+			t.Logf("attempt %d: job outran the kill; retrying", attempt)
+			continue
+		}
+		recovered = startGlsimd(t, bin, args)
+		if n := recovered.replayed(t); n != 1 {
+			t.Fatalf("restart replayed %d job(s), want 1", n)
+		}
+		break
+	}
+	defer recovered.terminate(t)
+	if state := waitTerminal(t, recovered.addr, "j1"); state != "done" {
+		t.Fatalf("recovered job ended %q, want done", state)
+	}
+
+	// An undisturbed run of the same spec is the byte-identity reference.
+	cleanDir := t.TempDir()
+	clean := startGlsimd(t, bin, []string{
+		"-addr", "127.0.0.1:0",
+		"-journal", filepath.Join(cleanDir, "journal.wal"),
+		"-cache-dir", filepath.Join(cleanDir, "cache"),
+		"-jobs", "1", "-cell-workers", "1",
+	})
+	defer clean.terminate(t)
+	if st := submitJob(t, clean.addr, spec); st.ID != "j1" {
+		t.Fatalf("clean run job id %q, want j1", st.ID)
+	}
+	if state := waitTerminal(t, clean.addr, "j1"); state != "done" {
+		t.Fatalf("clean job ended %q, want done", state)
+	}
+
+	fps := resultFingerprints(t, recovered.addr, "j1")
+	if len(fps) != 16 {
+		t.Fatalf("recovered job has %d cells, want 16", len(fps))
+	}
+	for _, fp := range fps {
+		got := fetchCell(t, recovered.addr, fp)
+		want := fetchCell(t, clean.addr, fp)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cell %s: recovered bytes differ from the undisturbed run (%d vs %d bytes)", fp, len(got), len(want))
+		}
+	}
+}
+
+func buildGlsimd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "glsimd")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// proc is one running glsimd process with its stderr captured line by line.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+
+	mu    sync.Mutex
+	lines []string
+	done  chan struct{}
+}
+
+// startGlsimd launches the binary and waits for its "listening on" line.
+func startGlsimd(t *testing.T, bin string, args []string) *proc {
+	t.Helper()
+	p := &proc{cmd: exec.Command(bin, args...), done: make(chan struct{})}
+	stderr, err := p.cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	listening := make(chan string, 1)
+	go func() {
+		defer close(p.done)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			p.mu.Lock()
+			p.lines = append(p.lines, line)
+			p.mu.Unlock()
+			if rest, ok := strings.CutPrefix(line, "glsimd: listening on "); ok {
+				select {
+				case listening <- rest:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-listening:
+	case <-p.done:
+		p.cmd.Wait()
+		t.Fatalf("glsimd exited before listening; stderr:\n%s", strings.Join(p.stderr(), "\n"))
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatal("glsimd did not start listening within 30s")
+	}
+	return p
+}
+
+func (p *proc) stderr() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.lines...)
+}
+
+// replayed extracts the replay count from the journal-attach log line.
+func (p *proc) replayed(t *testing.T) int {
+	t.Helper()
+	for _, line := range p.stderr() {
+		if i := strings.Index(line, "attached, "); i >= 0 {
+			var n int
+			if _, err := fmt.Sscanf(line[i:], "attached, %d job(s) replayed", &n); err == nil {
+				return n
+			}
+		}
+	}
+	t.Fatalf("no journal-attach line in stderr:\n%s", strings.Join(p.stderr(), "\n"))
+	return 0
+}
+
+// kill delivers SIGKILL — the crash under test — and reaps the process.
+func (p *proc) kill(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	p.cmd.Wait()
+	<-p.done
+}
+
+// terminate shuts a healthy server down via SIGTERM (the drain path).
+func (p *proc) terminate(t *testing.T) {
+	t.Helper()
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	werr := make(chan error, 1)
+	go func() { werr <- p.cmd.Wait() }()
+	select {
+	case <-werr:
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("glsimd did not drain within 30s; stderr:\n%s", strings.Join(p.stderr(), "\n"))
+	}
+	<-p.done
+}
+
+// terminalAlready reports whether the victim's job reached a terminal
+// state before the kill, by scanning the journal it left behind for a
+// terminal record (the journal is the only trustworthy witness — the
+// process is gone).
+func terminalAlready(t *testing.T, victim *proc) bool {
+	t.Helper()
+	var journal string
+	for i, a := range victim.cmd.Args {
+		if a == "-journal" {
+			journal = victim.cmd.Args[i+1]
+		}
+	}
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatalf("reading the victim's journal: %v", err)
+	}
+	return strings.Contains(string(raw), `"done"`) || strings.Contains(string(raw), `"failed"`)
+}
+
+type jobStatusDoc struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Error string `json:"error"`
+}
+
+func submitJob(t *testing.T, addr, spec string) jobStatusDoc {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"spec": spec})
+	resp, err := http.Post("http://"+addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st jobStatusDoc
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, addr, id string) string {
+	t.Helper()
+	for i := 0; i < 1200; i++ {
+		resp, err := http.Get("http://" + addr + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobStatusDoc
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return st.State
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s not terminal after 60s", id)
+	return ""
+}
+
+// resultFingerprints lists a terminal job's cell fingerprints.
+func resultFingerprints(t *testing.T, addr, id string) []string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: HTTP %d", resp.StatusCode)
+	}
+	var doc struct {
+		Cells []struct {
+			InputFP string `json:"input_fingerprint"`
+			Error   string `json:"error"`
+		} `json:"cells"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	var fps []string
+	for _, c := range doc.Cells {
+		if c.Error != "" {
+			t.Fatalf("cell %s failed: %s", c.InputFP, c.Error)
+		}
+		fps = append(fps, c.InputFP)
+	}
+	return fps
+}
+
+// fetchCell reads one cached report's verbatim bytes.
+func fetchCell(t *testing.T, addr, fp string) []byte {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/v1/cells/" + fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cell %s: HTTP %d: %s", fp, resp.StatusCode, raw)
+	}
+	return raw
+}

@@ -1,0 +1,255 @@
+package hostchaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+	"repro/internal/serve/hostfault"
+)
+
+// Reproducer is one corpus entry: a minimized host-fault plan pinned to
+// the behavior it deterministically produces. Two kinds of pin exist:
+//
+//   - oracle: <oracle>/<kind> — the plan trips that violation (a true
+//     finding; none are expected while the self-healing machinery holds).
+//   - expect: quarantine — the plan exhausts some cell's attempts so the
+//     run quarantines at least one cell and fails at least one job, while
+//     every oracle stays green (the pinned self-healing behavior).
+//
+// The on-disk format is a plain text file of "key: value" lines with '#'
+// comments:
+//
+//	# poison cell: every attempt at every cell fails
+//	plan: seed=1,exec.fail#3
+//	expect: quarantine
+//	attempts: 3
+//
+// attempts is optional and defaults to the run default; plan and exactly
+// one of oracle/expect are required.
+type Reproducer struct {
+	// Name is the corpus file's base name (without the .repro suffix).
+	Name string `json:"name"`
+	// Note is free-text provenance, written as comment lines.
+	Note string `json:"note,omitempty"`
+	// Plan is the minimized host-fault plan in hostfault.ParsePlan syntax.
+	Plan string `json:"plan"`
+	// Verdict is the pinned oracle/kind (zero when Expect is set).
+	Verdict Violation `json:"verdict,omitempty"`
+	// Expect is the pinned self-healing behavior ("quarantine"), mutually
+	// exclusive with Verdict.
+	Expect string `json:"expect,omitempty"`
+	// Attempts is the per-cell attempt bound (0 = run default).
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// ExpectQuarantine pins self-healing behavior: quarantined cells, failed
+// jobs, green oracles.
+const ExpectQuarantine = "quarantine"
+
+// reproSuffix is the corpus file extension.
+const reproSuffix = ".repro"
+
+// ParseVerdict parses "oracle/kind" into a Violation pin.
+func ParseVerdict(s string) (Violation, error) {
+	oracle, kind, ok := strings.Cut(s, "/")
+	if !ok || oracle == "" || kind == "" {
+		return Violation{}, fmt.Errorf("hostchaos: verdict %q: want oracle/kind", s)
+	}
+	switch oracle {
+	case OracleAccounting, OracleMonotonic, OracleIdentity, OracleConservation:
+	default:
+		return Violation{}, fmt.Errorf("hostchaos: verdict %q: unknown oracle %q", s, oracle)
+	}
+	return Violation{Oracle: oracle, Kind: kind}, nil
+}
+
+// runConfig builds the replay RunConfig.
+func (r Reproducer) runConfig() RunConfig {
+	return RunConfig{CellAttempts: r.Attempts}
+}
+
+// Replay runs the reproducer against a fresh fault-free baseline and
+// checks its pin. A non-nil error is the regression signal the corpus
+// exists for: the plan no longer produces what it was committed for.
+func (r Reproducer) Replay() (*Outcome, error) {
+	plan, err := hostfault.ParsePlan(r.Plan)
+	if err != nil {
+		return nil, fmt.Errorf("hostchaos: corpus %q: %w", r.Name, err)
+	}
+	cfg := r.runConfig()
+	baseline, err := Baseline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("hostchaos: corpus %q: %w", r.Name, err)
+	}
+	out, err := RunPlan(cfg, plan)
+	if err != nil {
+		return nil, fmt.Errorf("hostchaos: corpus %q: %w", r.Name, err)
+	}
+	Check(cfg, out, baseline)
+	if r.Expect == ExpectQuarantine {
+		if v := out.Tripped(); v != nil {
+			return out, fmt.Errorf("hostchaos: corpus %q: oracles must stay green under quarantine, tripped %s", r.Name, v)
+		}
+		if q := out.Counters[serve.MetricCellsQuarantined]; q == 0 {
+			return out, fmt.Errorf("hostchaos: corpus %q: plan no longer quarantines any cell", r.Name)
+		}
+		failed := 0
+		for _, j := range out.Jobs {
+			if j.State == serve.StateFailed {
+				failed++
+			}
+		}
+		if failed == 0 {
+			return out, fmt.Errorf("hostchaos: corpus %q: quarantine without a failed job", r.Name)
+		}
+		return out, nil
+	}
+	if !out.Matches(r.Verdict) {
+		got := "no violation at all"
+		if v := out.Tripped(); v != nil {
+			got = v.String()
+		}
+		return out, fmt.Errorf("hostchaos: corpus %q: plan no longer trips %s (got %s)", r.Name, r.Verdict.Key(), got)
+	}
+	return out, nil
+}
+
+// format renders the reproducer in corpus file syntax.
+func (r Reproducer) format() string {
+	var b strings.Builder
+	for _, line := range strings.Split(r.Note, "\n") {
+		if line != "" {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	fmt.Fprintf(&b, "plan: %s\n", r.Plan)
+	if r.Expect != "" {
+		fmt.Fprintf(&b, "expect: %s\n", r.Expect)
+	} else {
+		fmt.Fprintf(&b, "oracle: %s\n", r.Verdict.Key())
+	}
+	if r.Attempts != 0 {
+		fmt.Fprintf(&b, "attempts: %d\n", r.Attempts)
+	}
+	return b.String()
+}
+
+// validate checks the entry is writable: the plan parses and exactly one
+// pin is set.
+func (r Reproducer) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("hostchaos: corpus entry needs a name")
+	}
+	if _, err := hostfault.ParsePlan(r.Plan); err != nil {
+		return fmt.Errorf("hostchaos: corpus %q: %w", r.Name, err)
+	}
+	switch {
+	case r.Expect == "" && r.Verdict.Oracle == "":
+		return fmt.Errorf("hostchaos: corpus %q: needs an oracle or expect pin", r.Name)
+	case r.Expect != "" && r.Verdict.Oracle != "":
+		return fmt.Errorf("hostchaos: corpus %q: oracle and expect pins are mutually exclusive", r.Name)
+	case r.Expect != "" && r.Expect != ExpectQuarantine:
+		return fmt.Errorf("hostchaos: corpus %q: unknown expectation %q", r.Name, r.Expect)
+	case r.Verdict.Oracle != "":
+		if _, err := ParseVerdict(r.Verdict.Key()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCorpus saves the reproducer as <dir>/<name>.repro, creating dir if
+// needed, and returns the file path.
+func WriteCorpus(dir string, r Reproducer) (string, error) {
+	if err := r.validate(); err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("hostchaos: corpus: %w", err)
+	}
+	path := filepath.Join(dir, r.Name+reproSuffix)
+	if err := os.WriteFile(path, []byte(r.format()), 0o644); err != nil {
+		return "", fmt.Errorf("hostchaos: corpus: %w", err)
+	}
+	return path, nil
+}
+
+// ParseReproducer parses one corpus file's contents.
+func ParseReproducer(name, text string) (Reproducer, error) {
+	r := Reproducer{Name: name}
+	var notes []string
+	for ln, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			notes = append(notes, strings.TrimSpace(strings.TrimPrefix(line, "#")))
+			continue
+		}
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return r, fmt.Errorf("hostchaos: corpus %q line %d: want key: value, got %q", name, ln+1, line)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "plan":
+			_, err = hostfault.ParsePlan(val)
+			r.Plan = val
+		case "oracle":
+			r.Verdict, err = ParseVerdict(val)
+		case "expect":
+			r.Expect = val
+		case "attempts":
+			r.Attempts, err = strconv.Atoi(val)
+		default:
+			return r, fmt.Errorf("hostchaos: corpus %q line %d: unknown key %q", name, ln+1, key)
+		}
+		if err != nil {
+			return r, fmt.Errorf("hostchaos: corpus %q line %d: %s: %w", name, ln+1, key, err)
+		}
+	}
+	r.Note = strings.Join(notes, "\n")
+	if r.Plan == "" {
+		return r, fmt.Errorf("hostchaos: corpus %q: missing plan", name)
+	}
+	if err := r.validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// LoadCorpus reads every *.repro file under dir, sorted by name. A missing
+// directory is an empty corpus, not an error.
+func LoadCorpus(dir string) ([]Reproducer, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("hostchaos: corpus: %w", err)
+	}
+	var out []Reproducer
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), reproSuffix) {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("hostchaos: corpus: %w", err)
+		}
+		r, err := ParseReproducer(strings.TrimSuffix(e.Name(), reproSuffix), string(raw))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

@@ -6,7 +6,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"os"
 	"path/filepath"
 	"sync"
 
@@ -80,6 +79,9 @@ type Cache struct {
 	dir string
 	// perShard is the per-shard entry capacity.
 	perShard int
+	// fs is the disk-spill filesystem seam (osFS outside tests and
+	// host-fault runs).
+	fs spillFS
 
 	// onEvict, onDiskHit are metric hooks (may be nil).
 	onEvict   func()
@@ -104,7 +106,7 @@ func NewCache(maxEntries int, dir string) *Cache {
 		maxEntries = 1024
 	}
 	per := (maxEntries + cacheShards - 1) / cacheShards
-	c := &Cache{dir: dir, perShard: per}
+	c := &Cache{dir: dir, perShard: per, fs: osFS{}}
 	for i := range c.shards {
 		c.shards[i].order = list.New()
 		c.shards[i].byFP = make(map[string]*list.Element)
@@ -133,7 +135,7 @@ func (c *Cache) Get(fp string) (*Entry, bool) {
 	if c.dir == "" {
 		return nil, false
 	}
-	raw, err := os.ReadFile(c.spillPath(fp))
+	raw, err := c.fs.ReadFile(c.spillPath(fp))
 	if err != nil {
 		return nil, false
 	}
@@ -158,23 +160,15 @@ func (c *Cache) Put(e *Entry) error {
 	if c.dir == "" {
 		return nil
 	}
-	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+	if err := c.fs.MkdirAll(c.dir); err != nil {
 		return fmt.Errorf("serve: cache spill: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, "spill-*.tmp")
+	tmp, err := c.fs.WriteTemp(c.dir, e.JSON)
 	if err != nil {
 		return fmt.Errorf("serve: cache spill: %w", err)
 	}
-	_, werr := tmp.Write(e.JSON)
-	if cerr := tmp.Close(); werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("serve: cache spill: %w", werr)
-	}
-	if err := os.Rename(tmp.Name(), c.spillPath(e.InputFP)); err != nil {
-		os.Remove(tmp.Name())
+	if err := c.fs.Rename(tmp, c.spillPath(e.InputFP)); err != nil {
+		c.fs.Remove(tmp)
 		return fmt.Errorf("serve: cache spill: %w", err)
 	}
 	return nil

@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"errors"
+	"os"
+
+	"repro/internal/serve/hostfault"
+)
+
+// spillFS is the cache's filesystem seam: every disk-spill operation goes
+// through it, so tests (and the host-fault injector) can fail or corrupt
+// the disk tier without touching the real filesystem semantics. The
+// default implementation is osFS.
+type spillFS interface {
+	// MkdirAll ensures the spill directory exists.
+	MkdirAll(dir string) error
+	// ReadFile reads one spill file.
+	ReadFile(name string) ([]byte, error)
+	// WriteTemp creates a temp file in dir, writes data, closes it, and
+	// returns the temp path.
+	WriteTemp(dir string, data []byte) (string, error)
+	// Rename publishes a temp file at its final path.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (cleanup of failed writes).
+	Remove(name string) error
+}
+
+// osFS is the real-filesystem spillFS.
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) WriteTemp(dir string, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(dir, "spill-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	_, werr := tmp.Write(data)
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return "", werr
+	}
+	return tmp.Name(), nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+// errInjectedFS marks host-fault-injected spill failures; errors.Is lets
+// tests and oracles tell injected degradation from real disk trouble.
+var errInjectedFS = errors.New("hostfault: injected spill fault")
+
+// faultFS wraps a spillFS with the host-fault injector: reads fail or
+// come back corrupted, writes and renames fail, per the plan's spill
+// sites. Decisions are keyed by the file path, so one fingerprint's spill
+// schedule is independent of every other's.
+type faultFS struct {
+	fs  spillFS
+	inj *hostfault.Injector
+}
+
+func (f faultFS) MkdirAll(dir string) error { return f.fs.MkdirAll(dir) }
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	if f.inj.Hit(hostfault.SpillReadFail, name) {
+		return nil, errInjectedFS
+	}
+	raw, err := f.fs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if f.inj.Hit(hostfault.SpillCorrupt, name) {
+		return hostfault.Corrupt(raw), nil
+	}
+	return raw, nil
+}
+
+func (f faultFS) WriteTemp(dir string, data []byte) (string, error) {
+	if f.inj.Hit(hostfault.SpillWriteFail, dir) {
+		return "", errInjectedFS
+	}
+	return f.fs.WriteTemp(dir, data)
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if f.inj.Hit(hostfault.SpillRenameFail, newpath) {
+		return errInjectedFS
+	}
+	return f.fs.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error { return f.fs.Remove(name) }

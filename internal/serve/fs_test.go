@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/serve/hostfault"
+)
+
+// fakeFS is an in-memory spillFS with switchable failures per operation.
+type fakeFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	tmpN  int
+
+	failMkdir  bool
+	failRead   bool
+	failWrite  bool
+	failRename bool
+	removed    []string
+}
+
+var errFakeFS = errors.New("fakefs: injected failure")
+
+func newFakeFS() *fakeFS { return &fakeFS{files: map[string][]byte{}} }
+
+func (f *fakeFS) MkdirAll(dir string) error {
+	if f.failMkdir {
+		return errFakeFS
+	}
+	return nil
+}
+
+func (f *fakeFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRead {
+		return nil, errFakeFS
+	}
+	raw, ok := f.files[name]
+	if !ok {
+		return nil, errFakeFS
+	}
+	return append([]byte(nil), raw...), nil
+}
+
+func (f *fakeFS) WriteTemp(dir string, data []byte) (string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failWrite {
+		return "", errFakeFS
+	}
+	f.tmpN++
+	name := dir + "/tmp-" + string(rune('a'+f.tmpN))
+	f.files[name] = append([]byte(nil), data...)
+	return name, nil
+}
+
+func (f *fakeFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failRename {
+		return errFakeFS
+	}
+	f.files[newpath] = f.files[oldpath]
+	delete(f.files, oldpath)
+	return nil
+}
+
+func (f *fakeFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.files, name)
+	f.removed = append(f.removed, name)
+	return nil
+}
+
+func testEntry(t *testing.T) *Entry {
+	t.Helper()
+	e, err := newEntry("cafef00dcafef00d", []byte(`{"fingerprint":"beadbeadbeadbead","barrier_episodes":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestCacheSpillWriteFailureDegrades: a failed spill write returns an
+// error but the entry still serves from the memory tier.
+func TestCacheSpillWriteFailureDegrades(t *testing.T) {
+	fs := newFakeFS()
+	fs.failWrite = true
+	c := NewCache(8, "spill")
+	c.fs = fs
+	e := testEntry(t)
+	if err := c.Put(e); err == nil {
+		t.Fatal("Put with failing WriteTemp returned nil error")
+	}
+	if got, ok := c.Get(e.InputFP); !ok || !bytes.Equal(got.JSON, e.JSON) {
+		t.Fatalf("memory tier lost the entry: ok=%v", ok)
+	}
+}
+
+// TestCacheSpillRenameFailureCleansTemp: a failed publish removes the
+// orphaned temp file and degrades like a write failure.
+func TestCacheSpillRenameFailureCleansTemp(t *testing.T) {
+	fs := newFakeFS()
+	fs.failRename = true
+	c := NewCache(8, "spill")
+	c.fs = fs
+	if err := c.Put(testEntry(t)); err == nil {
+		t.Fatal("Put with failing Rename returned nil error")
+	}
+	if len(fs.removed) != 1 {
+		t.Fatalf("temp file not cleaned up: removed=%v", fs.removed)
+	}
+}
+
+// TestCacheSpillReadFailureIsMiss: an unreadable spill file is a plain
+// cache miss, not an error surfaced to the job.
+func TestCacheSpillReadFailureIsMiss(t *testing.T) {
+	fs := newFakeFS()
+	c := NewCache(8, "spill")
+	c.fs = fs
+	e := testEntry(t)
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	// Evict the memory copy by building a fresh cache over the same fs
+	// (same spill dir), then fail reads.
+	c2 := NewCache(8, "spill")
+	c2.fs = fs
+	fs.failRead = true
+	if _, ok := c2.Get(e.InputFP); ok {
+		t.Fatal("failing read produced a hit")
+	}
+	fs.failRead = false
+	if got, ok := c2.Get(e.InputFP); !ok || !bytes.Equal(got.JSON, e.JSON) {
+		t.Fatalf("disk tier did not recover: ok=%v", ok)
+	}
+}
+
+// TestCacheSpillCorruptionIsMiss: corrupt spill bytes (injected through
+// faultFS, as a host-fault plan would) fail entry validation and read as
+// a miss instead of poisoning the cache.
+func TestCacheSpillCorruptionIsMiss(t *testing.T) {
+	fs := newFakeFS()
+	c := NewCache(8, "spill")
+	c.fs = fs
+	e := testEntry(t)
+	if err := c.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := hostfault.ParsePlan("seed=3,spill.corrupt#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(8, "spill")
+	c2.fs = faultFS{fs: fs, inj: hostfault.NewInjector(plan)}
+	if _, ok := c2.Get(e.InputFP); ok {
+		t.Fatal("corrupted spill bytes produced a hit")
+	}
+	// The second read passes the first-1 window and recovers cleanly.
+	if got, ok := c2.Get(e.InputFP); !ok || !bytes.Equal(got.JSON, e.JSON) {
+		t.Fatalf("post-corruption read did not recover: ok=%v", ok)
+	}
+}
+
+// TestCacheSpillMkdirFailure: an unwritable spill root degrades Put the
+// same way.
+func TestCacheSpillMkdirFailure(t *testing.T) {
+	fs := newFakeFS()
+	fs.failMkdir = true
+	c := NewCache(8, "spill")
+	c.fs = fs
+	if err := c.Put(testEntry(t)); err == nil {
+		t.Fatal("Put with failing MkdirAll returned nil error")
+	}
+}

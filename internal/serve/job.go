@@ -35,7 +35,10 @@ type CellStatus struct {
 	// the same fingerprint (single-flight dedup).
 	SharedFlight bool   `json:"shared_flight,omitempty"`
 	ReportFP     string `json:"report_fingerprint,omitempty"`
-	Error        string `json:"error,omitempty"`
+	// Retries counts extra attempts this cell's fingerprint consumed while
+	// this job owned the flight.
+	Retries int    `json:"retries,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // JobStatus is the externally visible state of one job: identity, spec,
@@ -62,6 +65,10 @@ type JobStatus struct {
 	// stream's watchdog state.
 	Hangs int `json:"hangs"`
 
+	// Retries is the job's total retried cell attempts (bounded by the
+	// server's per-job retry budget).
+	Retries int `json:"retries,omitempty"`
+
 	// QueueWaitMillis is how long the job sat queued before running.
 	QueueWaitMillis int64  `json:"queue_wait_ms"`
 	Error           string `json:"error,omitempty"`
@@ -82,6 +89,10 @@ type job struct {
 	// enqueuedAt/startedAt are server-relative milliseconds (monotonic
 	// since server start — never wall-clock).
 	enqueuedAt int64
+
+	// onFinish, when set, observes the first terminal transition (journal
+	// terminal records). Called outside the job lock, exactly once.
+	onFinish func(JobState, string)
 
 	mu sync.Mutex
 	//glvet:guardedby mu
@@ -110,6 +121,12 @@ type job struct {
 	waitMs int64
 	//glvet:guardedby mu
 	errMsg string
+	// retryBudget is the remaining cross-cell retry allowance; retries is
+	// the total consumed (mirrored into JobStatus).
+	//glvet:guardedby mu
+	retryBudget int
+	//glvet:guardedby mu
+	retries int
 	// results holds each finished cell's cache entry, indexed like cells;
 	// nil for failed/aborted cells.
 	//glvet:guardedby mu
@@ -118,20 +135,21 @@ type job struct {
 	finished chan struct{}
 }
 
-func newJob(id string, spec *JobSpec, cells []Cell, enqueuedAt int64) *job {
+func newJob(id string, spec *JobSpec, cells []Cell, enqueuedAt int64, retryBudget int) *job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
-		id:         id,
-		spec:       spec,
-		specStr:    spec.String(),
-		cells:      cells,
-		ctx:        ctx,
-		cancel:     cancel,
-		enqueuedAt: enqueuedAt,
-		state:      StateQueued,
-		cellState:  make([]CellStatus, len(cells)),
-		results:    make([]*Entry, len(cells)),
-		finished:   make(chan struct{}),
+		id:          id,
+		spec:        spec,
+		specStr:     spec.String(),
+		cells:       cells,
+		ctx:         ctx,
+		cancel:      cancel,
+		enqueuedAt:  enqueuedAt,
+		state:       StateQueued,
+		cellState:   make([]CellStatus, len(cells)),
+		results:     make([]*Entry, len(cells)),
+		retryBudget: retryBudget,
+		finished:    make(chan struct{}),
 	}
 	for i, c := range cells {
 		j.cellState[i] = CellStatus{
@@ -160,10 +178,37 @@ func (j *job) status() JobStatus {
 		GLLatency:       j.glLat,
 		SWLatency:       j.swLat,
 		Hangs:           j.hangs,
+		Retries:         j.retries,
 		QueueWaitMillis: j.waitMs,
 		Error:           j.errMsg,
 	}
 	return st
+}
+
+// takeRetry draws one retry from the job's cross-cell budget; false means
+// the budget is spent and the caller must fail instead of retrying.
+func (j *job) takeRetry() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.retryBudget <= 0 {
+		return false
+	}
+	j.retryBudget--
+	return true
+}
+
+// noteRetry attributes one consumed retry to the cells carrying fp (for
+// per-cell Retries in status; a grid never repeats a fingerprint, but the
+// scan tolerates duplicates).
+func (j *job) noteRetry(fp string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.retries++
+	for i := range j.cellState {
+		if j.cellState[i].InputFP == fp {
+			j.cellState[i].Retries++
+		}
+	}
 }
 
 // start transitions queued -> running and records the queue wait.
@@ -237,7 +282,11 @@ func (j *job) finish(state JobState, errMsg string) {
 			j.cellState[i].State = StateCanceled
 		}
 	}
+	onFinish := j.onFinish
 	j.mu.Unlock()
+	if onFinish != nil {
+		onFinish(state, errMsg)
+	}
 	close(j.finished)
 }
 

@@ -1,0 +1,324 @@
+// Self-healing executor path: panic isolation, bounded retries with
+// exponential backoff and deterministic jitter, and a poison-cell
+// quarantine. The design mirrors core.Recovering one level up — the
+// simulated barrier survives stuck-at lines with timeout retries and a
+// software fallback; the host service survives crashing executors and
+// flaky disks with attempt retries and a quarantine fallback. Re-running
+// a cell is always safe because results are content-addressed: a
+// recovered attempt resolves to byte-identical bytes or a pure cache hit.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve/hostfault"
+	"repro/internal/sim"
+)
+
+// Retry defaults; see Options.
+const (
+	// DefaultCellAttempts is the per-cell attempt bound (1 run + 2
+	// retries) before the cell is quarantined.
+	DefaultCellAttempts = 3
+	// DefaultRetryBase is the first backoff step.
+	DefaultRetryBase = 25 * time.Millisecond
+	// DefaultRetryMax caps one backoff sleep.
+	DefaultRetryMax = 2 * time.Second
+	// DefaultJobRetryBudget bounds total retries across one job's cells —
+	// a grid of poisoned cells fails fast instead of serially burning
+	// per-cell retries.
+	DefaultJobRetryBudget = 16
+)
+
+func (o Options) cellAttempts() int {
+	if o.CellAttempts > 0 {
+		return o.CellAttempts
+	}
+	return DefaultCellAttempts
+}
+
+func (o Options) retryBase() time.Duration {
+	if o.RetryBase > 0 {
+		return o.RetryBase
+	}
+	return DefaultRetryBase
+}
+
+func (o Options) retryMax() time.Duration {
+	if o.RetryMax > 0 {
+		return o.RetryMax
+	}
+	return DefaultRetryMax
+}
+
+func (o Options) jobRetryBudget() int {
+	if o.JobRetryBudget > 0 {
+		return o.JobRetryBudget
+	}
+	return DefaultJobRetryBudget
+}
+
+// panicError is a cell attempt that crashed; the recover guard converts
+// it into this retryable error instead of killing the executor goroutine
+// (and with it the whole queue).
+type panicError struct {
+	cell  string
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("serve: cell %s panicked: %v", p.cell, p.value)
+}
+
+// QuarantineError is the structured reason a poisoned cell fails with
+// after exhausting its attempts. The job carrying the cell fails with
+// this reason; subsequent jobs naming the same fingerprint fail fast
+// until the quarantine entry is cleared.
+type QuarantineError struct {
+	FP       string
+	Label    string
+	Attempts int
+	Reason   string
+}
+
+func (q *QuarantineError) Error() string {
+	return fmt.Sprintf("serve: cell %s (fp %s) quarantined after %d attempt(s): %s",
+		q.Label, q.FP, q.Attempts, q.Reason)
+}
+
+// errRetryBudget marks a job whose cross-cell retry budget ran out; the
+// failing cell reports it instead of quarantining (the cell itself may be
+// healthy — the job just spent its budget elsewhere).
+var errRetryBudget = errors.New("serve: job retry budget exhausted")
+
+// retryable reports whether a failed attempt is worth retrying.
+// Cancellation is not (the caller is gone); everything else is — panics,
+// injected host faults, and even deterministic failures, which simply
+// exhaust their bounded attempts and land in quarantine with a structured
+// reason instead of wedging the queue.
+func retryable(err error) bool {
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// QuarantineInfo is one quarantined fingerprint, surfaced via
+// GET /v1/quarantine.
+type QuarantineInfo struct {
+	FP       string `json:"fp"`
+	Label    string `json:"label"`
+	Attempts int    `json:"attempts"`
+	Reason   string `json:"reason"`
+	// SinceMillis is the quarantine time in server-monotonic milliseconds.
+	SinceMillis int64 `json:"since_ms"`
+}
+
+// quarantineSet is the poison-cell registry: fingerprints that exhausted
+// their retry attempts. Entries persist until cleared by an operator
+// (DELETE /v1/quarantine/{fp}) — a poisoned input re-submitted in a loop
+// must not re-burn its full retry schedule every time.
+type quarantineSet struct {
+	mu sync.Mutex
+	//glvet:guardedby mu
+	byFP map[string]QuarantineInfo
+}
+
+func (q *quarantineSet) add(info QuarantineInfo) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.byFP == nil {
+		q.byFP = make(map[string]QuarantineInfo)
+	}
+	if _, ok := q.byFP[info.FP]; !ok {
+		q.byFP[info.FP] = info
+	}
+}
+
+func (q *quarantineSet) get(fp string) (QuarantineInfo, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	info, ok := q.byFP[fp]
+	return info, ok
+}
+
+func (q *quarantineSet) clear(fp string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.byFP[fp]; !ok {
+		return false
+	}
+	delete(q.byFP, fp)
+	return true
+}
+
+func (q *quarantineSet) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.byFP)
+}
+
+// list snapshots the registry sorted by fingerprint.
+func (q *quarantineSet) list() []QuarantineInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	fps := make([]string, 0, len(q.byFP))
+	for fp := range q.byFP {
+		fps = append(fps, fp)
+	}
+	sort.Strings(fps)
+	out := make([]QuarantineInfo, 0, len(fps))
+	for _, fp := range fps {
+		out = append(out, q.byFP[fp])
+	}
+	return out
+}
+
+// backoffDelay computes the attempt's backoff: exponential from base,
+// capped at max, with deterministic jitter hashed from (fp, attempt) —
+// replays sleep identically, and a thundering herd of same-fp retries
+// still decorrelates across attempts.
+func backoffDelay(base, max time.Duration, fp string, attempt int) time.Duration {
+	d := base << uint(attempt-1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	// Jitter in [d/2, d): the top bit keeps the exponential shape.
+	h := fnv64(fp) ^ uint64(attempt)*0x9e3779b97f4a7c15
+	h ^= h >> 29
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 32
+	half := uint64(d) / 2
+	if half == 0 {
+		return d
+	}
+	return time.Duration(half + h%half)
+}
+
+// fnv64 is FNV-1a over a string (stable across processes).
+func fnv64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sleepBackoff waits out a backoff delay or the context, whichever ends
+// first.
+func sleepBackoff(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// callRunner executes one attempt with the panic guard: a crash inside
+// the runner (or the simulator it drives) becomes a retryable error
+// carrying the stack, not a dead executor. Host-fault exec sites fire
+// here, inside the guard, keyed by the cell fingerprint — exactly where a
+// real executor would crash, stall, or error.
+func (s *Server) callRunner(ctx context.Context, cell Cell) (rep *sim.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.count(s.m.cellPanics, 1)
+			err = &panicError{cell: cell.Label(), value: r, stack: debug.Stack()}
+		}
+	}()
+	fp := cell.Fingerprint()
+	if s.inj.Hit(hostfault.ExecSlow, fp) {
+		time.Sleep(time.Duration(s.inj.SlowMillis()) * time.Millisecond)
+	}
+	if s.inj.Hit(hostfault.ExecPanic, fp) {
+		panic(fmt.Sprintf("hostfault: injected executor panic (cell %s)", cell.Label()))
+	}
+	if s.inj.Hit(hostfault.ExecFail, fp) {
+		return nil, fmt.Errorf("hostfault: injected executor failure (cell %s)", cell.Label())
+	}
+	runner := s.opts.Runner
+	if runner == nil {
+		runner = RunCell
+	}
+	return runner(ctx, cell)
+}
+
+// runCellOnce executes one attempt (as the flight leader) and admits the
+// result into the cache.
+func (s *Server) runCellOnce(ctx context.Context, cell Cell) (*Entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", cell.Label(), err)
+	}
+	runStart := s.monoMs()
+	rep, err := s.callRunner(ctx, cell)
+	s.observe(s.m.cellRunMs, uint64(s.monoMs()-runStart))
+	if err != nil {
+		return nil, err
+	}
+	raw, err := rep.JSON()
+	if err != nil {
+		return nil, err
+	}
+	e, err := newEntry(cell.Fingerprint(), raw)
+	if err != nil {
+		return nil, err
+	}
+	s.count(s.m.cellsSim, 1)
+	if perr := s.cache.Put(e); perr != nil {
+		// Disk-tier degradation only; the entry is in memory.
+		s.count(s.m.spillErrors, 1)
+	}
+	return e, nil
+}
+
+// runCellAttempts is the retry loop around runCellOnce: up to
+// Options.CellAttempts attempts with backoff between them, drawing
+// retries from the owning job's budget. Exhausting the attempts
+// quarantines the fingerprint and fails with a QuarantineError.
+func (s *Server) runCellAttempts(ctx context.Context, cell Cell, j *job) (*Entry, error) {
+	fp := cell.Fingerprint()
+	attempts := s.opts.cellAttempts()
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			if !j.takeRetry() {
+				return nil, fmt.Errorf("%w after %d attempt(s) of cell %s: %v",
+					errRetryBudget, a, cell.Label(), lastErr)
+			}
+			s.count(s.m.cellRetries, 1)
+			j.noteRetry(fp)
+			if err := sleepBackoff(ctx, backoffDelay(s.opts.retryBase(), s.opts.retryMax(), fp, a)); err != nil {
+				return nil, err
+			}
+		}
+		e, err := s.runCellOnce(ctx, cell)
+		if err == nil {
+			return e, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	qerr := &QuarantineError{
+		FP:       fp,
+		Label:    cell.Label(),
+		Attempts: attempts,
+		Reason:   lastErr.Error(),
+	}
+	s.quarantine.add(QuarantineInfo{
+		FP:          fp,
+		Label:       cell.Label(),
+		Attempts:    attempts,
+		Reason:      lastErr.Error(),
+		SinceMillis: s.monoMs(),
+	})
+	s.count(s.m.cellsQuarantined, 1)
+	return nil, qerr
+}

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/serve/hostfault"
+	"repro/internal/sim"
+)
+
+// flakyRunner fails (or panics) the first `failures` calls per process,
+// then succeeds with a template report.
+type flakyRunner struct {
+	failures int32
+	panics   bool
+	calls    atomic.Int32
+	template *sim.Report
+}
+
+func newFlakyRunner(t *testing.T, failures int, panics bool) *flakyRunner {
+	t.Helper()
+	rep, err := RunCell(context.Background(), Cell{
+		Bench: "SYNTH", Barrier: "GL", Cores: 8, Tier: "test",
+		Threads: 8, MaxCycles: DefaultMaxCycles,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &flakyRunner{failures: int32(failures), panics: panics, template: rep}
+}
+
+func (f *flakyRunner) run(ctx context.Context, c Cell) (*sim.Report, error) {
+	n := f.calls.Add(1)
+	if n <= f.failures {
+		if f.panics {
+			panic(fmt.Sprintf("flaky runner crash %d", n))
+		}
+		return nil, fmt.Errorf("flaky runner failure %d", n)
+	}
+	return f.template, nil
+}
+
+// TestRetryRecoversFromPanics: a runner that crashes twice then succeeds
+// completes the job — the recover guard converts each panic into a
+// retryable error and backoff retries absorb them.
+func TestRetryRecoversFromPanics(t *testing.T) {
+	runner := newFlakyRunner(t, 2, true)
+	srv, ts := testServer(t, Options{
+		ConcurrentJobs: 1, CellWorkers: 1, Runner: runner.run,
+		CellAttempts: 3, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+	})
+	st := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	st = waitTerminal(t, srv, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job: %+v", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("job retries = %d, want 2", st.Retries)
+	}
+	if len(st.Cells) != 1 || st.Cells[0].Retries != 2 {
+		t.Fatalf("cell retries: %+v", st.Cells)
+	}
+	stats := srv.Stats()
+	if got := stats.Counters[MetricCellPanics]; got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricCellPanics, got)
+	}
+	if got := stats.Counters[MetricCellRetries]; got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricCellRetries, got)
+	}
+	if got := stats.Counters[MetricCellsQuarantined]; got != 0 {
+		t.Fatalf("%s = %d, want 0", MetricCellsQuarantined, got)
+	}
+}
+
+// TestQuarantineLifecycle: a cell that never succeeds exhausts its
+// attempts and is quarantined; resubmitting fails fast without touching
+// the runner; clearing via DELETE /v1/quarantine/{fp} re-enables runs.
+func TestQuarantineLifecycle(t *testing.T) {
+	runner := newFlakyRunner(t, 2, false) // attempts 1..2 fail, 3+ would succeed
+	srv, ts := testServer(t, Options{
+		ConcurrentJobs: 1, CellWorkers: 1, Runner: runner.run,
+		CellAttempts: 2, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+	})
+	st := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	st = waitTerminal(t, srv, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("poisoned job: %+v", st)
+	}
+	if !strings.Contains(st.Error, "quarantined after 2 attempt(s)") {
+		t.Fatalf("job error = %q, want quarantine reason", st.Error)
+	}
+	if got := srv.Stats().Counters[MetricCellsQuarantined]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricCellsQuarantined, got)
+	}
+
+	var qlist struct {
+		Quarantined []QuarantineInfo `json:"quarantined"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/quarantine", &qlist); code != http.StatusOK {
+		t.Fatalf("quarantine list: HTTP %d", code)
+	}
+	if len(qlist.Quarantined) != 1 || qlist.Quarantined[0].Attempts != 2 {
+		t.Fatalf("quarantine list: %+v", qlist.Quarantined)
+	}
+	fp := qlist.Quarantined[0].FP
+
+	// Fail-fast: the resubmitted job fails without another runner call.
+	callsBefore := runner.calls.Load()
+	st2 := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	st2 = waitTerminal(t, srv, st2.ID)
+	if st2.State != StateFailed {
+		t.Fatalf("fail-fast job: %+v", st2)
+	}
+	if got := runner.calls.Load(); got != callsBefore {
+		t.Fatalf("quarantined cell re-ran: %d -> %d calls", callsBefore, got)
+	}
+	if got := srv.Stats().Counters[MetricQuarantineHits]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricQuarantineHits, got)
+	}
+
+	// Clear and rerun: the runner is past its failures now.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/quarantine/"+fp, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("quarantine clear: HTTP %d", resp.StatusCode)
+	}
+	st3 := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	st3 = waitTerminal(t, srv, st3.ID)
+	if st3.State != StateDone {
+		t.Fatalf("post-clear job: %+v", st3)
+	}
+	// Clearing an unknown fingerprint is a 404.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/quarantine/ffff", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("clear unknown: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestJobRetryBudget: a grid of poisoned cells stops retrying once the
+// job's cross-cell budget is spent instead of serially burning every
+// cell's full attempt schedule.
+func TestJobRetryBudget(t *testing.T) {
+	var calls atomic.Int32
+	runner := func(ctx context.Context, c Cell) (*sim.Report, error) {
+		return nil, fmt.Errorf("always failing (call %d)", calls.Add(1))
+	}
+	srv, ts := testServer(t, Options{
+		ConcurrentJobs: 1, CellWorkers: 1, Runner: runner,
+		CellAttempts: 4, JobRetryBudget: 2,
+		RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+	})
+	st := postJob(t, ts.URL, "bench=SYNTH barrier=GL|CSW cores=8|16 tier=test")
+	st = waitTerminal(t, srv, st.ID)
+	if st.State != StateFailed {
+		t.Fatalf("job: %+v", st)
+	}
+	if st.Retries != 2 {
+		t.Fatalf("job retries = %d, want the budget (2)", st.Retries)
+	}
+	// 4 cells, 2 budgeted retries: at most 6 runner calls in total.
+	if got := calls.Load(); got > 6 {
+		t.Fatalf("runner calls = %d, want <= 6", got)
+	}
+	if got := srv.Stats().Counters[MetricCellRetries]; got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricCellRetries, got)
+	}
+}
+
+// TestHostFaultExecInjection: a first-N exec.fail plan is absorbed by the
+// retry loop, and the injector's fired ledger reconciles exactly with the
+// retry metric (the conservation identity the chaos oracles rely on).
+func TestHostFaultExecInjection(t *testing.T) {
+	plan, err := hostfault.ParsePlan("seed=7,exec.fail#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := newFlakyRunner(t, 0, false)
+	srv, ts := testServer(t, Options{
+		ConcurrentJobs: 1, CellWorkers: 1, Runner: runner.run,
+		CellAttempts: 3, RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond,
+		HostFaults: plan,
+	})
+	st := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	st = waitTerminal(t, srv, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job: %+v", st)
+	}
+	stats := srv.Stats()
+	if got := stats.Counters[MetricCellRetries]; got != 2 {
+		t.Fatalf("%s = %d, want 2", MetricCellRetries, got)
+	}
+}
+
+// TestBackoffDelay: deterministic, exponential in shape, bounded by max,
+// jittered within [d/2, d).
+func TestBackoffDelay(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	var prev time.Duration
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := backoffDelay(base, max, "fp-x", attempt)
+		if d != backoffDelay(base, max, "fp-x", attempt) {
+			t.Fatalf("attempt %d: not deterministic", attempt)
+		}
+		full := base << uint(attempt-1)
+		if full <= 0 || full > max {
+			full = max
+		}
+		if d < full/2 || d >= full {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, full/2, full)
+		}
+		if attempt >= 4 && d > max {
+			t.Fatalf("attempt %d: delay %v exceeds max %v", attempt, d, max)
+		}
+		prev = d
+	}
+	_ = prev
+	if a, b := backoffDelay(base, max, "fp-x", 2), backoffDelay(base, max, "fp-y", 2); a == b {
+		t.Fatalf("distinct fingerprints produced identical jitter %v", a)
+	}
+}
+
+// TestRecoverMiddleware: a panicking handler becomes a 500 JSON error and
+// a counted panic instead of a dropped connection.
+func TestRecoverMiddleware(t *testing.T) {
+	srv := NewServer(Options{ConcurrentJobs: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+	}()
+	h := srv.recoverHandler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("handler bug")
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	if code := getJSON(t, ts.URL+"/boom", &body); code != http.StatusInternalServerError {
+		t.Fatalf("HTTP %d, want 500", code)
+	}
+	if body.Error == "" {
+		t.Fatal("500 body missing error field")
+	}
+	if got := srv.Stats().Counters[MetricHTTPPanics]; got != 1 {
+		t.Fatalf("%s = %d, want 1", MetricHTTPPanics, got)
+	}
+}
+
+// TestSSEHeartbeat: with a long snapshot interval and a short heartbeat,
+// the events stream carries comment heartbeats while the job runs — and
+// the stream survives a RequestTimeout far shorter than its lifetime
+// (the SSE route is exempt from the timeout handler).
+func TestSSEHeartbeat(t *testing.T) {
+	runner := newBlockingRunner(t)
+	srv, ts := testServer(t, Options{
+		ConcurrentJobs: 1, CellWorkers: 1, Runner: runner.run,
+		WatchInterval:  10 * time.Second,
+		SSEHeartbeat:   10 * time.Millisecond,
+		RequestTimeout: 50 * time.Millisecond,
+	})
+	st := postJob(t, ts.URL, "bench=SYNTH barrier=GL cores=8 tier=test")
+	<-runner.started
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	var got strings.Builder
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(got.String(), ": heartbeat") && time.Now().Before(deadline) {
+		n, err := resp.Body.Read(buf)
+		got.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(got.String(), ": heartbeat") {
+		t.Fatalf("no heartbeat in stream:\n%s", got.String())
+	}
+	// The stream outlived RequestTimeout by virtue of the heartbeats above
+	// (reading them took > 10ms > nothing, and the connection is open).
+	close(runner.release)
+	waitTerminal(t, srv, st.ID)
+	// Non-streaming routes still answer under the timeout handler.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz under timeout handler: HTTP %d", code)
+	}
+}

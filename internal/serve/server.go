@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/serve/hostfault"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -43,6 +44,28 @@ type Options struct {
 	Runner CellRunner
 	// WatchInterval is the SSE progress-snapshot period; <= 0 means 500ms.
 	WatchInterval time.Duration
+
+	// CellAttempts bounds runs of one cell before it is quarantined;
+	// <= 0 means DefaultCellAttempts. 1 disables retries.
+	CellAttempts int
+	// RetryBase and RetryMax shape the exponential backoff between
+	// attempts; zero selects DefaultRetryBase/DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// JobRetryBudget bounds total retries across one job's cells; <= 0
+	// means DefaultJobRetryBudget.
+	JobRetryBudget int
+	// HostFaults injects deterministic host failures (executor panics,
+	// spill I/O faults, queue stalls) for chaos runs and drills; nil
+	// disables injection.
+	HostFaults *hostfault.Plan
+	// SSEHeartbeat is the period of comment-line heartbeats on the events
+	// stream (dead-client detection between progress snapshots); <= 0
+	// means 15s.
+	SSEHeartbeat time.Duration
+	// RequestTimeout bounds non-streaming request handling; 0 means
+	// unbounded. The SSE events route is exempt (heartbeats bound it).
+	RequestTimeout time.Duration
 }
 
 func (o Options) concurrentJobs() int {
@@ -73,6 +96,13 @@ func (o Options) watchInterval() time.Duration {
 	return 500 * time.Millisecond
 }
 
+func (o Options) sseHeartbeat() time.Duration {
+	if o.SSEHeartbeat > 0 {
+		return o.SSEHeartbeat
+	}
+	return 15 * time.Second
+}
+
 // Server metric names. All server observability flows through one
 // internal/metrics registry (guarded by a mutex — the registry itself is
 // single-threaded by contract) and out via GET /v1/stats.
@@ -93,6 +123,36 @@ const (
 	metricCellsFailed   = "serve.cells.failed"
 	metricQueueWaitMs   = "serve.queue.wait_ms"
 	metricCellRunMs     = "serve.cell.run_ms"
+)
+
+// Self-healing metric names, exported for cross-package reads (the
+// hostchaos conservation oracles and the glsimd e2e recovery test
+// reconcile these against the injector's fired ledger).
+const (
+	// MetricCellRetries counts retried cell attempts.
+	MetricCellRetries = "serve.cell.retries"
+	// MetricCellPanics counts executor panics converted into retryable
+	// errors by the recover guard.
+	MetricCellPanics = "serve.cell.panics"
+	// MetricCellsQuarantined counts cells that exhausted their attempts
+	// and entered quarantine.
+	MetricCellsQuarantined = "serve.cells.quarantined"
+	// MetricQuarantineHits counts cells failed fast because their
+	// fingerprint was already quarantined.
+	MetricQuarantineHits = "serve.quarantine.hits"
+	// MetricHTTPPanics counts HTTP handler panics absorbed by the recover
+	// middleware.
+	MetricHTTPPanics = "serve.http.panics"
+	// MetricSpillErrors counts disk-spill failures the cache degraded
+	// through (entry stayed in memory).
+	MetricSpillErrors = "serve.spill.errors"
+	// MetricJournalRecords counts journal appends this process fsync'd.
+	MetricJournalRecords = "serve.journal.records"
+	// MetricJournalReplayed counts jobs re-submitted from the journal on
+	// startup recovery.
+	MetricJournalReplayed = "serve.journal.replayed"
+	// MetricJournalTorn counts torn/corrupt journal lines dropped on open.
+	MetricJournalTorn = "serve.journal.torn"
 )
 
 // msBuckets are exponential millisecond buckets for server latencies
@@ -125,6 +185,16 @@ type serverMetrics struct {
 	jobsRunning   *metrics.Gauge
 	queueWaitMs   *metrics.Histogram
 	cellRunMs     *metrics.Histogram
+
+	cellRetries      *metrics.Counter
+	cellPanics       *metrics.Counter
+	cellsQuarantined *metrics.Counter
+	quarantineHits   *metrics.Counter
+	httpPanics       *metrics.Counter
+	spillErrors      *metrics.Counter
+	journalRecords   *metrics.Counter
+	journalReplayed  *metrics.Counter
+	journalTorn      *metrics.Counter
 }
 
 func newServerMetrics(reg *metrics.Registry) *serverMetrics {
@@ -145,6 +215,16 @@ func newServerMetrics(reg *metrics.Registry) *serverMetrics {
 		jobsRunning:   reg.Gauge(metricJobsRunning),
 		queueWaitMs:   reg.Histogram(metricQueueWaitMs, msBuckets()),
 		cellRunMs:     reg.Histogram(metricCellRunMs, msBuckets()),
+
+		cellRetries:      reg.Counter(MetricCellRetries),
+		cellPanics:       reg.Counter(MetricCellPanics),
+		cellsQuarantined: reg.Counter(MetricCellsQuarantined),
+		quarantineHits:   reg.Counter(MetricQuarantineHits),
+		httpPanics:       reg.Counter(MetricHTTPPanics),
+		spillErrors:      reg.Counter(MetricSpillErrors),
+		journalRecords:   reg.Counter(MetricJournalRecords),
+		journalReplayed:  reg.Counter(MetricJournalReplayed),
+		journalTorn:      reg.Counter(MetricJournalTorn),
 	}
 }
 
@@ -155,6 +235,11 @@ type Server struct {
 	opts   Options
 	cache  *Cache
 	flight flightGroup
+
+	// inj is the compiled host-fault plan (nil = no injection).
+	inj *hostfault.Injector
+	// quarantine is the poison-cell registry.
+	quarantine quarantineSet
 
 	// lm serializes registry access: internal/metrics registries are
 	// single-threaded by contract, and the server is the one concurrent
@@ -180,6 +265,10 @@ type Server struct {
 	draining bool
 	//glvet:guardedby mu
 	closed bool
+	// journal is the attached write-ahead log (nil = not journaling); set
+	// once by AttachJournal before the server takes traffic.
+	//glvet:guardedby mu
+	journal *Journal
 
 	// base anchors the server's monotonic clock.
 	base time.Time
@@ -191,6 +280,7 @@ func NewServer(opts Options) *Server {
 	reg := metrics.NewRegistry()
 	s := &Server{
 		opts:  opts,
+		inj:   hostfault.NewInjector(opts.HostFaults),
 		cache: NewCache(opts.CacheEntries, opts.CacheDir),
 		lm:    metrics.NewLocked(reg),
 		m:     newServerMetrics(reg),
@@ -200,6 +290,9 @@ func NewServer(opts Options) *Server {
 	s.cond = sync.NewCond(&s.mu)
 	s.cache.onEvict = func() { s.count(s.m.cacheEvicted, 1) }
 	s.cache.onDiskHit = func() { s.count(s.m.cacheDiskHits, 1) }
+	if s.inj != nil {
+		s.cache.fs = faultFS{fs: s.cache.fs, inj: s.inj}
+	}
 	for i := 0; i < opts.concurrentJobs(); i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -230,9 +323,25 @@ func (s *Server) observe(h *metrics.Histogram, v uint64) { s.lm.Observe(h, v) }
 // Stats snapshots the server's metrics.
 func (s *Server) Stats() metrics.Snapshot { return s.lm.Snapshot() }
 
+// FiredFaults returns the host-fault injector's per-site fired counts
+// (empty when no plan is armed). Chaos oracles reconcile these against
+// the retry/quarantine metrics: every injected executor fault must be
+// accounted for as a retry or a quarantine.
+func (s *Server) FiredFaults() map[string]uint64 { return s.inj.FiredBySite() }
+
 // Submit parses, validates and enqueues a job spec. It returns the job
-// immediately; execution is asynchronous.
+// immediately; execution is asynchronous. When a journal is attached the
+// submission is durably recorded before Submit returns — a crash after
+// the caller sees the job exists replays it on restart.
 func (s *Server) Submit(specStr string) (*job, error) {
+	return s.submit("", specStr, true)
+}
+
+// submit is the shared enqueue path. id is empty for fresh submissions
+// (the server assigns the next sequence id) and preset for journal
+// replays; record controls whether a submitted record is appended (replay
+// skips it — compaction already preserved the original).
+func (s *Server) submit(id, specStr string, record bool) (*job, error) {
 	spec, err := ParseJobSpec(specStr)
 	if err != nil {
 		s.count(s.m.jobsRejected, 1)
@@ -250,17 +359,80 @@ func (s *Server) Submit(specStr string) (*job, error) {
 		s.count(s.m.jobsRejected, 1)
 		return nil, errQueueFull
 	}
-	s.nextID++
-	j := newJob(fmt.Sprintf("j%d", s.nextID), spec, cells, s.monoMs())
+	if id == "" {
+		s.nextID++
+		id = fmt.Sprintf("j%d", s.nextID)
+	}
+	j := newJob(id, spec, cells, s.monoMs(), s.opts.jobRetryBudget())
+	j.onFinish = func(st JobState, errMsg string) {
+		s.appendJournal(journalRecord{T: journalTerminal, ID: j.id, State: st, Err: errMsg})
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.queue = append(s.queue, j)
 	queued := len(s.queue)
 	s.mu.Unlock()
+	if record {
+		s.appendJournal(journalRecord{T: journalSubmitted, ID: j.id, Spec: j.specStr})
+	}
 	s.cond.Signal()
 	s.count(s.m.jobsSubmitted, 1)
 	s.gauge(s.m.jobsQueued, uint64(queued))
 	return j, nil
+}
+
+// AttachJournal opens (and compacts) the write-ahead log at path, wires
+// every future lifecycle transition through it, and re-submits the
+// journaled jobs that never reached a terminal state, preserving their
+// ids. Call it once, after NewServer and before serving traffic. It
+// returns how many jobs were replayed.
+func (s *Server) AttachJournal(path string) (replayed int, err error) {
+	jr, pending, maxID, torn, err := OpenJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.journal = jr
+	if maxID > s.nextID {
+		s.nextID = maxID
+	}
+	s.mu.Unlock()
+	if torn > 0 {
+		s.count(s.m.journalTorn, uint64(torn))
+	}
+	for _, p := range pending {
+		j, err := s.submit(p.ID, p.Spec, false)
+		if err != nil {
+			// The journaled spec no longer parses or fits (version skew, a
+			// full queue): record a terminal failure so the journal converges
+			// instead of replaying it forever.
+			s.appendJournal(journalRecord{
+				T: journalTerminal, ID: p.ID, State: StateFailed, Err: err.Error(),
+			})
+			continue
+		}
+		_ = j
+		replayed++
+	}
+	if replayed > 0 {
+		s.count(s.m.journalReplayed, uint64(replayed))
+	}
+	return replayed, nil
+}
+
+// appendJournal writes one record to the attached journal, if any.
+// Journal trouble is counted but never fails the job path — a full disk
+// must not take the queue down.
+func (s *Server) appendJournal(rec journalRecord) {
+	s.mu.Lock()
+	jr := s.journal
+	s.mu.Unlock()
+	if jr == nil {
+		return
+	}
+	if err := jr.Append(rec); err == nil {
+		s.count(s.m.journalRecords, 1)
+	}
 }
 
 var (
@@ -335,6 +507,9 @@ func (s *Server) executor() {
 		queued := len(s.queue)
 		s.mu.Unlock()
 		s.gauge(s.m.jobsQueued, uint64(queued))
+		if s.inj.Hit(hostfault.QueueStall, j.id) {
+			time.Sleep(time.Duration(s.inj.SlowMillis()) * time.Millisecond)
+		}
 		s.runJob(j)
 	}
 }
@@ -346,6 +521,7 @@ func (s *Server) runJob(j *job) {
 		// Canceled while queued.
 		return
 	}
+	s.appendJournal(journalRecord{T: journalStarted, ID: j.id})
 	s.observe(s.m.queueWaitMs, uint64(startMs-j.enqueuedAt))
 	s.mu.Lock()
 	s.running++
@@ -367,7 +543,7 @@ func (s *Server) runJob(j *job) {
 		specs[i] = sweep.Spec{
 			Label: cell.Label(),
 			Run: func() (*sim.Report, error) {
-				e, cached, shared, err := s.resolveCell(j.ctx, cell)
+				e, cached, shared, err := s.resolveCell(j.ctx, cell, j)
 				j.finishCell(i, e, cached, shared, err)
 				if err != nil {
 					s.count(s.m.cellsFailed, 1)
@@ -398,15 +574,24 @@ func (s *Server) runJob(j *job) {
 	s.count(s.m.jobsDone, 1)
 }
 
-// resolveCell produces one cell's result: cache lookup, then single-flight
-// computation. Identical concurrent cells — within one job or across jobs
+// resolveCell produces one cell's result: cache lookup, quarantine
+// fast-fail, then single-flight computation (with the retry/backoff loop
+// inside the flight, so concurrent identical cells share one retry
+// schedule). Identical concurrent cells — within one job or across jobs
 // — collapse onto one simulation; identical later cells are pure cache
-// hits. Errors are never cached: a failed cell re-runs on resubmit.
-func (s *Server) resolveCell(ctx context.Context, cell Cell) (e *Entry, cached, shared bool, err error) {
+// hits. Errors are never cached: a failed cell re-runs on resubmit,
+// except quarantined fingerprints, which fail fast until cleared.
+func (s *Server) resolveCell(ctx context.Context, cell Cell, j *job) (e *Entry, cached, shared bool, err error) {
 	fp := cell.Fingerprint()
 	if e, ok := s.cache.Get(fp); ok {
 		s.count(s.m.cacheHits, 1)
 		return e, true, false, nil
+	}
+	if info, ok := s.quarantine.get(fp); ok {
+		s.count(s.m.quarantineHits, 1)
+		return nil, false, false, &QuarantineError{
+			FP: info.FP, Label: info.Label, Attempts: info.Attempts, Reason: info.Reason,
+		}
 	}
 	s.count(s.m.cacheMisses, 1)
 	// A shared flight can fail with the *leader's* context error; when our
@@ -414,7 +599,7 @@ func (s *Server) resolveCell(ctx context.Context, cell Cell) (e *Entry, cached, 
 	// becoming the new leader.
 	for attempt := 0; ; attempt++ {
 		e, shared, err := s.flight.Do(ctx, fp, func() (*Entry, error) {
-			return s.runCell(ctx, cell)
+			return s.runCellAttempts(ctx, cell, j)
 		})
 		if err != nil && shared && ctx.Err() == nil && attempt < 4 &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
@@ -428,38 +613,6 @@ func (s *Server) resolveCell(ctx context.Context, cell Cell) (e *Entry, cached, 
 		}
 		return e, false, shared, nil
 	}
-}
-
-// runCell executes one simulation (as the flight leader) and admits the
-// result.
-func (s *Server) runCell(ctx context.Context, cell Cell) (*Entry, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%s: %w", cell.Label(), err)
-	}
-	runner := s.opts.Runner
-	if runner == nil {
-		runner = RunCell
-	}
-	runStart := s.monoMs()
-	rep, err := runner(ctx, cell)
-	s.observe(s.m.cellRunMs, uint64(s.monoMs()-runStart))
-	if err != nil {
-		return nil, err
-	}
-	raw, err := rep.JSON()
-	if err != nil {
-		return nil, err
-	}
-	e, err := newEntry(cell.Fingerprint(), raw)
-	if err != nil {
-		return nil, err
-	}
-	s.count(s.m.cellsSim, 1)
-	if perr := s.cache.Put(e); perr != nil {
-		// Disk-tier degradation only; the entry is in memory.
-		_ = perr
-	}
-	return e, nil
 }
 
 // Drain stops accepting jobs, lets queued and running jobs finish, and
@@ -478,6 +631,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-idle:
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -501,8 +655,20 @@ func (s *Server) Drain(ctx context.Context) error {
 		// final wait is bounded by the executors unwinding and must not be
 		// abandoned, or Drain would return with workers still running.
 		<-idle //lint:allow ctxflow bounded executor unwind after cancellation, must complete
+		s.closeJournal()
 		return ctx.Err()
 	}
+}
+
+// closeJournal detaches and closes the write-ahead log (idempotent); the
+// drained server appends nothing further, so the file can be released for
+// the next process to compact.
+func (s *Server) closeJournal() {
+	s.mu.Lock()
+	jr := s.journal
+	s.journal = nil
+	s.mu.Unlock()
+	jr.Close()
 }
 
 // Handler returns the server's HTTP API.
@@ -514,8 +680,14 @@ func (s *Server) Drain(ctx context.Context) error {
 // GET  /v1/jobs/{id}/events     SSE progress snapshots until terminal
 // POST /v1/jobs/{id}/cancel     abort a job
 // GET  /v1/cells/{fp}           one cached report, verbatim bytes
+// GET  /v1/quarantine           quarantined fingerprints
+// DELETE /v1/quarantine/{fp}    clear one quarantine entry
 // GET  /v1/stats                metrics snapshot
 // GET  /healthz                 liveness (503 while draining)
+//
+// The whole API sits behind a recover middleware (handler panics become
+// 500s and count serve.http.panics) and, when Options.RequestTimeout is
+// set, a timeout handler for every route except the SSE events stream.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -539,6 +711,17 @@ func (s *Server) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, j.status())
 	}))
 	mux.HandleFunc("GET /v1/cells/{fp}", s.handleCell)
+	mux.HandleFunc("GET /v1/quarantine", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"quarantined": s.quarantine.list()})
+	})
+	mux.HandleFunc("DELETE /v1/quarantine/{fp}", func(w http.ResponseWriter, r *http.Request) {
+		fp := strings.ToLower(r.PathValue("fp"))
+		if !s.quarantine.clear(fp) {
+			writeError(w, http.StatusNotFound, "fingerprint is not quarantined")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"cleared": fp})
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -552,7 +735,37 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	return mux
+	var h http.Handler = mux
+	if d := s.opts.RequestTimeout; d > 0 {
+		// The events stream is exempt: it is long-lived by design, bounded
+		// by its own heartbeats and the client context instead.
+		outer := http.NewServeMux()
+		outer.HandleFunc("GET /v1/jobs/{id}/events", s.withJob(s.handleEvents))
+		outer.Handle("/", http.TimeoutHandler(h, d, `{"error":"request timed out"}`))
+		h = outer
+	}
+	return s.recoverHandler(h)
+}
+
+// recoverHandler is the outermost middleware: a panicking handler becomes
+// a 500 with a JSON body instead of a killed connection, and the panic is
+// counted. http.ErrAbortHandler re-panics — it is net/http's sanctioned
+// way to abort a response and must keep propagating.
+func (s *Server) recoverHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.count(s.m.httpPanics, 1)
+			writeError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -622,6 +835,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 	ticker := time.NewTicker(s.opts.watchInterval())
 	defer ticker.Stop()
+	// Heartbeat comments keep the connection visibly alive (and dead
+	// clients detectable) when the snapshot interval is long.
+	heartbeat := time.NewTicker(s.opts.sseHeartbeat())
+	defer heartbeat.Stop()
 	for {
 		st := j.status()
 		if st.State.terminal() {
@@ -633,6 +850,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, j *job) {
 		}
 		select {
 		case <-ticker.C:
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case <-j.finished:
 		case <-r.Context().Done():
 			return
